@@ -1,0 +1,190 @@
+(* Benchmark harness: one bechamel micro-benchmark per experiment (the
+   inner loops that dominate each reproduction), followed by the full
+   regeneration of every experiment table (EXPERIMENTS.md).
+
+   dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Online_local
+
+(* ---------------------- benchmark subjects ---------------------- *)
+
+let bench_bvalue =
+  (* E6: the b-value of a 10k-arc directed row path. *)
+  let len = 10_000 in
+  let colors = Array.init (len + 1) (fun i -> i mod 3) in
+  let path = List.init (len + 1) (fun i -> i) in
+  Test.make ~name:"e6: b-value of 10k-arc path"
+    (Staged.stage (fun () -> ignore (Colorings.Bvalue.b_path colors path)))
+
+let bench_brute =
+  (* E6: exhaustive proper-coloring enumeration (Lemma 3.4 checker). *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:3 ~cols:3 in
+  let g = Topology.Grid2d.graph grid in
+  Test.make ~name:"e6: enumerate 3-colorings of 3x3 grid"
+    (Staged.stage (fun () -> ignore (Colorings.Brute.count_colorings g ~colors:3)))
+
+let bench_ball =
+  (* substrate: the per-presentation reveal cost. *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:64 ~cols:64 in
+  let g = Topology.Grid2d.graph grid in
+  let center = Topology.Grid2d.node grid ~row:32 ~col:32 in
+  Test.make ~name:"substrate: B(v,8) on 64x64 grid"
+    (Staged.stage (fun () -> ignore (Grid_graph.Bfs.ball g [ center ] 8)))
+
+let bench_thm1 =
+  (* E1: one full adversary game against greedy (k = 6). *)
+  Test.make ~name:"e1: thm1 adversary vs greedy (k=6)"
+    (Staged.stage (fun () ->
+         ignore
+           (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm:(Portfolio.greedy ()) ())))
+
+let bench_thm2 =
+  Test.make ~name:"e2: thm2 two-row attack (torus 13)"
+    (Staged.stage (fun () ->
+         ignore
+           (Thm2_adversary.run ~wrap:`Toroidal ~side:13
+              ~algorithm:(Portfolio.greedy ())
+              ())))
+
+let bench_thm3 =
+  Test.make ~name:"e3: thm3 gadget attack (9 gadgets)"
+    (Staged.stage (fun () ->
+         ignore
+           (Thm3_adversary.run ~k:3 ~gadgets:9 ~algorithm:(Portfolio.greedy ()) ())))
+
+let bench_kp1 =
+  (* E4: one full upper-bound run on a 20x20 grid. *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:20 ~cols:20 in
+  let host = Topology.Grid2d.graph grid in
+  let order = Models.Fixed_host.orders ~all:host (`Random 5) in
+  Test.make ~name:"e4: kp1 3-colors 20x20 grid (T=4)"
+    (Staged.stage (fun () ->
+         ignore
+           (Models.Fixed_host.run
+              ~oracle:(Oracles.grid_bipartition grid)
+              ~host ~palette:3
+              ~algorithm:(Kp1_coloring.make ~k:2 ~locality:(fun ~n:_ -> 4) ())
+              ~order ())))
+
+let bench_ael =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:20 ~cols:20 in
+  let host = Topology.Grid2d.graph grid in
+  let order = Models.Fixed_host.orders ~all:host (`Random 5) in
+  Test.make ~name:"e4: ael (oracle-free) 20x20 grid (T=4)"
+    (Staged.stage (fun () ->
+         ignore
+           (Models.Fixed_host.run ~host ~palette:3
+              ~algorithm:(Kp1_coloring.ael_bipartite ~locality:(fun ~n:_ -> 4) ())
+              ~order ())))
+
+let bench_thm5 =
+  let base =
+    Topology.Grid2d.graph (Topology.Grid2d.create Topology.Grid2d.Simple ~rows:4 ~cols:4)
+  in
+  let lay = Topology.Layered.create ~base ~k:3 in
+  let host = Topology.Layered.graph lay in
+  let order = Models.Fixed_host.orders ~all:host (`Random 3) in
+  Test.make ~name:"e5: reduced algorithm colors G_3"
+    (Staged.stage (fun () ->
+         ignore
+           (Models.Fixed_host.run ~oracle:(Oracles.layered lay) ~host ~palette:4
+              ~algorithm:
+                (Thm5_reduction.reduce
+                   ~inner:(Kp1_coloring.make ~k:4 ~locality:(fun ~n:_ -> 6) ()))
+              ~order ())))
+
+let bench_gadget_classify =
+  let chain = Topology.Gadget.create ~k:4 ~gadgets:2 () in
+  let coloring = Colorings.Coloring.of_array (Topology.Gadget.canonical_k_coloring chain) in
+  Test.make ~name:"e3: classify gadget matrix (k=4)"
+    (Staged.stage (fun () ->
+         ignore
+           (Colorings.Colorful.classify
+              (Colorings.Colorful.matrix_of_gadget chain coloring ~gadget:1))))
+
+let bench_clique_chain =
+  (* The structural oracle's clique walk on a triangular grid fragment. *)
+  let t = Topology.Tri_grid.create ~side:12 in
+  let g = Topology.Tri_grid.graph t in
+  let view =
+    {
+      Models.View.n_total = Grid_graph.Graph.n g;
+      palette = 4;
+      node_count = (fun () -> Grid_graph.Graph.n g);
+      neighbors = (fun v -> Array.to_list (Grid_graph.Graph.neighbors g v));
+      mem_edge = (fun a b -> Grid_graph.Graph.mem_edge g a b);
+      id = (fun v -> v + 1);
+      output = (fun _ -> None);
+      hint = (fun _ -> None);
+      target = 0;
+      new_nodes = [];
+      step = 1;
+    }
+  in
+  let frag = [ 0; 1; 2; 3; 4 ] in
+  Test.make ~name:"e4: structural triangle-chain oracle query"
+    (Staged.stage (fun () ->
+         ignore (Oracles.triangle_chain.Models.Oracle.query view frag)))
+
+let bench_dynamic_repair =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:12 ~cols:12 in
+  let order =
+    Models.Fixed_host.orders ~all:(Topology.Grid2d.graph grid) (`Random 2)
+  in
+  let updates = Models.Dynamic_local.incremental_grid_updates grid ~order in
+  Test.make ~name:"models: dynamic greedy repair, 12x12 incremental build"
+    (Staged.stage (fun () ->
+         ignore
+           (Models.Dynamic_local.run ~n_hint:144 ~palette:5
+              ~algorithm:Models.Dynamic_local.greedy_repair ~updates ())))
+
+let bench_cole_vishkin =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:40 ~cols:40 in
+  Test.make ~name:"models: cole-vishkin 5-coloring, 40x40"
+    (Staged.stage (fun () -> ignore (Models.Cole_vishkin.five_color grid)))
+
+let tests =
+  Test.make_grouped ~name:"online-local-grids"
+    [
+      bench_bvalue;
+      bench_brute;
+      bench_ball;
+      bench_gadget_classify;
+      bench_thm1;
+      bench_thm2;
+      bench_thm3;
+      bench_kp1;
+      bench_ael;
+      bench_thm5;
+      bench_clique_chain;
+      bench_dynamic_repair;
+      bench_cole_vishkin;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Bechamel.Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.printf "%-55s %15s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Format.printf "%-55s %15.0f@." name est
+      | Some _ | None -> Format.printf "%-55s %15s@." name "-")
+    rows
+
+let () =
+  Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
+  run_benchmarks ();
+  Format.printf "@.== Experiment regeneration (see EXPERIMENTS.md) ==@.";
+  Experiments.run_all ~quick:false Format.std_formatter;
+  Format.printf "@."

@@ -1,0 +1,46 @@
+(* Pit any portfolio algorithm against any adversary.
+
+   dune exec bin/play.exe -- --game thm1-grid --algo ael -t 2 --size 500
+   dune exec bin/play.exe -- --list *)
+
+open Online_local
+open Cmdliner
+
+let algorithm_of name t =
+  match name with
+  | "greedy" -> Portfolio.greedy ()
+  | "parity" -> Portfolio.hint_parity ()
+  | "stripes" -> Portfolio.stripes3 ()
+  | "gadget-rows" -> Portfolio.gadget_rows ()
+  | "ael" -> Portfolio.ael ~t ()
+  | other -> failwith ("unknown algorithm: " ^ other)
+
+let run list_games game_name algo_name t n =
+  if list_games then
+    List.iter
+      (fun g -> Format.printf "%-16s %s@." g.Game.name g.Game.description)
+      Game.games
+  else
+    match Game.find game_name with
+    | None ->
+        Format.printf "unknown game %s; try --list@." game_name;
+        exit 1
+    | Some g ->
+        let verdict = g.Game.play ~n (algorithm_of algo_name t) in
+        Format.printf "%a@." Game.pp_verdict verdict
+
+let list_games = Arg.(value & flag & info [ "list" ] ~doc:"List the games.")
+let game = Arg.(value & opt string "thm1-grid" & info [ "game" ] ~doc:"Game name.")
+
+let algo =
+  Arg.(value & opt string "ael" & info [ "algo" ] ~doc:"greedy|parity|stripes|gadget-rows|ael.")
+
+let t = Arg.(value & opt int 1 & info [ "t"; "locality" ] ~doc:"Locality for ael.")
+let n = Arg.(value & opt int 400 & info [ "n"; "size" ] ~doc:"Instance size (per game).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "play" ~doc:"Pit an algorithm against a lower-bound adversary")
+    Term.(const run $ list_games $ game $ algo $ t $ n)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,20 @@
+(* Regenerate every experiment table (EXPERIMENTS.md).
+
+   dune exec bin/repro.exe            -- full tables
+   dune exec bin/repro.exe -- --quick -- bench-sized tables *)
+
+let run quick =
+  Experiments.run_all ~quick Format.std_formatter;
+  Format.printf "@."
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink parameter ranges to bench sizes.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce all experiments of the paper")
+    Term.(const run $ quick)
+
+let () = exit (Cmd.eval cmd)

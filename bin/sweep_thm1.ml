@@ -1,0 +1,40 @@
+(* E1 sweep: play the Theorem 1 adversary at chosen parameters.
+
+   dune exec bin/sweep_thm1.exe -- --t 2 --k 6 --side 4000 --algo ael *)
+
+open Online_local
+open Cmdliner
+
+let run t k side algo_name validate =
+  let algorithm =
+    match algo_name with
+    | "greedy" -> Portfolio.greedy ()
+    | "parity" -> Portfolio.hint_parity ()
+    | "stripes" -> Portfolio.stripes3 ()
+    | "ael" -> Portfolio.ael ~t ()
+    | other -> failwith ("unknown algorithm: " ^ other)
+  in
+  let r = Thm1_adversary.run ~validate ~n_side:side ~k ~algorithm () in
+  Format.printf "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@." algo_name t side
+    k Thm1_adversary.pp_report r;
+  Format.printf "  guaranteed by theory: %b (needs k > 4T+4)@."
+    (Thm1_adversary.guaranteed ~t ~k);
+  Format.printf "  max fitting k at this side/T: %d@."
+    (Thm1_adversary.recommended_k ~n_side:side ~t)
+
+let t = Arg.(value & opt int 1 & info [ "t" ] ~doc:"Algorithm locality.")
+let k = Arg.(value & opt int 9 & info [ "k" ] ~doc:"Adversary b-value target.")
+let side = Arg.(value & opt int 4000 & info [ "side" ] ~doc:"Grid side sqrt(n).")
+
+let algo =
+  Arg.(value & opt string "ael" & info [ "algo" ] ~doc:"greedy|parity|stripes|ael.")
+
+let validate =
+  Arg.(value & flag & info [ "validate" ] ~doc:"Replay-check the transcript (slow).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
+    Term.(const run $ t $ k $ side $ algo $ validate)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,28 @@
+(* E2 sweep: the two-row attack on wrapped grids.
+
+   dune exec bin/sweep_thm2.exe -- --side 51 --wrap torus *)
+
+open Online_local
+open Cmdliner
+
+let run side wrap_name =
+  let wrap =
+    match wrap_name with
+    | "torus" -> `Toroidal
+    | "cylinder" -> `Cylindrical
+    | other -> failwith ("unknown wrap: " ^ other)
+  in
+  List.iter
+    (fun (name, algorithm) ->
+      let r = Thm2_adversary.run ~wrap ~side ~algorithm () in
+      Format.printf "thm2 %s side=%d vs %-12s %a@." wrap_name side name
+        Thm2_adversary.pp_report r)
+    [ ("greedy", Portfolio.greedy ()); ("ael(T=1)", Portfolio.ael ~t:1 ()) ]
+
+let side = Arg.(value & opt int 21 & info [ "side" ] ~doc:"Grid side (odd).")
+let wrap = Arg.(value & opt string "torus" & info [ "wrap" ] ~doc:"torus|cylinder.")
+
+let cmd =
+  Cmd.v (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep") Term.(const run $ side $ wrap)
+
+let () = exit (Cmd.eval cmd)

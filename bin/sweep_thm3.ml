@@ -1,0 +1,22 @@
+(* E3 sweep: the gadget-chain attack.
+
+   dune exec bin/sweep_thm3.exe -- --k 3 --gadgets 33 *)
+
+open Online_local
+open Cmdliner
+
+let run k gadgets =
+  List.iter
+    (fun (name, algorithm) ->
+      let r = Thm3_adversary.run ~k ~gadgets ~algorithm () in
+      Format.printf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a@." k gadgets
+        (gadgets * k * k) name Thm3_adversary.pp_report r)
+    [ ("greedy", Portfolio.greedy ()); ("gadget-rows", Portfolio.gadget_rows ()) ]
+
+let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Gadget side (>= 3).")
+let gadgets = Arg.(value & opt int 9 & info [ "gadgets" ] ~doc:"Chain length (>= 3).")
+
+let cmd =
+  Cmd.v (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep") Term.(const run $ k $ gadgets)
+
+let () = exit (Cmd.eval cmd)

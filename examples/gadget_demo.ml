@@ -1,0 +1,50 @@
+(* The Theorem 3 story: (2k-2)-coloring k-partite graphs has locality
+   Omega(n), because the gadget chain G* forces a global row-vs-column
+   commitment that the adversary can flip behind the algorithm's horizon.
+
+   Run with: dune exec examples/gadget_demo.exe *)
+
+open Online_local
+module Cf = Colorings.Colorful
+
+let () =
+  let k = 3 and gadgets = 9 in
+  Format.printf "=== Theorem 3: (2k-2)-coloring k-partite graphs needs Omega(n) ===@.@.";
+  Format.printf "Host: G* with %d gadgets of side %d (n = %d), palette of %d colors.@.@."
+    gadgets k
+    (gadgets * k * k)
+    ((2 * k) - 2);
+
+  (* First, the structural facts, checked by brute force on one gadget. *)
+  let single = Topology.Gadget.create ~k ~gadgets:1 () in
+  let g1 = Topology.Gadget.graph single in
+  let rows = ref 0 and cols = ref 0 in
+  Colorings.Brute.iter_colorings g1 ~colors:((2 * k) - 2) (fun colors ->
+      match
+        Cf.classify
+          (Array.init k (fun i ->
+               Array.init k (fun j ->
+                   colors.(Topology.Gadget.node single ~gadget:0 ~row:i ~col:j))))
+      with
+      | Cf.Row_colorful -> incr rows
+      | Cf.Column_colorful -> incr cols
+      | Cf.Both | Cf.Neither -> assert false);
+  Format.printf
+    "Claim 4.5 (exhaustive over all proper %d-colorings of one gadget):@." ((2 * k) - 2);
+  Format.printf "  %d row-colorful, %d column-colorful, 0 both, 0 neither.@.@." !rows !cols;
+
+  (* Then the attack. *)
+  Format.printf "The adversary presents gadget 0, then gadget %d, then the rest;@."
+    (gadgets - 1);
+  Format.printf "if the two ends classify alike it swaps in the seam host (isomorphic@.";
+  Format.printf "to G*, identical on both revealed neighborhoods).@.@.";
+  List.iter
+    (fun (name, algo) ->
+      let r = Thm3_adversary.run ~k ~gadgets ~algorithm:algo () in
+      Format.printf "  %-24s %a@." name Thm3_adversary.pp_report r)
+    [
+      ("greedy first-fit", Portfolio.greedy ());
+      ("gadget-row colorer", Portfolio.gadget_rows ());
+    ];
+  Format.printf "@.(The gadget-row colorer is proper on the plain chain — only the@.";
+  Format.printf "seam flip catches it, exactly as in the paper's argument.)@."

@@ -1,0 +1,27 @@
+(** Exhaustive coloring search for small graphs.
+
+    The lower-bound sections of the paper repeatedly claim that certain
+    partial colorings cannot be completed (Theorems 1-3).  This module is
+    the ground-truth checker: a backtracking solver over all proper
+    [c]-colorings, used by the test suite to validate the combinatorial
+    lemmas (3.3-3.5, Claims 4.3/4.5, Lemma 4.6) on every instance small
+    enough to enumerate. *)
+
+val find_coloring :
+  ?partial:Coloring.t -> Grid_graph.Graph.t -> colors:int -> int array option
+(** A proper total [colors]-coloring extending [partial] (default: the
+    empty coloring), or [None] if none exists.  Backtracking over nodes
+    in decreasing-degree order with forward pruning. *)
+
+val exists_coloring :
+  ?partial:Coloring.t -> Grid_graph.Graph.t -> colors:int -> bool
+
+val chromatic_number : Grid_graph.Graph.t -> int
+(** Smallest [c] with a proper [c]-coloring.  Exponential; small graphs
+    only. *)
+
+val iter_colorings : Grid_graph.Graph.t -> colors:int -> (int array -> unit) -> unit
+(** Enumerate every proper total [colors]-coloring (not up to symmetry);
+    the callback must not retain the array. *)
+
+val count_colorings : Grid_graph.Graph.t -> colors:int -> int

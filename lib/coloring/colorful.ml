@@ -1,0 +1,46 @@
+type matrix = int array array
+
+let matrix_of_gadget chain coloring ~gadget =
+  let k = Topology.Gadget.k chain in
+  Array.init k (fun i ->
+      Array.init k (fun j ->
+          Coloring.get_exn coloring (Topology.Gadget.node chain ~gadget ~row:i ~col:j)))
+
+let count_in_row m ~color ~row =
+  Array.fold_left (fun acc c -> if c = color then acc + 1 else acc) 0 m.(row)
+
+let count_in_col m ~color ~col =
+  Array.fold_left (fun acc r -> if r.(col) = color then acc + 1 else acc) 0 m
+
+let confined_to_row m ~color ~row = count_in_row m ~color ~row >= 2
+let confined_to_col m ~color ~col = count_in_col m ~color ~col >= 2
+
+let all_distinct xs =
+  let l = Array.to_list xs in
+  List.length (List.sort_uniq compare l) = List.length l
+
+let row_colorful m ~row = all_distinct m.(row)
+let col_colorful m ~col = all_distinct (Array.map (fun r -> r.(col)) m)
+
+let is_row_colorful m =
+  let k = Array.length m in
+  let rec any i = i < k && (row_colorful m ~row:i || any (i + 1)) in
+  any 0
+
+let is_col_colorful m =
+  let k = Array.length m in
+  let rec any j = j < k && (col_colorful m ~col:j || any (j + 1)) in
+  any 0
+
+type classification = Row_colorful | Column_colorful | Both | Neither
+
+let classify m =
+  match (is_row_colorful m, is_col_colorful m) with
+  | true, true -> Both
+  | true, false -> Row_colorful
+  | false, true -> Column_colorful
+  | false, false -> Neither
+
+let transpose m =
+  let k = Array.length m in
+  Array.init k (fun i -> Array.init k (fun j -> m.(j).(i)))

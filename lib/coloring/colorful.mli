@@ -1,0 +1,38 @@
+(** Row/column colorfulness of gadgets (Definitions 4.2 and 4.4).
+
+    Given a proper coloring of a gadget [A(k)], a color is {e confined}
+    to a row (column) if it appears at least twice there; a row (column)
+    is {e colorful} if its [k] nodes carry distinct colors.  Claim 4.5:
+    under a proper (2k-2)-coloring, a gadget is row-colorful xor
+    column-colorful. *)
+
+type matrix = int array array
+(** [m.(i).(j)] is the color of the gadget node in row [i], column [j]. *)
+
+val matrix_of_gadget : Topology.Gadget.t -> Coloring.t -> gadget:int -> matrix
+(** Extract one gadget's color matrix from a coloring of the whole chain.
+    @raise Invalid_argument if some node of the gadget is uncolored. *)
+
+val confined_to_row : matrix -> color:int -> row:int -> bool
+(** Whether the color appears at least twice in the row. *)
+
+val confined_to_col : matrix -> color:int -> col:int -> bool
+
+val row_colorful : matrix -> row:int -> bool
+(** All [k] entries of the row distinct. *)
+
+val col_colorful : matrix -> col:int -> bool
+
+val is_row_colorful : matrix -> bool
+(** Some row is colorful. *)
+
+val is_col_colorful : matrix -> bool
+
+type classification = Row_colorful | Column_colorful | Both | Neither
+
+val classify : matrix -> classification
+(** Claim 4.5 says a properly (2k-2)-colored gadget classifies as
+    [Row_colorful] or [Column_colorful], never [Both] or [Neither]; the
+    latter two are representable so tests can confirm they never occur. *)
+
+val transpose : matrix -> matrix

@@ -1,0 +1,71 @@
+open Grid_graph
+
+type t = { colors : int array; mutable assigned : int }
+(* colors.(v) = -1 encodes "uncolored". *)
+
+let create n = { colors = Array.make n (-1); assigned = 0 }
+
+let of_array a =
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Coloring.of_array: negative color")
+    a;
+  { colors = Array.copy a; assigned = Array.length a }
+
+let copy t = { colors = Array.copy t.colors; assigned = t.assigned }
+let size t = Array.length t.colors
+
+let set t v c =
+  if c < 0 then invalid_arg "Coloring.set: negative color";
+  let old = t.colors.(v) in
+  if old = -1 then begin
+    t.colors.(v) <- c;
+    t.assigned <- t.assigned + 1
+  end
+  else if old <> c then
+    invalid_arg
+      (Printf.sprintf "Coloring.set: node %d already colored %d, refusing %d" v old c)
+
+let get t v = if t.colors.(v) = -1 then None else Some t.colors.(v)
+
+let get_exn t v =
+  if t.colors.(v) = -1 then invalid_arg "Coloring.get_exn: uncolored node"
+  else t.colors.(v)
+
+let is_colored t v = t.colors.(v) <> -1
+let colored_count t = t.assigned
+let is_total t = t.assigned = Array.length t.colors
+
+let colored_nodes t =
+  let out = ref [] in
+  for v = Array.length t.colors - 1 downto 0 do
+    if t.colors.(v) <> -1 then out := v :: !out
+  done;
+  !out
+
+let max_color_used t =
+  let best = Array.fold_left max (-1) t.colors in
+  if best = -1 then None else Some best
+
+let uses_at_most t c = Array.for_all (fun x -> x < c) t.colors
+
+let find_monochromatic_edge g t =
+  let found = ref None in
+  (try
+     Graph.iter_edges g (fun u v ->
+         if t.colors.(u) <> -1 && t.colors.(u) = t.colors.(v) then begin
+           found := Some (u, v);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let is_proper g t = Option.is_none (find_monochromatic_edge g t)
+
+let is_proper_total g t ~colors =
+  is_total t && uses_at_most t colors && is_proper g t
+
+let to_array t = Array.map (fun c -> if c = -1 then None else Some c) t.colors
+
+let to_array_exn t =
+  if not (is_total t) then invalid_arg "Coloring.to_array_exn: partial coloring"
+  else Array.copy t.colors

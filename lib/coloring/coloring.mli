@@ -1,0 +1,61 @@
+(** Partial vertex colorings.
+
+    Colors are integers [0 .. c-1] (the paper writes [{1, ..., c}]).  A
+    coloring may be partial — Online-LOCAL algorithms build their outputs
+    one revealed node at a time, and the adversary arguments of Section 3
+    reason about colorings of a path long before the rest of the grid is
+    colored. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the everywhere-uncolored coloring of [n] nodes. *)
+
+val of_array : int array -> t
+(** Total coloring from an array of nonnegative colors.
+    @raise Invalid_argument on a negative entry. *)
+
+val copy : t -> t
+
+val size : t -> int
+(** Number of nodes. *)
+
+val set : t -> Grid_graph.Graph.node -> int -> unit
+(** Color a node.  Recoloring a node with a {e different} color raises
+    [Invalid_argument] — in all the models of the paper an output, once
+    assigned, is final; setting the same color again is a no-op. *)
+
+val get : t -> Grid_graph.Graph.node -> int option
+val get_exn : t -> Grid_graph.Graph.node -> int
+val is_colored : t -> Grid_graph.Graph.node -> bool
+
+val colored_count : t -> int
+val is_total : t -> bool
+
+val colored_nodes : t -> Grid_graph.Graph.node list
+(** All colored nodes in increasing order. *)
+
+val max_color_used : t -> int option
+(** Largest color present, [None] when nothing is colored. *)
+
+val uses_at_most : t -> int -> bool
+(** Whether every assigned color is [< c]. *)
+
+val find_monochromatic_edge :
+  Grid_graph.Graph.t -> t -> (Grid_graph.Graph.node * Grid_graph.Graph.node) option
+(** First edge whose two endpoints are colored alike, if any. *)
+
+val is_proper : Grid_graph.Graph.t -> t -> bool
+(** No monochromatic edge among colored nodes.  A partial coloring can be
+    proper; a total proper coloring is a proper coloring in the usual
+    sense. *)
+
+val is_proper_total : Grid_graph.Graph.t -> t -> colors:int -> bool
+(** Total, proper, and using only colors [< colors]. *)
+
+val to_array : t -> int option array
+(** A snapshot as an option array. *)
+
+val to_array_exn : t -> int array
+(** Snapshot of a total coloring.
+    @raise Invalid_argument if some node is uncolored. *)

@@ -1,0 +1,45 @@
+open Grid_graph
+
+type lists = int list array
+
+let valid_instance g lists =
+  Array.length lists = Graph.n g
+  && Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+         acc
+         && List.length (List.sort_uniq compare lists.(v)) >= Graph.degree g v + 1)
+
+let greedy g lists ~order =
+  let n = Graph.n g in
+  if List.length order <> n || List.length (List.sort_uniq compare order) <> n then
+    invalid_arg "List_coloring.greedy: order is not a permutation";
+  let colors = Array.make n (-1) in
+  List.iter
+    (fun v ->
+      let taken =
+        Array.to_list (Graph.neighbors g v)
+        |> List.filter_map (fun u -> if colors.(u) >= 0 then Some colors.(u) else None)
+      in
+      match List.find_opt (fun c -> not (List.mem c taken)) lists.(v) with
+      | Some c -> colors.(v) <- c
+      | None -> invalid_arg "List_coloring.greedy: stuck (invalid instance?)")
+    order;
+  colors
+
+let is_list_proper g lists colors =
+  Array.length colors = Graph.n g
+  && Graph.fold_nodes g ~init:true ~f:(fun acc v -> acc && List.mem colors.(v) lists.(v))
+  && Graph.fold_edges g ~init:true ~f:(fun acc u v -> acc && colors.(u) <> colors.(v))
+
+let uniform_lists g ~colors =
+  Array.init (Graph.n g) (fun _ -> List.init colors (fun c -> c))
+
+let random_lists g ~slack ~seed =
+  let state = Random.State.make [| seed |] in
+  Array.init (Graph.n g) (fun v ->
+      let want = Graph.degree g v + 1 + slack in
+      let universe = 2 * want in
+      let chosen = Hashtbl.create 8 in
+      while Hashtbl.length chosen < want do
+        Hashtbl.replace chosen (Random.State.int state universe) ()
+      done;
+      Hashtbl.fold (fun c () acc -> c :: acc) chosen [] |> List.sort compare)

@@ -1,0 +1,37 @@
+(** (degree+1)-list coloring — the paper's introductory SLOCAL example
+    ("the well-known greedy coloring algorithm solves the (degree+1)-list
+    coloring problem with locality 1 in SLOCAL", Section 1).
+
+    Every node carries a list (here: a set) of allowed colors of size at
+    least its degree plus one; a proper coloring must pick each node's
+    color from its own list.  Greedy sequential assignment always
+    succeeds, whatever order the adversary picks — executable evidence
+    for the claim, and a useful generality test for the models layer. *)
+
+type lists = int list array
+(** [lists.(v)] is the allowed palette of node [v]. *)
+
+val valid_instance : Grid_graph.Graph.t -> lists -> bool
+(** Every node's list has at least [degree + 1] distinct colors. *)
+
+val greedy : Grid_graph.Graph.t -> lists -> order:Grid_graph.Graph.node list -> int array
+(** Sequential greedy: each node takes the first color of its list not
+    used by an already-colored neighbor.  With a valid instance this
+    never gets stuck.
+    @raise Invalid_argument if a node has no available color (possible
+    only on invalid instances) or if [order] is not a permutation. *)
+
+val is_list_proper : Grid_graph.Graph.t -> lists -> int array -> bool
+(** Proper and every color drawn from its node's list. *)
+
+val uniform_lists : Grid_graph.Graph.t -> colors:int -> lists
+(** The ordinary coloring problem as a list instance: everyone gets
+    [{0..colors-1}]. *)
+
+val random_lists : Grid_graph.Graph.t -> slack:int -> seed:int -> lists
+(** Random valid lists: node [v] gets [degree v + 1 + slack] distinct
+    colors drawn from a universe twice that size.
+
+    The SLOCAL form of the greedy rule lives in
+    {!Models.Slocal.list_greedy} (the models layer sits above this
+    one). *)

@@ -1,0 +1,66 @@
+type t = int array
+
+let identity k = Array.init k (fun i -> i)
+
+let of_array a =
+  let k = Array.length a in
+  let seen = Array.make k false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= k || seen.(x) then invalid_arg "Perm.of_array: not a permutation"
+      else seen.(x) <- true)
+    a;
+  Array.copy a
+
+let to_array p = Array.copy p
+let size = Array.length
+let apply p i = p.(i)
+
+let compose p q = Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let equal (p : t) q = p = q
+
+let transposition k i j =
+  let p = identity k in
+  p.(i) <- j;
+  p.(j) <- i;
+  p
+
+(* Swapping colors c1 and c2 in a permutation p means post-composing with
+   the transposition (c1 c2): every part mapped to c1 now maps to c2 and
+   vice versa. *)
+let swap_colors p (c1, c2) = compose (transposition (Array.length p) c1 c2) p
+
+let transposition_decomposition ~src ~dst =
+  let k = Array.length src in
+  if Array.length dst <> k then invalid_arg "Perm: size mismatch";
+  let current = ref (Array.copy src) in
+  let swaps = ref [] in
+  for part = 0 to k - 1 do
+    let have = !current.(part) and want = dst.(part) in
+    if have <> want then begin
+      swaps := (have, want) :: !swaps;
+      current := swap_colors !current (have, want)
+    end
+  done;
+  assert (equal !current dst);
+  List.rev !swaps
+
+let all k =
+  let rec perms = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) xs)))
+          xs
+  in
+  List.map Array.of_list (perms (List.init k (fun i -> i)))
+
+let pp ppf p =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int p)))

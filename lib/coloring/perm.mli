@@ -1,0 +1,35 @@
+(** Permutations of [{0, ..., k-1}].
+
+    A "type" of a group in the Section 5.1 algorithm is a permutation
+    assigning colors to the k parts of the partition; unifying two types
+    decomposes their difference into at most [k - 1] transpositions
+    (executed by Algorithm 1). *)
+
+type t
+(** A permutation of [{0..k-1}]; [apply p i] is the image of [i]. *)
+
+val identity : int -> t
+val of_array : int array -> t
+(** @raise Invalid_argument if the array is not a permutation. *)
+
+val to_array : t -> int array
+val size : t -> int
+val apply : t -> int -> int
+val compose : t -> t -> t
+(** [compose p q] applies [q] first: [apply (compose p q) i = apply p (apply q i)]. *)
+
+val inverse : t -> t
+val equal : t -> t -> bool
+
+val transposition : int -> int -> int -> t
+(** [transposition k i j] swaps [i] and [j] in [{0..k-1}]. *)
+
+val transposition_decomposition : src:t -> dst:t -> (int * int) list
+(** A list of at most [k - 1] color swaps [(c1, c2)] such that applying
+    them to [src] in order (each swap exchanging the two {e colors} in
+    the permutation's image) yields [dst]. *)
+
+val all : int -> t list
+(** All [k!] permutations; keep [k] small. *)
+
+val pp : Format.formatter -> t -> unit

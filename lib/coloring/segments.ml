@@ -1,0 +1,50 @@
+type segment = {
+  start_index : int;
+  stop_index : int;
+  first_color : int;
+  last_color : int;
+}
+
+let decompose colors path =
+  let nodes = Array.of_list path in
+  let len = Array.length nodes in
+  let out = ref [] in
+  let start = ref (-1) in
+  let flush stop =
+    if !start >= 0 then begin
+      out :=
+        {
+          start_index = !start;
+          stop_index = stop;
+          first_color = colors.(nodes.(!start));
+          last_color = colors.(nodes.(stop));
+        }
+        :: !out;
+      start := -1
+    end
+  in
+  for i = 0 to len - 1 do
+    if colors.(nodes.(i)) = Bvalue.special then flush (i - 1)
+    else if !start < 0 then start := i
+  done;
+  flush (len - 1);
+  List.rev !out
+
+let transition_counts colors path =
+  List.fold_left
+    (fun (plus, minus) seg ->
+      match (seg.first_color, seg.last_color) with
+      | 1, 0 -> (plus + 1, minus)
+      | 0, 1 -> (plus, minus + 1)
+      | _ -> (plus, minus))
+    (0, 0) (decompose colors path)
+
+let b_via_segments colors path =
+  let plus, minus = transition_counts colors path in
+  plus - minus
+
+let regions g colors =
+  let keep = ref [] in
+  Grid_graph.Graph.iter_nodes g (fun v ->
+      if colors.(v) <> Bvalue.special then keep := v :: !keep);
+  Grid_graph.Components.components_within g !keep

@@ -1,0 +1,38 @@
+(** The transition-counting reading of the b-value (Section 3.1's
+    intuition, Figures 3 and 4).
+
+    In a proper 3-coloring, a directed path decomposes into maximal
+    special-color-free segments separated by special-colored nodes
+    (color 2 here, color 3 in the paper).  On a special-free segment the
+    colors alternate between 0 and 1, so its a-values telescope to
+    [first - last]; hence
+
+    [b(P) = #(segments from 1 to 0) - #(segments from 0 to 1)],
+
+    the paper's "difference between the number of occurrences of
+    3->2->...->1->3 and 3->1->...->2->3".  This module computes the
+    decomposition and the counts so the identity can be property-tested,
+    and extracts the color-{0,1} {e regions} that the special color cuts
+    a grid into. *)
+
+type segment = {
+  start_index : int;  (** index into the path of the segment's first node *)
+  stop_index : int;  (** index of the segment's last node *)
+  first_color : int;  (** in {0, 1} *)
+  last_color : int;  (** in {0, 1} *)
+}
+
+val decompose : Bvalue.colors -> Grid_graph.Walk.t -> segment list
+(** Maximal special-free segments of the path, in order. *)
+
+val transition_counts : Bvalue.colors -> Grid_graph.Walk.t -> int * int
+(** [(plus, minus)]: segments telescoping [1 -> 0] and [0 -> 1].
+    Segments with equal endpoints count in neither. *)
+
+val b_via_segments : Bvalue.colors -> Grid_graph.Walk.t -> int
+(** [plus - minus] — equals {!Bvalue.b_path} on properly colored paths
+    (property-tested), which is the content of the Section 3.1 intuition. *)
+
+val regions : Grid_graph.Graph.t -> Bvalue.colors -> Grid_graph.Graph.node list list
+(** Connected components of the non-special-colored nodes: the "regions"
+    that the special color separates (Figure 3). *)

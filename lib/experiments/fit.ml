@@ -1,0 +1,27 @@
+type line = { slope : float; intercept : float; r_squared : float }
+
+let fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.fit: need at least 2 points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let mean_y = sy /. nf in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.)) 0. points in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) -> a +. ((y -. (slope *. x) -. intercept) ** 2.))
+      0. points
+  in
+  { slope; intercept; r_squared = 1. -. (ss_res /. ss_tot) }
+
+let fit_log_x points = fit (List.map (fun (x, y) -> (log x /. log 2., y)) points)
+
+let pp ppf l =
+  Format.fprintf ppf "slope=%.3f intercept=%.3f R^2=%.3f" l.slope l.intercept
+    l.r_squared

@@ -1,0 +1,62 @@
+let distances_from g sources =
+  let dist = Array.make (Graph.n g) max_int in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let distance g u v =
+  let dist = distances_from g [ u ] in
+  dist.(v)
+
+let ball g us t =
+  let dist = distances_from g us in
+  Graph.fold_nodes g ~init:[] ~f:(fun acc v ->
+      if dist.(v) <= t then v :: acc else acc)
+  |> List.rev
+
+let eccentricity g v =
+  let dist = distances_from g [ v ] in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Bfs.eccentricity: disconnected graph"
+      else max acc d)
+    0 dist
+
+let shortest_path g u v =
+  let dist = distances_from g [ u ] in
+  if dist.(v) = max_int then None
+  else begin
+    (* Walk back from [v] along strictly decreasing distances. *)
+    let rec back w acc =
+      if w = u then w :: acc
+      else
+        let prev =
+          Array.fold_left
+            (fun found x ->
+              match found with
+              | Some _ -> found
+              | None -> if dist.(x) = dist.(w) - 1 then Some x else None)
+            None (Graph.neighbors g w)
+        in
+        match prev with
+        | Some p -> back p (w :: acc)
+        | None -> assert false
+    in
+    Some (back v [])
+  end

@@ -1,0 +1,25 @@
+(** Breadth-first search: distances, balls and eccentricities.
+
+    The paper's models are phrased in terms of the radius-[t] neighborhood
+    [B(U, t)] of a node set [U] (Section 2); {!ball} is its direct
+    implementation. *)
+
+val distances_from : Graph.t -> Graph.node list -> int array
+(** [distances_from g sources] is the array of hop distances from the
+    closest source; unreachable nodes get [max_int]. *)
+
+val distance : Graph.t -> Graph.node -> Graph.node -> int
+(** Pairwise distance; [max_int] when disconnected. *)
+
+val ball : Graph.t -> Graph.node list -> int -> Graph.node list
+(** [ball g us t] is [B(us, t)]: every node within distance [t] of some
+    node of [us], in increasing node order.  [ball g us 0] is [us]
+    itself (sorted, deduplicated). *)
+
+val eccentricity : Graph.t -> Graph.node -> int
+(** Largest finite distance from the node; 0 on a single reachable node.
+    @raise Invalid_argument if the graph is disconnected from the node. *)
+
+val shortest_path : Graph.t -> Graph.node -> Graph.node -> Graph.node list option
+(** [shortest_path g u v] is a shortest [u]-[v] path as a node list
+    starting with [u] and ending with [v], or [None] if disconnected. *)

@@ -1,0 +1,19 @@
+(** Bipartiteness testing and 2-coloring.
+
+    The unique bipartition of a connected bipartite graph is the engine of
+    the Akbari et al. upper bound (Section 5.1.1): every connected bipartite
+    graph has a locally inferable unique 2-coloring with radius 0. *)
+
+val two_color : Graph.t -> int array option
+(** [two_color g] is [Some side] with [side.(v)] in [{0, 1}] describing a
+    proper 2-coloring, or [None] if the graph has an odd cycle.  Each
+    connected component is colored independently, with its smallest node
+    on side 0 — so the result is canonical per component. *)
+
+val is_bipartite : Graph.t -> bool
+(** Whether the graph admits a proper 2-coloring. *)
+
+val odd_cycle : Graph.t -> Graph.node list option
+(** [odd_cycle g] is a witness odd closed walk when the graph is not
+    bipartite (a cycle as a node list without the repeated endpoint);
+    [None] when bipartite. *)

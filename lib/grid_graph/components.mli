@@ -1,0 +1,19 @@
+(** Connected components of a graph or of an induced node subset. *)
+
+val components : Graph.t -> Graph.node list list
+(** All connected components, each a sorted node list; components are
+    ordered by their smallest node. *)
+
+val component_of : Graph.t -> Graph.node -> Graph.node list
+(** The sorted component containing the given node. *)
+
+val is_connected : Graph.t -> bool
+(** Whether the whole graph is one component ([true] on <= 1 nodes). *)
+
+val components_within : Graph.t -> Graph.node list -> Graph.node list list
+(** [components_within g subset] is the connected components of the
+    subgraph of [g] induced by [subset]; used to split a revealed region
+    into the "groups" of Section 5.1. *)
+
+val is_connected_subset : Graph.t -> Graph.node list -> bool
+(** Whether the induced subgraph on the (non-empty) subset is connected. *)

@@ -1,0 +1,48 @@
+type t = {
+  mutable size : int;
+  mutable adj : (int, unit) Hashtbl.t array;  (* neighbor sets, grown by doubling *)
+}
+
+let create () = { size = 0; adj = Array.init 16 (fun _ -> Hashtbl.create 4) }
+
+let ensure_capacity g wanted =
+  let cap = Array.length g.adj in
+  if wanted > cap then begin
+    let fresh = Array.init (max wanted (2 * cap)) (fun _ -> Hashtbl.create 4) in
+    Array.blit g.adj 0 fresh 0 cap;
+    g.adj <- fresh
+  end
+
+let add_node g =
+  ensure_capacity g (g.size + 1);
+  let v = g.size in
+  g.size <- g.size + 1;
+  v
+
+let check g v =
+  if v < 0 || v >= g.size then invalid_arg "Dyn_graph: unknown handle"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u = v then invalid_arg "Dyn_graph: self-loop";
+  Hashtbl.replace g.adj.(u) v ();
+  Hashtbl.replace g.adj.(v) u ()
+
+let n g = g.size
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.adj.(u) v
+
+let neighbors g v =
+  check g v;
+  Hashtbl.fold (fun w () acc -> w :: acc) g.adj.(v) []
+
+let snapshot g =
+  let edges = ref [] in
+  for u = 0 to g.size - 1 do
+    Hashtbl.iter (fun v () -> if u < v then edges := (u, v) :: !edges) g.adj.(u)
+  done;
+  Graph.create ~n:g.size ~edges:!edges

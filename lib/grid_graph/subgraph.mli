@@ -1,0 +1,23 @@
+(** Induced subgraphs with explicit node renaming.
+
+    The Online-LOCAL executor repeatedly presents the algorithm with the
+    subgraph induced by the revealed region [G_i = G[∪ B(v_j, T)]]
+    (Section 2.2).  An {!embedding} records how the subgraph's dense
+    node handles map back into the host graph. *)
+
+type embedding = {
+  graph : Graph.t;  (** the induced subgraph, nodes renumbered densely *)
+  to_host : Graph.node array;  (** subgraph node -> host node *)
+  of_host : (Graph.node, Graph.node) Hashtbl.t;  (** host node -> subgraph node *)
+}
+
+val induced : Graph.t -> Graph.node list -> embedding
+(** [induced g subset] is the subgraph of [g] induced by [subset]
+    (deduplicated, sorted) together with both direction maps. *)
+
+val of_host_exn : embedding -> Graph.node -> Graph.node
+(** Map a host node into the subgraph.
+    @raise Not_found if the host node is not in the subgraph. *)
+
+val mem_host : embedding -> Graph.node -> bool
+(** Whether a host node belongs to the subgraph. *)

@@ -1,0 +1,30 @@
+type t = { parent : int array; set_size : int array; mutable sets : int }
+
+let create size =
+  { parent = Array.init size (fun i -> i); set_size = Array.make size 1; sets = size }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then ra
+  else begin
+    let big, small =
+      if uf.set_size.(ra) >= uf.set_size.(rb) then (ra, rb) else (rb, ra)
+    in
+    uf.parent.(small) <- big;
+    uf.set_size.(big) <- uf.set_size.(big) + uf.set_size.(small);
+    uf.sets <- uf.sets - 1;
+    big
+  end
+
+let same uf a b = find uf a = find uf b
+let size uf x = uf.set_size.(find uf x)
+let count uf = uf.sets

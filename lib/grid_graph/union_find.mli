@@ -1,0 +1,25 @@
+(** Classic union-find (disjoint set forest) with path compression and
+    union by size.  Used by the models layer to maintain the "groups"
+    (connected components of the revealed region) that the Online-LOCAL
+    algorithms of Section 5 merge as the adversary reveals nodes. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> int
+(** [union uf a b] merges the two sets and returns the representative of
+    the merged set.  Idempotent when [a] and [b] are already together. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements are in the same set. *)
+
+val size : t -> int -> int
+(** Number of elements in the set containing the given element. *)
+
+val count : t -> int
+(** Current number of distinct sets. *)

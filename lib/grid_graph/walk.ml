@@ -1,0 +1,49 @@
+type t = Graph.node list
+
+let rec consecutive_ok g = function
+  | a :: (b :: _ as rest) -> Graph.mem_edge g a b && consecutive_ok g rest
+  | [ _ ] | [] -> true
+
+let is_walk g w = consecutive_ok g w
+
+let is_path g w =
+  is_walk g w && List.length (List.sort_uniq compare w) = List.length w
+
+let is_cycle g w =
+  match w with
+  | a :: _ :: _ :: _ ->
+      is_path g w
+      &&
+      let last = List.nth w (List.length w - 1) in
+      Graph.mem_edge g last a
+  | _ -> false
+
+let length w = max 0 (List.length w - 1)
+let cycle_length w = List.length w
+let reverse = List.rev
+
+let arcs w =
+  let rec go = function
+    | a :: (b :: _ as rest) -> (a, b) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go w
+
+let cycle_arcs w =
+  match w with
+  | [] -> []
+  | first :: _ ->
+      let rec go = function
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [ last ] -> [ (last, first) ]
+        | [] -> []
+      in
+      go w
+
+let concat p q =
+  match (List.rev p, q) with
+  | [], _ -> q
+  | _, [] -> p
+  | last :: _, start :: tail ->
+      if last <> start then invalid_arg "Walk.concat: endpoints differ"
+      else p @ tail

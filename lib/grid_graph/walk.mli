@@ -1,0 +1,44 @@
+(** Directed walks: the carriers of the b-value machinery of Section 3.
+
+    A walk is a node sequence in which consecutive nodes are adjacent in
+    the host graph.  The paper's "directed path" and "directed cycle" are
+    walks; simplicity (no repeated nodes) is checked separately because
+    Lemma 3.5 holds for arbitrary walks while Lemma 3.4 needs simple
+    cycles. *)
+
+type t = Graph.node list
+(** A walk as the list of visited nodes, in order.  A cycle of length
+    [l] is represented by its [l] distinct nodes; the closing edge from
+    the last node back to the first is implicit. *)
+
+val is_walk : Graph.t -> t -> bool
+(** Whether consecutive nodes are adjacent ([true] for walks of <= 1
+    node). *)
+
+val is_path : Graph.t -> t -> bool
+(** A walk with no repeated node. *)
+
+val is_cycle : Graph.t -> t -> bool
+(** At least 3 distinct nodes, consecutive ones adjacent, and the last
+    adjacent to the first. *)
+
+val length : t -> int
+(** Number of edges in a path ([length p = |p| - 1], 0 for empty or
+    singleton walks). *)
+
+val cycle_length : t -> int
+(** Number of edges in a cycle, i.e. the number of nodes. *)
+
+val reverse : t -> t
+(** The same walk traversed backwards. *)
+
+val arcs : t -> (Graph.node * Graph.node) list
+(** Consecutive (directed) arcs of a path. *)
+
+val cycle_arcs : t -> (Graph.node * Graph.node) list
+(** Consecutive arcs of a cycle, including the closing arc. *)
+
+val concat : t -> t -> t
+(** [concat p q] glues two paths where [p] ends at the node [q] starts
+    at; the shared node appears once.
+    @raise Invalid_argument if the endpoint and start differ. *)

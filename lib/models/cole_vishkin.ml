@@ -1,0 +1,105 @@
+type trace = { colors : int array; rounds : int; cv_iterations : int }
+
+let log_star n =
+  let rec go n acc = if n <= 1 then acc else go (int_of_float (log (float_of_int n) /. log 2.)) (acc + 1) in
+  go n 0
+
+(* Lowest bit position at which a and b differ (a <> b). *)
+let lowest_diff_bit a b =
+  let x = a lxor b in
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+let cv_round colors succ =
+  Array.mapi
+    (fun v c ->
+      let other = match succ.(v) with Some s -> colors.(s) | None -> c lxor 1 in
+      let i = lowest_diff_bit c other in
+      (2 * i) + ((c lsr i) land 1))
+    colors
+
+let path_three_coloring ~ids ~succ =
+  let n = Array.length ids in
+  if Array.length succ <> n then invalid_arg "Cole_vishkin: length mismatch";
+  let pred = Array.make n None in
+  Array.iteri (fun v -> function Some s -> pred.(s) <- Some v | None -> ()) succ;
+  let colors = ref (Array.copy ids) in
+  let rounds = ref 0 in
+  (* Bit-reduce until the palette stabilizes at {0..5}. *)
+  let max_color a = Array.fold_left max 0 a in
+  while max_color !colors > 5 do
+    colors := cv_round !colors succ;
+    incr rounds
+  done;
+  (* One more round can still help (6-color fixpoint); then shed colors
+     5, 4, 3 one independent class per round. *)
+  List.iter
+    (fun shed ->
+      incr rounds;
+      let current = !colors in
+      colors :=
+        Array.mapi
+          (fun v c ->
+            if c <> shed then c
+            else begin
+              let taken =
+                List.filter_map
+                  (fun o -> Option.map (fun u -> current.(u)) o)
+                  [ succ.(v); pred.(v) ]
+              in
+              let rec first x = if List.mem x taken then first (x + 1) else x in
+              first 0
+            end)
+          current)
+    [ 5; 4; 3 ];
+  (!colors, !rounds)
+
+let five_color ?ids grid =
+  (match Topology.Grid2d.wrap grid with
+  | Topology.Grid2d.Simple -> ()
+  | Topology.Grid2d.Cylindrical | Topology.Grid2d.Toroidal ->
+      invalid_arg "Cole_vishkin.five_color: simple grids only");
+  let ids = match ids with Some f -> f | None -> fun v -> v + 1 in
+  let g = Topology.Grid2d.graph grid in
+  let n = Grid_graph.Graph.n g in
+  let rows = Topology.Grid2d.rows grid and cols = Topology.Grid2d.cols grid in
+  let id_array = Array.init n ids in
+  let horizontal_succ =
+    Array.init n (fun v ->
+        let r, c = Topology.Grid2d.coords grid v in
+        if c + 1 < cols then Some (Topology.Grid2d.node grid ~row:r ~col:(c + 1))
+        else None)
+  in
+  let vertical_succ =
+    Array.init n (fun v ->
+        let r, c = Topology.Grid2d.coords grid v in
+        if r + 1 < rows then Some (Topology.Grid2d.node grid ~row:(r + 1) ~col:c)
+        else None)
+  in
+  let h_colors, h_rounds = path_three_coloring ~ids:id_array ~succ:horizontal_succ in
+  let v_colors, v_rounds = path_three_coloring ~ids:id_array ~succ:vertical_succ in
+  (* The two forests run in parallel in LOCAL; rounds = max, not sum. *)
+  let cv_iterations = max h_rounds v_rounds - 3 in
+  let paired = Array.init n (fun v -> (3 * h_colors.(v)) + v_colors.(v)) in
+  (* Reduce 9 -> 5: recolor classes 8..5, each an independent set. *)
+  let colors = ref paired in
+  let extra = ref 0 in
+  List.iter
+    (fun shed ->
+      incr extra;
+      let current = !colors in
+      colors :=
+        Array.mapi
+          (fun v c ->
+            if c <> shed then c
+            else begin
+              let taken =
+                Array.to_list (Grid_graph.Graph.neighbors g v)
+                |> List.map (fun u -> current.(u))
+              in
+              let rec first x = if List.mem x taken then first (x + 1) else x in
+              first 0
+            end)
+          current)
+    [ 8; 7; 6; 5 ];
+  { colors = !colors; rounds = max h_rounds v_rounds + !extra; cv_iterations }

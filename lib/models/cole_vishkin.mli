@@ -1,0 +1,38 @@
+(** Cole-Vishkin color reduction on grids: a proper 5-coloring in
+    O(log* n) LOCAL rounds.
+
+    Context for the complexity landscape the paper navigates: on grids,
+    (Delta+1) = 5 colors take Theta(log* n) rounds in LOCAL, while 3
+    colors take Theta(sqrt n) (and Theta(log n) in Online-LOCAL —
+    Theorem 1).  The paper's remark on the omega(log* n)-o(sqrt n) gap
+    [CKP19; CP19] is exactly the chasm between this module and the rest
+    of the library.
+
+    The construction: a grid's edges split into horizontal and vertical
+    path forests.  Cole-Vishkin bit reduction 3-colors each forest's
+    paths in log* n + O(1) rounds (each round, a node's new color depends
+    only on its own and its path-successor's current color); the color
+    pair is a proper 9-coloring of the grid, reduced to 5 greedily, one
+    color class (an independent set) per round. *)
+
+type trace = {
+  colors : int array;  (** the final proper 5-coloring *)
+  rounds : int;  (** synchronous LOCAL rounds consumed *)
+  cv_iterations : int;  (** bit-reduction iterations until 6 colors *)
+}
+
+val five_color : ?ids:(Grid_graph.Graph.node -> int) -> Topology.Grid2d.t -> trace
+(** Run the algorithm on a simple grid (wrapped grids' odd cycles break
+    the path decomposition, so they are rejected).  [ids] supplies the
+    initial coloring — any assignment injective on each row and column
+    path (default: node + 1).
+    @raise Invalid_argument on a wrapped grid. *)
+
+val path_three_coloring : ids:int array -> succ:int option array -> int array * int
+(** The inner engine, exposed for direct testing: proper 3-coloring of a
+    union of disjoint paths given by successor pointers ([succ.(v)] is
+    the next node along [v]'s path).  [ids] must be injective along each
+    path.  Returns the coloring and the number of rounds. *)
+
+val log_star : int -> int
+(** The iterated logarithm (base 2), for the round-bound assertions. *)

@@ -1,0 +1,93 @@
+(** The Dynamic-LOCAL and Dynamic-LOCAL± models (Section 1).
+
+    The adversary constructs the graph dynamically; after each
+    modification an algorithm with locality [T] may adjust the solution
+    only within the T-radius neighborhood of the point of change.
+    [Dynamic-LOCAL] is the incremental setting (node and edge
+    insertions); [Dynamic-LOCAL±] also allows deletions.  Both sit
+    between LOCAL and Online-LOCAL in the paper's simulation sandwich, so
+    the Omega(log n) grid bound (Theorem 1 + Corollary 1.2) applies to
+    them; here they are executable so the upper-bound side — maintaining
+    a proper coloring under updates with small locality — can be
+    exercised and measured.
+
+    The executor maintains a mutable labeling.  After every update it
+    (a) hands the algorithm a view centered at the point of change,
+    (b) applies the returned relabelings, rejecting any outside the
+    T-ball of the change, and (c) audits that every present node is
+    labeled within the palette and no monochromatic edge exists — the
+    solution must be valid {e after every step}, which is what
+    distinguishes the dynamic setting from the online one. *)
+
+type update =
+  | Add_node of { edges : Grid_graph.Graph.node list }
+      (** insert a fresh node adjacent to the listed existing nodes; the
+          new node's handle is the number of nodes inserted so far *)
+  | Add_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
+  | Remove_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
+      (** Dynamic-LOCAL± only *)
+  | Remove_node of Grid_graph.Graph.node  (** Dynamic-LOCAL± only; detaches all its edges *)
+
+type t = {
+  name : string;
+  locality : n:int -> int;
+  react : n:int -> palette:int -> View.t -> (Grid_graph.Graph.node * int) list;
+      (** [view.target] is the point of change (for edge updates, one
+          endpoint; the other is adjacent — or just detached).  The view
+          shows the T-ball around the change in the {e current} graph,
+          with current labels as outputs.  Returns relabelings to apply;
+          nodes outside the ball are rejected. *)
+}
+
+type violation =
+  | Improper of Grid_graph.Graph.node * Grid_graph.Graph.node
+  | Unlabeled of Grid_graph.Graph.node
+  | Out_of_palette of { node : Grid_graph.Graph.node; color : int }
+  | Nonlocal_relabel of { change : Grid_graph.Graph.node; node : Grid_graph.Graph.node }
+
+type outcome = {
+  violation : (int * violation) option;  (** step index and first violation *)
+  labels : (Grid_graph.Graph.node * int) list;  (** final labeling of live nodes *)
+  steps : int;
+  relabelings : int;  (** total label writes performed by the algorithm *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run :
+  ?allow_deletions:bool ->
+  n_hint:int ->
+  palette:int ->
+  algorithm:t ->
+  updates:update list ->
+  unit ->
+  outcome
+(** Drive the algorithm through the update sequence.  [n_hint] is the
+    final node count announced to the algorithm (models know [n]);
+    [allow_deletions:false] (the default, plain Dynamic-LOCAL) makes
+    deletion updates raise [Invalid_argument].  Stops at the first
+    violation. *)
+
+val greedy_repair : t
+(** Locality-1 maintenance: label the changed node (or the endpoint of a
+    new conflicting edge) with the smallest color absent from its
+    neighborhood; answers color 0 when stuck.  Maintains a proper
+    (Delta+1)-coloring under arbitrary updates — the dynamic counterpart
+    of SLOCAL greedy. *)
+
+val bfs_repair : radius:int -> t
+(** Conflict repair by local search: if the change created a conflict,
+    recolor greedily outward within the given radius.  Stronger than
+    {!greedy_repair} on tight palettes, still defeated in principle at
+    radius o(log n) on grids (Corollary 1.2). *)
+
+val incremental_grid_updates : Topology.Grid2d.t -> order:Grid_graph.Graph.node list -> update list
+(** Build a grid node-by-node in the given order: each update inserts
+    one grid node with edges to its already-inserted neighbors.  Handles
+    in the updates coincide with positions in [order]; use
+    {!relabel_to_host} to map back. *)
+
+val relabel_to_host :
+  order:Grid_graph.Graph.node list -> (Grid_graph.Graph.node * int) list ->
+  (Grid_graph.Graph.node * int) list
+(** Translate dynamic handles (insertion ranks) back to host nodes. *)

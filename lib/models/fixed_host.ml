@@ -1,0 +1,161 @@
+open Grid_graph
+
+type t = {
+  host : Graph.t;
+  palette : int;
+  mutable radius : int;  (* locality + oracle radius; fixed after [start] *)
+  mutable instance : Algorithm.instance;  (* fixed after [start] *)
+  region : Dyn_graph.t;
+  handle_of_host : (Graph.node, Graph.node) Hashtbl.t;
+  mutable host_of_handle : Graph.node array;  (* grown by doubling *)
+  ids : Graph.node -> int;
+  hints : Graph.node -> View.hint option;  (* by host node *)
+  coloring : Colorings.Coloring.t;
+  presented_set : (Graph.node, unit) Hashtbl.t;
+  mutable steps : int;
+  mutable max_view : int;
+  mutable first_violation : Run_stats.violation option;
+}
+
+let to_host t handle = t.host_of_handle.(handle)
+
+let record_handle t host_node =
+  let handle = Dyn_graph.add_node t.region in
+  if handle >= Array.length t.host_of_handle then begin
+    let bigger = Array.make (max 16 (2 * Array.length t.host_of_handle)) (-1) in
+    Array.blit t.host_of_handle 0 bigger 0 (Array.length t.host_of_handle);
+    t.host_of_handle <- bigger
+  end;
+  t.host_of_handle.(handle) <- host_node;
+  Hashtbl.replace t.handle_of_host host_node handle;
+  handle
+
+let start ?ids ?hints ?oracle ~host ~palette ~algorithm () =
+  let n = Graph.n host in
+  let ids = match ids with Some f -> f | None -> fun v -> v + 1 in
+  let hints = match hints with Some f -> f | None -> fun _ -> None in
+  let locality = algorithm.Algorithm.locality ~n in
+  let t =
+    {
+      host;
+      palette;
+      radius = locality;
+      instance = (fun _ -> assert false);
+      region = Dyn_graph.create ();
+      handle_of_host = Hashtbl.create 256;
+      host_of_handle = Array.make 16 (-1);
+      ids;
+      hints;
+      coloring = Colorings.Coloring.create n;
+      presented_set = Hashtbl.create 256;
+      steps = 0;
+      max_view = 0;
+      first_violation = None;
+    }
+  in
+  let oracle = Option.map (fun mk -> mk ~to_host:(to_host t)) oracle in
+  t.radius <- locality + (match oracle with Some o -> o.Oracle.radius | None -> 0);
+  t.instance <- algorithm.Algorithm.instantiate ~n ~palette ~oracle;
+  t
+
+let reveal_ball t center =
+  (* Extend the region with the host ball; returns new handles in order. *)
+  let ball = Bfs.ball t.host [ center ] t.radius in
+  let fresh = List.filter (fun v -> not (Hashtbl.mem t.handle_of_host v)) ball in
+  let fresh_handles = List.map (fun v -> record_handle t v) fresh in
+  List.iter
+    (fun v ->
+      let hv = Hashtbl.find t.handle_of_host v in
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt t.handle_of_host w with
+          | Some hw -> Dyn_graph.add_edge t.region hv hw
+          | None -> ())
+        (Graph.neighbors t.host v))
+    fresh;
+  fresh_handles
+
+let make_view t ~target ~new_nodes =
+  {
+    View.n_total = Graph.n t.host;
+    palette = t.palette;
+    node_count = (fun () -> Dyn_graph.n t.region);
+    neighbors = (fun h -> Dyn_graph.neighbors t.region h);
+    mem_edge = (fun a b -> Dyn_graph.mem_edge t.region a b);
+    id = (fun h -> t.ids (to_host t h));
+    output = (fun h -> Colorings.Coloring.get t.coloring (to_host t h));
+    hint = (fun h -> t.hints (to_host t h));
+    target;
+    new_nodes;
+    step = t.steps;
+  }
+
+let present t v =
+  if Hashtbl.mem t.presented_set v then
+    invalid_arg (Printf.sprintf "Fixed_host.present: node %d presented twice" v);
+  Hashtbl.replace t.presented_set v ();
+  t.steps <- t.steps + 1;
+  let new_nodes = reveal_ball t v in
+  t.max_view <- max t.max_view (Dyn_graph.n t.region);
+  let target = Hashtbl.find t.handle_of_host v in
+  let color =
+    match t.instance (make_view t ~target ~new_nodes) with
+    | c -> c
+    | exception exn ->
+        if t.first_violation = None then
+          t.first_violation <-
+            Some
+              (Run_stats.Algorithm_failure { node = v; message = Printexc.to_string exn });
+        -1
+  in
+  (if t.first_violation = None then
+     if color < 0 || color >= t.palette then
+       t.first_violation <- Some (Run_stats.Palette_overflow { node = v; color })
+     else Colorings.Coloring.set t.coloring v color);
+  color
+
+let coloring t = t.coloring
+
+let revealed_host_nodes t =
+  List.init (Dyn_graph.n t.region) (fun h -> t.host_of_handle.(h))
+
+let audit t =
+  let violation =
+    match t.first_violation with
+    | Some _ as v -> v
+    | None ->
+        Option.map
+          (fun (u, v) -> Run_stats.Monochromatic_edge (u, v))
+          (Colorings.Coloring.find_monochromatic_edge t.host t.coloring)
+  in
+  {
+    Run_stats.coloring = t.coloring;
+    violation;
+    presented = t.steps;
+    revealed = Dyn_graph.n t.region;
+    max_view_size = t.max_view;
+  }
+
+let run ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
+  let t = start ?ids ?hints ?oracle ~host ~palette ~algorithm () in
+  let rec go = function
+    | [] -> ()
+    | v :: rest ->
+        let (_ : int) = present t v in
+        if t.first_violation = None then go rest
+  in
+  go order;
+  audit t
+
+let orders ~all = function
+  | `Sequential -> List.init (Graph.n all) (fun i -> i)
+  | `Random seed ->
+      let state = Random.State.make [| seed; Graph.n all |] in
+      let a = Array.init (Graph.n all) (fun i -> i) in
+      for i = Array.length a - 1 downto 1 do
+        let j = Random.State.int state (i + 1) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      Array.to_list a

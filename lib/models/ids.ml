@@ -1,0 +1,45 @@
+let sequential v = v + 1
+
+(* SplitMix64-style mixing, reduced mod n^3; collisions resolved by
+   linear probing over the target range, deterministically. *)
+let salted ~seed ~n =
+  let range = max 1 (n * n * n) in
+  let mix x =
+    let x = Int64.of_int (x + seed) in
+    let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+    let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+    Int64.to_int (Int64.logxor x (Int64.shift_right_logical x 31)) land max_int
+  in
+  let assigned = Hashtbl.create (2 * n) in
+  let memo = Hashtbl.create (2 * n) in
+  fun v ->
+    match Hashtbl.find_opt memo v with
+    | Some id -> id
+    | None ->
+        let rec place candidate =
+          let candidate = candidate mod range in
+          if Hashtbl.mem assigned candidate then place (candidate + 1)
+          else begin
+            Hashtbl.replace assigned candidate ();
+            candidate + 1
+          end
+        in
+        let id = place (mix v) in
+        Hashtbl.replace memo v id;
+        id
+
+let reversed ~n v = n - v
+
+let all_distinct ids ~n =
+  let seen = Hashtbl.create (2 * n) in
+  let rec go v =
+    if v >= n then true
+    else
+      let id = ids v in
+      if id <= 0 || Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.replace seen id ();
+        go (v + 1)
+      end
+  in
+  go 0

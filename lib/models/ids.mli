@@ -1,0 +1,21 @@
+(** Identifier assignment schemes.
+
+    Both models let the adversary choose the unique identifiers from
+    [{1 .. poly(n)}] (Section 2.2).  Executors take an [ids] function;
+    these are the stock choices, including adversarial ones that stress
+    identifier-dependent algorithms such as Cole-Vishkin. *)
+
+val sequential : Grid_graph.Graph.node -> int
+(** [v + 1] — the executors' default. *)
+
+val salted : seed:int -> n:int -> Grid_graph.Graph.node -> int
+(** A seeded pseudo-random permutation-ish injection into [{1 .. n^3}]:
+    distinct nodes get distinct identifiers (collisions resolved
+    deterministically), with no correlation to adjacency. *)
+
+val reversed : n:int -> Grid_graph.Graph.node -> int
+(** [n - v] — descending, for order-sensitivity tests. *)
+
+val all_distinct : (Grid_graph.Graph.node -> int) -> n:int -> bool
+(** Sanity check used by the tests: the scheme is injective on [0..n-1]
+    and positive. *)

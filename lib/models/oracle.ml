@@ -1,0 +1,64 @@
+open Grid_graph
+
+type t = {
+  parts : int;
+  radius : int;
+  query : View.t -> Graph.node list -> int array;
+}
+
+let canonicalize raw handles =
+  let order = List.mapi (fun i h -> (h, i)) handles in
+  let order = List.sort compare order in
+  let rename = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.iter
+    (fun (_, i) ->
+      let part = raw.(i) in
+      if not (Hashtbl.mem rename part) then begin
+        Hashtbl.replace rename part !next;
+        incr next
+      end)
+    order;
+  Array.map (fun part -> Hashtbl.find rename part) raw
+
+let of_canonical_coloring ~parts ~radius ~to_host ~host_coloring =
+  let query _view handles =
+    let raw =
+      Array.of_list (List.map (fun h -> host_coloring.(to_host h)) handles)
+    in
+    canonicalize raw handles
+  in
+  { parts; radius; query }
+
+let bipartition =
+  let query (view : View.t) handles =
+    let index = Hashtbl.create (List.length handles * 2 + 1) in
+    List.iteri (fun i h -> Hashtbl.replace index h i) handles;
+    let side = Array.make (List.length handles) (-1) in
+    (match handles with
+    | [] -> ()
+    | start :: _ ->
+        let queue = Queue.create () in
+        side.(Hashtbl.find index start) <- 0;
+        Queue.add start queue;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          let su = side.(Hashtbl.find index u) in
+          List.iter
+            (fun w ->
+              match Hashtbl.find_opt index w with
+              | None -> ()
+              | Some j ->
+                  if side.(j) = -1 then begin
+                    side.(j) <- 1 - su;
+                    Queue.add w queue
+                  end
+                  else if side.(j) = su then
+                    invalid_arg "Oracle.bipartition: odd cycle in queried set")
+            (view.View.neighbors u)
+        done);
+    if Array.exists (( = ) (-1)) side then
+      invalid_arg "Oracle.bipartition: queried set not connected";
+    canonicalize side handles
+  in
+  { parts = 2; radius = 0; query }

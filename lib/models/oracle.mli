@@ -1,0 +1,42 @@
+(** The partition oracle [O] of Section 5.1.2.
+
+    For a graph with a locally inferable unique k-coloring of radius [l]
+    (Definition 1.4), the oracle maps any connected set [C] of revealed
+    handles to the unique k-partition of [C], with part indices
+    canonicalized per query (the part of the smallest handle is 0, the
+    next distinct part is 1, and so on).  Canonicalization matters: the
+    oracle must not leak a globally consistent part labeling, only the
+    partition up to permutation — exactly what Definition 1.4 offers.
+
+    Implementing the oracle costs an extra [l] locality; executors
+    account for it by revealing balls of radius [locality + radius]. *)
+
+type t = {
+  parts : int;  (** k *)
+  radius : int;  (** l *)
+  query : View.t -> Grid_graph.Graph.node list -> int array;
+      (** [query view c] assigns a part in [{0..k-1}] to each handle of
+          the connected set [c] (result indexed like the input list). *)
+}
+
+val canonicalize : int array -> Grid_graph.Graph.node list -> int array
+(** Rename raw part indices so that, scanning the handle list by
+    increasing handle, the first part seen is 0, the second is 1, ...
+    [canonicalize raw handles] is indexed like [handles], whose raw part
+    of [handles.(i)] is [raw.(i)]. *)
+
+val of_canonical_coloring :
+  parts:int -> radius:int -> to_host:(Grid_graph.Graph.node -> Grid_graph.Graph.node) ->
+  host_coloring:int array -> t
+(** The standard construction: the host topology has a canonical proper
+    k-coloring whose partition is the unique one; the oracle restricts
+    it to the queried set and canonicalizes.  [to_host] maps view
+    handles to host nodes (supplied by the executor). *)
+
+val bipartition : t
+(** The radius-0 oracle for connected bipartite graphs: 2-color the
+    queried set inside the revealed region itself.  Correct whenever the
+    revealed region's components are connected bipartite subgraphs of a
+    bipartite host — no host access needed.
+    @raise Invalid_argument at query time if the set is not connected or
+    not bipartite in the revealed region. *)

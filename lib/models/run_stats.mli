@@ -1,0 +1,35 @@
+(** Outcomes and violation certificates common to all executors.
+
+    Lower-bound adversaries must end a run with a concrete, checkable
+    certificate that the algorithm failed; upper-bound runs must end with
+    none. *)
+
+type violation =
+  | Monochromatic_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
+      (** two adjacent host nodes got the same color *)
+  | Palette_overflow of { node : Grid_graph.Graph.node; color : int }
+      (** the algorithm answered outside [{0 .. palette-1}] *)
+  | Repeated_presentation of Grid_graph.Graph.node
+      (** the reveal order presented a node twice (an adversary bug, not
+          an algorithm failure — executors refuse to continue) *)
+  | Algorithm_failure of { node : Grid_graph.Graph.node; message : string }
+      (** the algorithm raised an exception when asked to color the node
+          — a failure like any other (e.g. the bipartite 3-coloring
+          algorithm fed a non-bipartite host) *)
+
+type outcome = {
+  coloring : Colorings.Coloring.t;  (** indexed by host node *)
+  violation : violation option;  (** first violation discovered, if any *)
+  presented : int;  (** number of presentation steps executed *)
+  revealed : int;  (** number of host nodes revealed (in some ball) *)
+  max_view_size : int;  (** largest revealed-region size at any step *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val succeeded : outcome -> colors:int -> host:Grid_graph.Graph.t -> bool
+(** Whether the run produced a total, proper coloring within the palette:
+    no violation, every node colored, every color < colors, no
+    monochromatic edge.  The explicit rechecks make this the final word
+    even if an executor had a bookkeeping bug. *)

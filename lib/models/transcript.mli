@@ -1,0 +1,30 @@
+(** Run transcripts: record what an Online-LOCAL algorithm saw and
+    answered, step by step, without touching the executors — the
+    algorithm is wrapped, so transcripts work with every executor in the
+    library (fixed-host, virtual-grid, reductions). *)
+
+type step = {
+  index : int;  (** 1-based presentation index *)
+  target_id : int;  (** the presented node's identifier *)
+  new_nodes : int;  (** nodes revealed by this presentation *)
+  region_size : int;  (** revealed-region size after the reveal *)
+  color : int;  (** the algorithm's answer *)
+}
+
+type t
+
+val create : unit -> t
+val steps : t -> step list
+(** Recorded steps, oldest first. *)
+
+val wrap : t -> Algorithm.t -> Algorithm.t
+(** A recording proxy: behaves exactly like the wrapped algorithm. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per step. *)
+
+val to_csv : t -> string
+(** [step,target_id,new_nodes,region_size,color] rows with a header. *)
+
+val summary : t -> string
+(** One-line digest: steps, total reveals, final region, palette use. *)

@@ -1,0 +1,84 @@
+type verdict = {
+  adversary : string;
+  algorithm : string;
+  n : int;
+  defeated : bool;
+  guaranteed : bool;
+  detail : string;
+}
+
+type t = {
+  name : string;
+  description : string;
+  play : n:int -> Models.Algorithm.t -> verdict;
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<v>%s vs %s (n=%d): %s%s@,%s@]" v.adversary v.algorithm v.n
+    (if v.defeated then "DEFEATED" else "survived")
+    (if v.guaranteed then " [guaranteed]" else "")
+    v.detail
+
+let thm1 =
+  {
+    name = "thm1-grid";
+    description = "Lemma 3.6 + cycle closure on an n x n simple grid";
+    play =
+      (fun ~n algorithm ->
+        let t = algorithm.Models.Algorithm.locality ~n:(n * n) in
+        let k = max 1 (Thm1_adversary.recommended_k ~n_side:n ~t) in
+        let r = Thm1_adversary.run ~n_side:n ~k ~algorithm () in
+        {
+          adversary = "thm1-grid";
+          algorithm = algorithm.Models.Algorithm.name;
+          n;
+          defeated =
+            (match r.Thm1_adversary.result with `Defeated _ -> true | `Survived -> false);
+          guaranteed = Thm1_adversary.guaranteed ~t ~k;
+          detail = Format.asprintf "%a" Thm1_adversary.pp_report r;
+        });
+  }
+
+let thm2 wrap name =
+  {
+    name;
+    description = "two-row b-value attack on an n x n wrapped grid (n rounded to odd)";
+    play =
+      (fun ~n algorithm ->
+        let side = if n mod 2 = 0 then n + 1 else n in
+        let r = Thm2_adversary.run ~wrap ~side ~algorithm () in
+        {
+          adversary = name;
+          algorithm = algorithm.Models.Algorithm.name;
+          n = side;
+          defeated =
+            (match r.Thm2_adversary.result with `Defeated _ -> true | `Survived -> false);
+          guaranteed = r.Thm2_adversary.preconditions_met;
+          detail = Format.asprintf "%a" Thm2_adversary.pp_report r;
+        });
+  }
+
+let thm2_torus = thm2 `Toroidal "thm2-torus"
+let thm2_cylinder = thm2 `Cylindrical "thm2-cylinder"
+
+let thm3 =
+  {
+    name = "thm3-gadgets";
+    description = "gadget seam attack on a chain of n gadgets (k = 3)";
+    play =
+      (fun ~n algorithm ->
+        let gadgets = max 3 n in
+        let r = Thm3_adversary.run ~k:3 ~gadgets ~algorithm () in
+        {
+          adversary = "thm3-gadgets";
+          algorithm = algorithm.Models.Algorithm.name;
+          n = gadgets;
+          defeated =
+            (match r.Thm3_adversary.result with `Defeated _ -> true | `Survived -> false);
+          guaranteed = r.Thm3_adversary.preconditions_met;
+          detail = Format.asprintf "%a" Thm3_adversary.pp_report r;
+        });
+  }
+
+let games = [ thm1; thm2_torus; thm2_cylinder; thm3 ]
+let find name = List.find_opt (fun g -> g.name = name) games

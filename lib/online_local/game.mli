@@ -1,0 +1,44 @@
+(** A uniform face over the paper's adversaries, so algorithms and
+    attacks can be paired from one CLI or test loop.
+
+    Each game pits one {!Models.Algorithm.t} against one adversary at a
+    given instance size and reports a normalized verdict.  The registry
+    spans the three lower-bound theorems; the "upper-bound game" is
+    {!Models.Fixed_host.run} with an order, which needs no adversary
+    wrapper. *)
+
+type verdict = {
+  adversary : string;
+  algorithm : string;
+  n : int;  (** instance size the game was played at *)
+  defeated : bool;
+  guaranteed : bool;  (** whether theory guarantees defeat at these parameters *)
+  detail : string;  (** adversary-specific report, pretty-printed *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  play : n:int -> Models.Algorithm.t -> verdict;
+      (** [n] is interpreted per adversary (grid side, torus side, or
+          gadget count) — see {!val-games}. *)
+}
+
+val thm1 : t
+(** Theorem 1 on an [n x n] virtual grid, with the largest fitting
+    b-target. *)
+
+val thm2_torus : t
+val thm2_cylinder : t
+(** Theorem 2 on an [n x n] wrapped grid; [n] is rounded up to odd. *)
+
+val thm3 : t
+(** Theorem 3 on a chain of [n] gadgets with k = 3. *)
+
+val games : t list
+(** All of the above. *)
+
+val find : string -> t option
+(** Look up a game by name. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

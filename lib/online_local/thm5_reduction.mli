@@ -1,0 +1,24 @@
+(** The reduction of Lemma 5.7 (Theorem 5): from an algorithm [A] that
+    (k+2)-colors [G_{k+1}] to an algorithm [A'] that (k+1)-colors [G_k]
+    with the same locality.
+
+    [A'] simulates [A] on [G_{k+1}] — which it reconstructs on the fly
+    from its own view of [G_k], since [G_{k+1}] is [G_k] plus a twin
+    [u*] per node [u], adjacent to [u] and [u]'s neighbors.  When asked
+    to color [u], [A'] presents [u] to [A]; if [A] answers with the extra
+    color [k+1], [A'] presents the twin [u*] and answers with the twin's
+    color instead (which cannot itself be the extra color under any
+    proper coloring, as [u] and [u*] are adjacent).
+
+    Because [G_{k+1}]'s twins add no shortcuts, the ball
+    [B_{G_{k+1}}(u, T)] is exactly the mains and twins of
+    [B_{G_k}(u, T)], so the simulation is information-precise: [A] sees
+    exactly what the Online-LOCAL model would show it, and [A'] has
+    locality [T].  Consequently a correct [A] yields a correct [A'] —
+    which is how the Omega(log n) bound climbs from [k] to [k + 1]. *)
+
+val reduce : inner:Models.Algorithm.t -> Models.Algorithm.t
+(** [reduce ~inner] is [A'] as above.  The returned algorithm's palette
+    must be one smaller than [inner]'s; its oracle (if provided by the
+    executor) is lifted to a [G_{k+1}] oracle by placing every twin in a
+    fresh part.  [inner]'s locality is evaluated at [2 n]. *)

@@ -1,0 +1,46 @@
+type t = {
+  mutable parent : int array;
+  mutable set_size : int array;
+  mutable used : int;
+}
+
+let create () = { parent = Array.make 16 (-1); set_size = Array.make 16 1; used = 0 }
+
+let ensure t handle =
+  let cap = Array.length t.parent in
+  if handle >= cap then begin
+    let cap' = max (handle + 1) (2 * cap) in
+    let parent = Array.make cap' (-1) and set_size = Array.make cap' 1 in
+    Array.blit t.parent 0 parent 0 cap;
+    Array.blit t.set_size 0 set_size 0 cap;
+    t.parent <- parent;
+    t.set_size <- set_size
+  end;
+  while t.used <= handle do
+    t.parent.(t.used) <- t.used;
+    t.used <- t.used + 1
+  done
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let big, small =
+      if t.set_size.(ra) >= t.set_size.(rb) then (ra, rb) else (rb, ra)
+    in
+    t.parent.(small) <- big;
+    t.set_size.(big) <- t.set_size.(big) + t.set_size.(small);
+    big
+  end
+
+let same t a b = find t a = find t b
+let size t x = t.set_size.(find t x)

@@ -1,0 +1,328 @@
+module V = Models.View
+
+type frame_state = {
+  fid : int;
+  table : (int * int, int) Hashtbl.t;  (* frame coords -> handle *)
+  mutable alive : bool;
+}
+
+type frame = frame_state
+
+type t = {
+  palette : int;
+  n_total : int;
+  radius : int;
+  region : Grid_graph.Dyn_graph.t;
+  mutable coords : (int * int) array;  (* handle -> current frame coords *)
+  mutable frame_ids : int array;  (* handle -> current frame id *)
+  mutable revealed_step : int array;  (* handle -> step at which it appeared *)
+  frames : (int, frame_state) Hashtbl.t;
+  mutable next_fid : int;
+  instance : Models.Algorithm.instance Lazy.t ref;
+  outputs : (int, int) Hashtbl.t;  (* handle -> color *)
+  presented : (int, unit) Hashtbl.t;  (* handle set *)
+  mutable targets : int list;  (* reverse presentation order *)
+  mutable steps : int;
+  mutable first_violation : Models.Run_stats.violation option;
+}
+
+let create ~palette ~n_total ~radius ~algorithm () =
+  let t =
+    {
+      palette;
+      n_total;
+      radius;
+      region = Grid_graph.Dyn_graph.create ();
+      coords = Array.make 64 (0, 0);
+      frame_ids = Array.make 64 (-1);
+      revealed_step = Array.make 64 (-1);
+      frames = Hashtbl.create 8;
+      next_fid = 0;
+      instance = ref (lazy (fun _ -> 0));
+      outputs = Hashtbl.create 1024;
+      presented = Hashtbl.create 1024;
+      targets = [];
+      steps = 0;
+      first_violation = None;
+    }
+  in
+  let oracle = None in
+  t.instance :=
+    lazy (algorithm.Models.Algorithm.instantiate ~n:n_total ~palette ~oracle);
+  t
+
+let new_frame t =
+  let f = { fid = t.next_fid; table = Hashtbl.create 256; alive = true } in
+  t.next_fid <- t.next_fid + 1;
+  Hashtbl.replace t.frames f.fid f;
+  f
+
+let grow t needed =
+  let cap = Array.length t.coords in
+  if needed > cap then begin
+    let cap' = max needed (2 * cap) in
+    let coords = Array.make cap' (0, 0)
+    and frame_ids = Array.make cap' (-1)
+    and revealed_step = Array.make cap' (-1) in
+    Array.blit t.coords 0 coords 0 cap;
+    Array.blit t.frame_ids 0 frame_ids 0 cap;
+    Array.blit t.revealed_step 0 revealed_step 0 cap;
+    t.coords <- coords;
+    t.frame_ids <- frame_ids;
+    t.revealed_step <- revealed_step
+  end
+
+let check_alive f op =
+  if not f.alive then invalid_arg ("Virtual_grid: frame used after merge in " ^ op)
+
+let handle_at _t f ~row ~col = Hashtbl.find_opt f.table (row, col)
+
+let color_at t f ~row ~col =
+  match handle_at t f ~row ~col with
+  | None -> None
+  | Some h -> Hashtbl.find_opt t.outputs h
+
+let reveal_node t f (r, c) =
+  match Hashtbl.find_opt f.table (r, c) with
+  | Some h -> (h, false)
+  | None ->
+      let h = Grid_graph.Dyn_graph.add_node t.region in
+      grow t (h + 1);
+      t.coords.(h) <- (r, c);
+      t.frame_ids.(h) <- f.fid;
+      t.revealed_step.(h) <- t.steps;
+      Hashtbl.replace f.table (r, c) h;
+      (h, true)
+
+let neighbors4 (r, c) = [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+
+let make_view t ~target ~new_nodes =
+  {
+    V.n_total = t.n_total;
+    palette = t.palette;
+    node_count = (fun () -> Grid_graph.Dyn_graph.n t.region);
+    neighbors = (fun h -> Grid_graph.Dyn_graph.neighbors t.region h);
+    mem_edge = (fun a b -> Grid_graph.Dyn_graph.mem_edge t.region a b);
+    id = (fun h -> h + 1);
+    output = (fun h -> Hashtbl.find_opt t.outputs h);
+    hint =
+      (fun h ->
+        let row, col = t.coords.(h) in
+        Some (V.Grid_pos { frame = t.frame_ids.(h); row; col }));
+    target;
+    new_nodes;
+    step = t.steps;
+  }
+
+let present t f ~row ~col =
+  check_alive f "present";
+  (match Hashtbl.find_opt f.table (row, col) with
+  | Some h when Hashtbl.mem t.presented h ->
+      invalid_arg "Virtual_grid.present: node already presented"
+  | Some _ | None -> ());
+  t.steps <- t.steps + 1;
+  (* Reveal the radius-R diamond around the node. *)
+  let fresh = ref [] in
+  for dr = -t.radius to t.radius do
+    let budget = t.radius - abs dr in
+    for dc = -budget to budget do
+      let h, is_new = reveal_node t f (row + dr, col + dc) in
+      if is_new then fresh := h :: !fresh
+    done
+  done;
+  let new_nodes = List.sort compare !fresh in
+  (* Each fresh node connects to every already-revealed grid neighbor. *)
+  List.iter
+    (fun h ->
+      List.iter
+        (fun coord ->
+          match Hashtbl.find_opt f.table coord with
+          | Some h' -> Grid_graph.Dyn_graph.add_edge t.region h h'
+          | None -> ())
+        (neighbors4 t.coords.(h)))
+    new_nodes;
+  let target =
+    match Hashtbl.find_opt f.table (row, col) with Some h -> h | None -> assert false
+  in
+  Hashtbl.replace t.presented target ();
+  t.targets <- target :: t.targets;
+  let color =
+    match (Lazy.force !(t.instance)) (make_view t ~target ~new_nodes) with
+    | c -> c
+    | exception exn ->
+        if t.first_violation = None then
+          t.first_violation <-
+            Some
+              (Models.Run_stats.Algorithm_failure
+                 { node = target; message = Printexc.to_string exn });
+        -1
+  in
+  if color < 0 || color >= t.palette then begin
+    if t.first_violation = None then
+      t.first_violation <-
+        Some (Models.Run_stats.Palette_overflow { node = target; color })
+  end
+  else begin
+    Hashtbl.replace t.outputs target color;
+    if t.first_violation = None then
+      List.iter
+        (fun h ->
+          if Hashtbl.find_opt t.outputs h = Some color then
+            t.first_violation <- Some (Models.Run_stats.Monochromatic_edge (target, h)))
+        (Grid_graph.Dyn_graph.neighbors t.region target)
+  end;
+  color
+
+let reflect t f =
+  check_alive f "reflect";
+  let entries = Hashtbl.fold (fun coord h acc -> (coord, h) :: acc) f.table [] in
+  Hashtbl.reset f.table;
+  List.iter
+    (fun ((r, c), h) ->
+      let coord = (r, -c) in
+      Hashtbl.replace f.table coord h;
+      t.coords.(h) <- coord)
+    entries
+
+let merge t ~keep ~absorb ~reflect:refl ~dr ~dc =
+  check_alive keep "merge";
+  check_alive absorb "merge";
+  if keep.fid = absorb.fid then invalid_arg "Virtual_grid.merge: same frame";
+  let map (r, c) = (r + dr, (if refl then -c else c) + dc) in
+  let entries = Hashtbl.fold (fun coord h acc -> (coord, h) :: acc) absorb.table [] in
+  (* The committed placement must not contradict any view already shown:
+     no collisions and no adjacencies between the two revealed regions. *)
+  List.iter
+    (fun (coord, _) ->
+      let m = map coord in
+      List.iter
+        (fun probe ->
+          if Hashtbl.mem keep.table probe then
+            invalid_arg
+              "Virtual_grid.merge: placement collides with or touches the kept region")
+        (m :: neighbors4 m))
+    entries;
+  List.iter
+    (fun (coord, h) ->
+      let m = map coord in
+      Hashtbl.replace keep.table m h;
+      t.coords.(h) <- m;
+      t.frame_ids.(h) <- keep.fid)
+    entries;
+  absorb.alive <- false;
+  Hashtbl.remove t.frames absorb.fid
+
+let frames t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.frames []
+  |> List.sort (fun a b -> compare a.fid b.fid)
+
+let span _t f =
+  check_alive f "span";
+  let row_lo = ref max_int and row_hi = ref min_int in
+  let col_lo = ref max_int and col_hi = ref min_int in
+  Hashtbl.iter
+    (fun (r, c) _ ->
+      row_lo := min !row_lo r;
+      row_hi := max !row_hi r;
+      col_lo := min !col_lo c;
+      col_hi := max !col_hi c)
+    f.table;
+  ((!row_lo, !row_hi), (!col_lo, !col_hi))
+
+let violation t = t.first_violation
+let presented_count t = t.steps
+let revealed_count t = Grid_graph.Dyn_graph.n t.region
+
+let scan_monochromatic t =
+  let found = ref None in
+  let count = Grid_graph.Dyn_graph.n t.region in
+  (try
+     for h = 0 to count - 1 do
+       match Hashtbl.find_opt t.outputs h with
+       | None -> ()
+       | Some c ->
+           List.iter
+             (fun h' ->
+               if h' > h && Hashtbl.find_opt t.outputs h' = Some c then begin
+                 found := Some (h, h');
+                 raise Exit
+               end)
+             (Grid_graph.Dyn_graph.neighbors t.region h)
+     done
+   with Exit -> ());
+  !found
+
+let validate t =
+  let count = Grid_graph.Dyn_graph.n t.region in
+  (* Absolute coordinates: surviving frames are placed far apart. *)
+  let (_, (glo, ghi)) =
+    Hashtbl.fold
+      (fun _ f ((rl, rh), (cl, ch)) ->
+        if Hashtbl.length f.table = 0 then ((rl, rh), (cl, ch))
+        else
+          let (rl', rh'), (cl', ch') = span t f in
+          ((min rl rl', max rh rh'), (min cl cl', max ch ch')))
+      t.frames
+      ((0, 0), (0, 0))
+  in
+  let big = 4 * (ghi - glo + 2 * t.radius + 10) in
+  let offset_of_fid = Hashtbl.create 8 in
+  let next = ref 0 in
+  Hashtbl.iter
+    (fun fid _ ->
+      Hashtbl.replace offset_of_fid fid (!next * big);
+      incr next)
+    t.frames;
+  let abs_coords h =
+    let r, c = t.coords.(h) in
+    (r, c + Hashtbl.find offset_of_fid t.frame_ids.(h))
+  in
+  let by_coord = Hashtbl.create (count * 2 + 1) in
+  for h = 0 to count - 1 do
+    let coord = abs_coords h in
+    if Hashtbl.mem by_coord coord then failwith "validate: two nodes share a position";
+    Hashtbl.replace by_coord coord h
+  done;
+  (* (a) Region edges = grid adjacency. *)
+  for h = 0 to count - 1 do
+    let expected =
+      List.filter_map (fun coord -> Hashtbl.find_opt by_coord coord)
+        (neighbors4 (abs_coords h))
+      |> List.sort compare
+    in
+    let actual = List.sort compare (Grid_graph.Dyn_graph.neighbors t.region h) in
+    if expected <> actual then
+      failwith
+        (Printf.sprintf "validate: node %d has wrong adjacency under final placement" h)
+  done;
+  (* (b) Every node appeared exactly at the first presentation whose ball
+     contains it under the final placement. *)
+  let targets = Array.of_list (List.rev t.targets) in
+  for h = 0 to count - 1 do
+    let hr, hc = abs_coords h in
+    let first = ref max_int in
+    Array.iteri
+      (fun j tgt ->
+        let tr, tc = abs_coords tgt in
+        if abs (hr - tr) + abs (hc - tc) <= t.radius then first := min !first (j + 1))
+      targets;
+    if !first <> t.revealed_step.(h) then
+      failwith
+        (Printf.sprintf
+           "validate: node %d revealed at step %d but first containing ball is step %d"
+           h t.revealed_step.(h) !first)
+  done
+
+let bipartition_oracle t =
+  let query _view handles =
+    let raw =
+      Array.of_list
+        (List.map
+           (fun h ->
+             let r, c = t.coords.(h) in
+             ((r + c) mod 2 + 2) mod 2)
+           handles)
+    in
+    Models.Oracle.canonicalize raw handles
+  in
+  { Models.Oracle.parts = 2; radius = 0; query }

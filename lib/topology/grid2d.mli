@@ -1,0 +1,70 @@
+(** Two-dimensional grids: simple, cylindrical and toroidal (Section 2.1).
+
+    An [(a x b)] grid has [a] rows and [b] columns; node [(i, j)] sits in
+    row [i] and column [j] (0-indexed here, 1-indexed in the paper).  Two
+    nodes are adjacent iff their coordinates differ by one in exactly one
+    dimension; cylindrical grids additionally glue the left and right
+    borders, toroidal grids glue both pairs of borders. *)
+
+type wrap =
+  | Simple  (** rows and columns induce paths *)
+  | Cylindrical  (** rows induce cycles, columns induce paths *)
+  | Toroidal  (** rows and columns induce cycles *)
+
+type t
+
+val create : wrap -> rows:int -> cols:int -> t
+(** [create wrap ~rows ~cols] builds the grid.  Wrapping edges in a
+    dimension require at least 3 nodes in that dimension (otherwise the
+    wrap edge would duplicate an existing edge or form a loop).
+    @raise Invalid_argument on nonpositive dimensions or on wrapping a
+    dimension of size < 3. *)
+
+val graph : t -> Grid_graph.Graph.t
+(** The underlying graph; nodes are row-major: [(i, j)] has handle
+    [i * cols + j]. *)
+
+val wrap : t -> wrap
+val rows : t -> int
+val cols : t -> int
+
+val node : t -> row:int -> col:int -> Grid_graph.Graph.node
+(** Handle of a coordinate pair.
+    @raise Invalid_argument if out of range. *)
+
+val coords : t -> Grid_graph.Graph.node -> int * int
+(** [(row, col)] of a handle. *)
+
+val row_nodes : t -> int -> Grid_graph.Graph.node list
+(** The nodes of a row in column order — a path (simple) or a cycle
+    (cylindrical/toroidal) in the grid. *)
+
+val col_nodes : t -> int -> Grid_graph.Graph.node list
+(** The nodes of a column in row order. *)
+
+val row_segment : t -> row:int -> col_lo:int -> col_hi:int -> Grid_graph.Graph.node list
+(** Nodes [(row, col_lo) ... (row, col_hi)] in increasing column order:
+    a directed path along the row.
+    @raise Invalid_argument on bad bounds. *)
+
+val col_segment : t -> col:int -> row_lo:int -> row_hi:int -> Grid_graph.Graph.node list
+(** Nodes [(row_lo, col) ... (row_hi, col)] in increasing row order. *)
+
+val canonical_2_coloring : t -> int array
+(** The parity coloring [(i + j) mod 2], proper for simple grids and for
+    wrapped grids with even wrapped dimensions. *)
+
+val canonical_3_coloring : t -> int array
+(** A proper 3-coloring using colors [{0, 1, 2}]: stripes [j mod 3] on
+    wrapped columns when [cols mod 3 = 0], parity elsewhere when
+    bipartite.
+    @raise Invalid_argument if neither recipe applies — use
+    {!proper_3_coloring} for the general construction. *)
+
+val proper_3_coloring : t -> int array
+(** A proper 3-coloring of {e any} grid of this module (simple,
+    cylindrical, or toroidal with both dimensions >= 3): color
+    [(g i + f j) mod 3] where [f] and [g] are increment sequences with
+    steps in [{1, 2}], and a wrapped dimension's steps sum to 0 mod 3
+    (always arrangeable for length >= 2).  Witnesses the trivial
+    O(sqrt n)-locality LOCAL upper bound that makes Corollary 1.2 tight. *)

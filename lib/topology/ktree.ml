@@ -1,0 +1,70 @@
+open Grid_graph
+
+type t = {
+  k : int;
+  graph : Graph.t;
+  coloring : int array;
+  cliques : Graph.node array array;
+  membership : Graph.node array list array;  (* node -> maximal cliques through it *)
+}
+
+let k t = t.k
+let graph t = t.graph
+let canonical_coloring t = Array.copy t.coloring
+let cliques t = t.cliques
+let cliques_containing t v = t.membership.(v)
+
+let create ~k ~n ~attach =
+  if k < 1 then invalid_arg "Ktree.create: k must be >= 1";
+  if n < k + 1 then invalid_arg "Ktree.create: need at least k+1 nodes";
+  let coloring = Array.make n 0 in
+  let edges = ref [] in
+  (* Root (k+1)-clique on nodes 0..k, colored 0..k. *)
+  for u = 0 to k do
+    coloring.(u) <- u;
+    for v = u + 1 to k do
+      edges := (u, v) :: !edges
+    done
+  done;
+  (* Available attachment points: the k-subcliques of existing maximal
+     cliques.  Stored as sorted arrays of k nodes. *)
+  let k_cliques = ref [||] in
+  let push_subcliques clique =
+    (* All k-subsets of a (k+1)-clique. *)
+    let len = Array.length clique in
+    let subs =
+      Array.init len (fun skip ->
+          Array.of_list
+            (List.filteri (fun i _ -> i <> skip) (Array.to_list clique)))
+    in
+    k_cliques := Array.append !k_cliques subs
+  in
+  let root = Array.init (k + 1) (fun i -> i) in
+  push_subcliques root;
+  let maximal = ref [ root ] in
+  for v = k + 1 to n - 1 do
+    let avail = Array.length !k_cliques in
+    let base = !k_cliques.(((attach v mod avail) + avail) mod avail) in
+    let used = Array.map (fun u -> coloring.(u)) base in
+    (* The attachment clique has k distinct colors; give v the missing one. *)
+    let missing = ref (-1) in
+    for c = 0 to k do
+      if not (Array.exists (( = ) c) used) then missing := c
+    done;
+    coloring.(v) <- !missing;
+    Array.iter (fun u -> edges := (u, v) :: !edges) base;
+    let fresh = Array.of_list (List.sort compare (v :: Array.to_list base)) in
+    maximal := fresh :: !maximal;
+    push_subcliques fresh
+  done;
+  let graph = Graph.create ~n ~edges:!edges in
+  let cliques = Array.of_list (List.rev !maximal) in
+  let membership = Array.make n [] in
+  Array.iter
+    (fun clique -> Array.iter (fun u -> membership.(u) <- clique :: membership.(u)) clique)
+    cliques;
+  { k; graph; coloring; cliques; membership }
+
+let random ~k ~n ~seed =
+  let state = Random.State.make [| seed; k; n |] in
+  create ~k ~n ~attach:(fun _ -> Random.State.int state 1_000_000_007)

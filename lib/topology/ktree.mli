@@ -1,0 +1,37 @@
+(** k-trees (Section 1).
+
+    A k-tree starts from a (k+1)-clique and grows by repeatedly attaching
+    a new node to an existing k-clique.  k-trees are (k+1)-partite with a
+    locally inferable unique (k+1)-coloring of radius 1: the (k+1)-cliques
+    containing a fragment chain together through shared k-cliques, so
+    fixing the colors of one clique fixes them all. *)
+
+type t
+
+val create : k:int -> n:int -> attach:(int -> int) -> t
+(** [create ~k ~n ~attach] builds a k-tree on [n >= k+1] nodes.  Node
+    [i >= k+1] is attached to the k-clique selected by
+    [attach i mod number_of_available_k_cliques] — so [attach] is any
+    shape function: [Fun.const 0] grows a "path-like" k-tree, a seeded
+    random function grows a random one.
+    @raise Invalid_argument if [k < 1] or [n < k+1]. *)
+
+val random : k:int -> n:int -> seed:int -> t
+(** A random k-tree with a self-contained PRNG. *)
+
+val graph : t -> Grid_graph.Graph.t
+val k : t -> int
+
+val canonical_coloring : t -> int array
+(** The construction coloring with colors [{0, ..., k}]: node [i] in the
+    root clique gets color [i]; a later node gets the unique color absent
+    from its attachment clique.  This is the unique (k+1)-coloring up to
+    permutation. *)
+
+val cliques : t -> Grid_graph.Graph.node array array
+(** All maximal (k+1)-cliques, i.e. the nodes of the clique tree [H];
+    entry 0 is the root clique, entry [i > 0] is the clique created when
+    node [k + i] was attached.  Each is sorted. *)
+
+val cliques_containing : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node array list
+(** The maximal cliques containing a node. *)

@@ -1,0 +1,44 @@
+(** The layered hard instances [G_k] of Section 5.2.
+
+    [G_2] is any base graph (the paper uses the [(sqrt n x sqrt n)] grid);
+    [G_{i+1}] duplicates every node [u] of [G_i] into a twin [u*] adjacent
+    to [u] and to all of [u]'s neighbors.  The new nodes form layer
+    [H_{i+1}].  [G_k] is k-partite (Observation 5.2), has [2^{k-2} n]
+    nodes (Observation 5.1) and admits a locally inferable unique
+    k-coloring with radius [k] (Lemma 5.6). *)
+
+type t
+
+val create : base:Grid_graph.Graph.t -> k:int -> t
+(** [create ~base ~k] builds [G_k] above the given base graph, for
+    [k >= 2] ([k = 2] returns the base itself).  The base should be
+    connected and bipartite for the k-partiteness and LIUC claims to
+    apply; this is the caller's responsibility (checked in tests, not
+    here, so hard-instance experiments can explore other bases).
+    @raise Invalid_argument if [k < 2]. *)
+
+val graph : t -> Grid_graph.Graph.t
+val k : t -> int
+
+val base_size : t -> int
+(** Number of nodes of the base graph [G_2] (= layer [H_2]). *)
+
+val layer : t -> Grid_graph.Graph.node -> int
+(** The layer of a node, in [{2, ..., k}]. *)
+
+val parent : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node option
+(** [pi(v)]: the node [v] duplicates, or [None] for layer-2 nodes. *)
+
+val base_ancestor : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node
+(** [pi_diamond(v)]: iterate {!parent} down to layer 2 (identity there). *)
+
+val duplicate_in_top_layer : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node option
+(** The twin [u*] of [u] created in the top layer [H_k], i.e. the node
+    [v] in layer [k] with [parent v = Some u]; [None] when [k = 2] or
+    when [u] itself is in the top layer. *)
+
+val canonical_k_coloring : t -> int array
+(** The proper k-coloring of Observation 5.2 with colors [{0..k-1}]:
+    layer 2 carries the bipartition colors [{0, 1}] (via BFS on the
+    base), layer [i >= 3] is colored [i - 1].
+    @raise Invalid_argument if the base graph is not bipartite. *)

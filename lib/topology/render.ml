@@ -1,0 +1,26 @@
+let grid_coloring ?(glyphs = "012345678") grid color_of =
+  let buf = Buffer.create 256 in
+  for r = 0 to Grid2d.rows grid - 1 do
+    if r > 0 then Buffer.add_char buf '\n';
+    for c = 0 to Grid2d.cols grid - 1 do
+      match color_of (Grid2d.node grid ~row:r ~col:c) with
+      | Some col when col < String.length glyphs -> Buffer.add_char buf glyphs.[col]
+      | Some _ -> Buffer.add_char buf '?'
+      | None -> Buffer.add_char buf '.'
+    done
+  done;
+  Buffer.contents buf
+
+let region ~rows:(row_lo, row_hi) ~cols:(col_lo, col_hi) probe =
+  let buf = Buffer.create 256 in
+  for r = row_lo to row_hi do
+    if r > row_lo then Buffer.add_char buf '\n';
+    for c = col_lo to col_hi do
+      match probe r c with
+      | `Colored col when col < 10 -> Buffer.add_char buf (Char.chr (Char.code '0' + col))
+      | `Colored _ -> Buffer.add_char buf '?'
+      | `Seen -> Buffer.add_char buf 'o'
+      | `Unseen -> Buffer.add_char buf ' '
+    done
+  done;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** ASCII rendering of grid colorings and revealed regions, for the
+    examples and for eyeballing adversary transcripts. *)
+
+val grid_coloring : ?glyphs:string -> Grid2d.t -> (int -> int option) -> string
+(** [grid_coloring grid color_of] draws one character per cell: the
+    glyph for the cell's color ([glyphs], default ["012345678"]), or
+    ['.'] when uncolored.  [color_of] receives the node handle.  Rows
+    separated by newlines. *)
+
+val region :
+  rows:int * int ->
+  cols:int * int ->
+  (int -> int -> [ `Colored of int | `Seen | `Unseen ]) ->
+  string
+(** Draw an arbitrary coordinate window (inclusive bounds): colors as
+    digits, seen-but-uncolored as ['o'], unseen as [' ']. *)

@@ -1,0 +1,73 @@
+open Grid_graph
+
+type t = {
+  side : int;
+  graph : Graph.t;
+  coords : (int * int) array;  (* handle -> (x, y) *)
+  index : (int * int, int) Hashtbl.t;  (* (x, y) -> handle *)
+}
+
+let side t = t.side
+let graph t = t.graph
+
+let mem_xy side x y = x >= 0 && y >= 0 && x + y <= side
+
+let create ~side =
+  if side < 0 then invalid_arg "Tri_grid.create: negative side";
+  let coords = ref [] and count = ref 0 in
+  let index = Hashtbl.create 64 in
+  for x = 0 to side do
+    for y = 0 to side - x do
+      Hashtbl.replace index (x, y) !count;
+      coords := (x, y) :: !coords;
+      incr count
+    done
+  done;
+  let coords = Array.of_list (List.rev !coords) in
+  let edges = ref [] in
+  Array.iteri
+    (fun v (x, y) ->
+      (* Only look at the three "forward" neighbors so each edge appears once. *)
+      List.iter
+        (fun (x', y') ->
+          match Hashtbl.find_opt index (x', y') with
+          | Some w -> edges := (v, w) :: !edges
+          | None -> ())
+        [ (x + 1, y); (x, y + 1); (x + 1, y - 1) ])
+    coords;
+  { side; graph = Graph.create ~n:!count ~edges:!edges; coords; index }
+
+let mem t ~x ~y = mem_xy t.side x y
+
+let node t ~x ~y =
+  match Hashtbl.find_opt t.index (x, y) with
+  | Some v -> v
+  | None -> invalid_arg "Tri_grid.node: outside the triangle"
+
+let coords t v = t.coords.(v)
+
+let canonical_3_coloring t =
+  Array.map (fun (x, y) -> (((x - y) mod 3) + 3) mod 3) t.coords
+
+let triangles_containing t v =
+  let x, y = coords t v in
+  let get (a, b) = Hashtbl.find_opt t.index (a, b) in
+  (* Each node belongs to up to six unit triangles; enumerate the corner
+     pairs that complete a 3-clique with (x, y). *)
+  let candidates =
+    [
+      ((x + 1, y), (x, y + 1));
+      ((x - 1, y), (x, y - 1));
+      ((x + 1, y), (x + 1, y - 1));
+      ((x, y - 1), (x + 1, y - 1));
+      ((x - 1, y), (x - 1, y + 1));
+      ((x, y + 1), (x - 1, y + 1));
+    ]
+  in
+  List.filter_map
+    (fun (p, q) ->
+      match (get p, get q) with
+      | Some a, Some b when Graph.mem_edge t.graph a b -> Some (List.sort compare [ v; a; b ])
+      | _ -> None)
+    candidates
+  |> List.sort_uniq compare

@@ -1,0 +1,47 @@
+(** Triangular grids (Section 1).
+
+    The triangular grid of side length [d] has nodes
+    [{(x, y) : x, y >= 0, x + y <= d}], with edges between nodes at
+    L1-distance 1 and between [(x, y)] and [(x+1, y-1)] (the
+    anti-diagonal), i.e. the standard triangulation of a big triangle
+    into unit triangles.  It is 3-partite, 3-chromatic, and admits a
+    locally inferable unique 3-coloring with radius 1 (Definition 1.4):
+    any connected fragment's tripartition is pinned down by the triangles
+    in its 1-radius neighborhood (Figure 1 of the paper).
+
+    {b Deviation from the paper's text:} Section 1 writes the diagonal
+    condition as [x - x' = y - y'] (the {e main} diagonal), but on the
+    node set [{x + y <= d}] that definition leaves the two apex corners
+    [(d, 0)] and [(0, d)] with degree 1 and inside no triangle — the
+    paper's own triangle-chain argument (and Definition 1.4 itself, as
+    our exhaustive checker confirms) then fails at those corners.  The
+    anti-diagonal matches the intended object in Figure 1 and restores
+    every claim; the substitution is recorded in DESIGN.md. *)
+
+type t
+
+val create : side:int -> t
+(** [create ~side] builds the triangular grid of side length [side >= 0].
+    @raise Invalid_argument on negative side. *)
+
+val graph : t -> Grid_graph.Graph.t
+val side : t -> int
+
+val node : t -> x:int -> y:int -> Grid_graph.Graph.node
+(** Handle of a coordinate pair.
+    @raise Invalid_argument if [(x, y)] is outside the triangle. *)
+
+val coords : t -> Grid_graph.Graph.node -> int * int
+(** [(x, y)] of a handle. *)
+
+val mem : t -> x:int -> y:int -> bool
+(** Whether the coordinate pair is a node. *)
+
+val canonical_3_coloring : t -> int array
+(** The unique (up to permutation) tripartition, as colors [{0, 1, 2}]:
+    [(x - y) mod 3].  Proper because a unit step changes [x - y] by 1 and
+    an anti-diagonal step changes it by 2, both nonzero mod 3. *)
+
+val triangles_containing : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node list list
+(** All 3-cliques of the grid containing the given node, each as a sorted
+    triple.  Used by the radius-1 oracle (Figure 1's triangle chains). *)

@@ -1,0 +1,179 @@
+open Grid_graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_distances_path () =
+  let g = Graph.path_graph 6 in
+  let d = Bfs.distances_from g [ 0 ] in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_distances_multi_source () =
+  let g = Graph.path_graph 7 in
+  let d = Bfs.distances_from g [ 0; 6 ] in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 2; 1; 0 |] d
+
+let test_distance_disconnected () =
+  let g = Graph.create ~n:4 ~edges:[ (0, 1); (2, 3) ] in
+  check_int "unreachable" max_int (Bfs.distance g 0 3);
+  check_int "reachable" 1 (Bfs.distance g 2 3)
+
+let test_ball () =
+  let g = Graph.path_graph 10 in
+  Alcotest.(check (list int)) "ball radius 2" [ 2; 3; 4; 5; 6 ] (Bfs.ball g [ 4 ] 2);
+  Alcotest.(check (list int)) "ball radius 0" [ 4 ] (Bfs.ball g [ 4 ] 0);
+  Alcotest.(check (list int)) "two centers" [ 0; 1; 8; 9 ] (Bfs.ball g [ 0; 9 ] 1)
+
+let test_ball_grid_diamond () =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:9 ~cols:9 in
+  let g = Topology.Grid2d.graph grid in
+  let center = Topology.Grid2d.node grid ~row:4 ~col:4 in
+  let ball = Bfs.ball g [ center ] 2 in
+  (* The diamond of radius 2 away from borders has 13 nodes. *)
+  check_int "diamond size" 13 (List.length ball);
+  List.iter
+    (fun v ->
+      let r, c = Topology.Grid2d.coords grid v in
+      check_bool "within L1 radius" true (abs (r - 4) + abs (c - 4) <= 2))
+    ball
+
+let test_eccentricity () =
+  let g = Graph.path_graph 5 in
+  check_int "end" 4 (Bfs.eccentricity g 0);
+  check_int "middle" 2 (Bfs.eccentricity g 2);
+  let disconnected = Graph.create ~n:3 ~edges:[ (0, 1) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Bfs.eccentricity: disconnected graph") (fun () ->
+      ignore (Bfs.eccentricity disconnected 0))
+
+let test_shortest_path () =
+  let g = Graph.cycle_graph 6 in
+  (match Bfs.shortest_path g 0 3 with
+  | Some p ->
+      check_int "length" 4 (List.length p);
+      check_bool "is path" true (Walk.is_path g p)
+  | None -> Alcotest.fail "expected a path");
+  let disconnected = Graph.create ~n:3 ~edges:[ (0, 1) ] in
+  check_bool "none" true (Bfs.shortest_path disconnected 0 2 = None)
+
+let test_components () =
+  let g = Graph.create ~n:7 ~edges:[ (0, 1); (1, 2); (4, 5) ] in
+  Alcotest.(check (list (list int)))
+    "components"
+    [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ]; [ 6 ] ]
+    (Components.components g);
+  Alcotest.(check (list int)) "component_of" [ 4; 5 ] (Components.component_of g 5);
+  check_bool "not connected" false (Components.is_connected g);
+  check_bool "path connected" true (Components.is_connected (Graph.path_graph 4))
+
+let test_components_within () =
+  let g = Graph.path_graph 10 in
+  Alcotest.(check (list (list int)))
+    "subset splits"
+    [ [ 0; 1 ]; [ 3 ]; [ 5; 6; 7 ] ]
+    (Components.components_within g [ 0; 1; 3; 5; 6; 7 ]);
+  check_bool "connected subset" true (Components.is_connected_subset g [ 2; 3; 4 ]);
+  check_bool "disconnected subset" false (Components.is_connected_subset g [ 2; 4 ])
+
+let test_bipartite () =
+  check_bool "path" true (Bipartite.is_bipartite (Graph.path_graph 5));
+  check_bool "even cycle" true (Bipartite.is_bipartite (Graph.cycle_graph 6));
+  check_bool "odd cycle" false (Bipartite.is_bipartite (Graph.cycle_graph 5));
+  check_bool "K4" false (Bipartite.is_bipartite (Graph.complete 4))
+
+let test_two_color_proper () =
+  let g = Graph.cycle_graph 8 in
+  match Bipartite.two_color g with
+  | None -> Alcotest.fail "expected bipartite"
+  | Some side ->
+      Graph.iter_edges g (fun u v ->
+          check_bool "sides differ" true (side.(u) <> side.(v)));
+      check_int "canonical side of node 0" 0 side.(0)
+
+let test_odd_cycle_witness () =
+  let g = Graph.cycle_graph 7 in
+  match Bipartite.odd_cycle g with
+  | None -> Alcotest.fail "expected odd cycle"
+  | Some cycle ->
+      check_bool "odd length" true (List.length cycle mod 2 = 1);
+      check_bool "is cycle" true (Walk.is_cycle g cycle)
+
+let test_odd_cycle_in_larger_graph () =
+  (* A triangle hanging off a path. *)
+  let g = Graph.create ~n:6 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 3) ] in
+  match Bipartite.odd_cycle g with
+  | None -> Alcotest.fail "expected odd cycle"
+  | Some cycle ->
+      check_int "triangle" 3 (List.length cycle);
+      check_bool "is cycle" true (Walk.is_cycle g cycle)
+
+let test_subgraph_induced () =
+  let g = Graph.cycle_graph 6 in
+  let emb = Subgraph.induced g [ 0; 1; 2; 4 ] in
+  check_int "nodes" 4 (Graph.n emb.Subgraph.graph);
+  check_int "edges" 2 (Graph.m emb.Subgraph.graph);
+  check_bool "mem host" true (Subgraph.mem_host emb 4);
+  check_bool "not mem host" false (Subgraph.mem_host emb 3);
+  check_int "roundtrip" 4 emb.Subgraph.to_host.(Subgraph.of_host_exn emb 4)
+
+let test_subgraph_dedup () =
+  let g = Graph.path_graph 4 in
+  let emb = Subgraph.induced g [ 2; 1; 1; 2 ] in
+  check_int "deduplicated" 2 (Graph.n emb.Subgraph.graph);
+  check_int "edge kept" 1 (Graph.m emb.Subgraph.graph)
+
+let grid_gen =
+  QCheck2.Gen.(
+    map2
+      (fun rows cols -> Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols)
+      (int_range 2 8) (int_range 2 8))
+
+let prop_grid_distance_is_l1 =
+  QCheck2.Test.make ~name:"simple grid distance = L1" ~count:50 grid_gen (fun grid ->
+      let g = Topology.Grid2d.graph grid in
+      let v0 = 0 in
+      let d = Bfs.distances_from g [ v0 ] in
+      Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+          let r, c = Topology.Grid2d.coords grid v in
+          acc && d.(v) = r + c))
+
+let prop_ball_monotone =
+  QCheck2.Test.make ~name:"balls grow with radius" ~count:50 grid_gen (fun grid ->
+      let g = Topology.Grid2d.graph grid in
+      let b1 = Bfs.ball g [ 0 ] 1 and b2 = Bfs.ball g [ 0 ] 2 in
+      List.for_all (fun v -> List.mem v b2) b1)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "bfs-and-structure"
+    [
+      ( "bfs",
+        [
+          Alcotest.test_case "distances path" `Quick test_distances_path;
+          Alcotest.test_case "multi source" `Quick test_distances_multi_source;
+          Alcotest.test_case "disconnected" `Quick test_distance_disconnected;
+          Alcotest.test_case "ball" `Quick test_ball;
+          Alcotest.test_case "grid diamond" `Quick test_ball_grid_diamond;
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "components within" `Quick test_components_within;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "bipartite" `Quick test_bipartite;
+          Alcotest.test_case "two color proper" `Quick test_two_color_proper;
+          Alcotest.test_case "odd cycle witness" `Quick test_odd_cycle_witness;
+          Alcotest.test_case "odd cycle in larger graph" `Quick test_odd_cycle_in_larger_graph;
+        ] );
+      ( "subgraph",
+        [
+          Alcotest.test_case "induced" `Quick test_subgraph_induced;
+          Alcotest.test_case "dedup" `Quick test_subgraph_dedup;
+        ] );
+      ("bfs-properties", qsuite [ prop_grid_distance_is_l1; prop_ball_monotone ]);
+    ]

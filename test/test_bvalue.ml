@@ -1,0 +1,222 @@
+open Grid_graph
+module Bv = Colorings.Bvalue
+module B = Colorings.Brute
+module C = Colorings.Coloring
+module G2 = Topology.Grid2d
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_a_value_cases () =
+  let colors = [| 0; 1; 2; 0 |] in
+  check_int "0 vs 1" (-1) (Bv.a_value colors 0 1);
+  check_int "1 vs 0" 1 (Bv.a_value colors 1 0);
+  check_int "special left" 0 (Bv.a_value colors 2 0);
+  check_int "special right" 0 (Bv.a_value colors 1 2);
+  check_int "same non-special" 0 (Bv.a_value colors 0 3);
+  check_bool "antisymmetric" true
+    (Bv.a_value colors 0 1 + Bv.a_value colors 1 0 = 0)
+
+let test_a_value_range_check () =
+  Alcotest.check_raises "bad color" (Invalid_argument "Bvalue: color 3 outside {0,1,2}")
+    (fun () -> ignore (Bv.a_value [| 3; 0 |] 0 1))
+
+let test_indicator () =
+  let colors = [| 0; 2; 1 |] in
+  check_int "not special" 0 (Bv.indicator colors 0);
+  check_int "special" 1 (Bv.indicator colors 1)
+
+let test_b_path_examples () =
+  (* The paper's example: 3 -> 2 -> 1 -> 2 -> 1 -> 2 -> 3 has b = 0
+     (paper colors 1,2,3 are our 0,1,2). *)
+  let colors = [| 2; 1; 0; 1; 0; 1; 2 |] in
+  check_int "figure 3 path" 0 (Bv.b_path colors [ 0; 1; 2; 3; 4; 5; 6 ]);
+  (* 3 -> 2 -> 1 -> 2 -> 1 -> 3 has b = 1. *)
+  let colors2 = [| 2; 1; 0; 1; 0; 2 |] in
+  check_int "b = 1 path" 1 (Bv.b_path colors2 [ 0; 1; 2; 3; 4; 5 ]);
+  check_int "reverse negates" (-1) (Bv.b_path colors2 [ 5; 4; 3; 2; 1; 0 ]);
+  check_int "empty path" 0 (Bv.b_path colors2 []);
+  check_int "single node" 0 (Bv.b_path colors2 [ 3 ])
+
+let test_b_cycle_closing_arc () =
+  let colors = [| 0; 1; 2 |] in
+  (* b(cycle 0-1-2) = a(0,1) + a(1,2) + a(2,0) = -1 + 0 + 0. *)
+  check_int "cycle" (-1) (Bv.b_cycle colors [ 0; 1; 2 ])
+
+(* Lemma 3.3: every properly colored 4-cycle has b = 0 — exhaustively. *)
+let test_lemma_3_3_exhaustive () =
+  let square = Graph.cycle_graph 4 in
+  let count = ref 0 in
+  B.iter_colorings square ~colors:3 (fun colors ->
+      incr count;
+      check_int "cell b" 0 (Bv.b_cycle colors [ 0; 1; 2; 3 ]);
+      check_bool "checker agrees" true
+        (Bv.check_cell_cancellation square colors [ 0; 1; 2; 3 ]));
+  check_bool "enumerated some" true (!count > 0)
+
+let test_cell_checker_rejects_malformed () =
+  let square = Graph.cycle_graph 4 in
+  (* Improper coloring: the checker must return false, not claim b=0. *)
+  check_bool "improper rejected" false
+    (Bv.check_cell_cancellation square [| 0; 0; 1; 2 |] [ 0; 1; 2; 3 ]);
+  (* Not a 4-cycle of the graph. *)
+  let path = Graph.path_graph 4 in
+  check_bool "non-cycle rejected" false
+    (Bv.check_cell_cancellation path [| 0; 1; 0; 1 |] [ 0; 1; 2; 3 ])
+
+(* Lemma 3.4: b of simple rectangle cycles in a properly 3-colored grid
+   is zero — over all proper colorings of a small grid. *)
+let test_lemma_3_4_exhaustive () =
+  let grid = G2.create G2.Simple ~rows:3 ~cols:3 in
+  let g = G2.graph grid in
+  let rects =
+    [ (0, 1, 0, 1); (0, 2, 0, 2); (1, 2, 0, 2); (0, 1, 1, 2) ]
+  in
+  let checked = ref 0 in
+  B.iter_colorings g ~colors:3 (fun colors ->
+      incr checked;
+      List.iter
+        (fun (top, bottom, left, right) ->
+          let cycle = Bv.rectangle_cycle grid ~top ~bottom ~left ~right in
+          check_bool "cycle valid" true (Walk.is_cycle g cycle);
+          check_int "b = 0" 0 (Bv.b_cycle colors cycle);
+          check_bool "checker" true (Bv.grid_cycle_b_is_zero grid colors cycle))
+        rects);
+  check_bool "many colorings" true (!checked > 100)
+
+let test_rectangle_cycle_shape () =
+  let grid = G2.create G2.Simple ~rows:5 ~cols:6 in
+  let cycle = Bv.rectangle_cycle grid ~top:1 ~bottom:3 ~left:0 ~right:4 in
+  check_int "perimeter" (2 * ((3 - 1) + (4 - 0))) (List.length cycle);
+  check_bool "is simple cycle" true (Walk.is_cycle (G2.graph grid) cycle);
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Bvalue.rectangle_cycle: degenerate rectangle") (fun () ->
+      ignore (Bv.rectangle_cycle grid ~top:2 ~bottom:2 ~left:0 ~right:3))
+
+(* Lemma 3.5: parity of b over random proper colorings of random paths. *)
+let proper_path_coloring_gen =
+  (* Encode a proper 3-coloring of a path as a start color plus a list of
+     nonzero increments mod 3 — this bijects with proper path colorings. *)
+  QCheck2.Gen.(
+    bind (int_range 1 30) (fun len ->
+        bind (int_range 0 2) (fun first ->
+            map
+              (fun moves ->
+                let arr = Array.make (len + 1) first in
+                List.iteri (fun i m -> arr.(i + 1) <- (arr.(i) + m) mod 3) moves;
+                (len, arr))
+              (list_size (return len) (int_range 1 2)))))
+
+let prop_lemma_3_5_paths =
+  QCheck2.Test.make ~name:"Lemma 3.5 parity on proper paths" ~count:500
+    proper_path_coloring_gen (fun (len, colors) ->
+      let path = List.init (len + 1) (fun i -> i) in
+      Bv.check_parity_path colors path
+      && (Bv.b_path colors path - Bv.path_parity colors path) mod 2 = 0)
+
+(* Lemma 3.5 for cycles: b(C) = length(C) mod 2, over proper colorings of
+   small cycles (not necessarily in grids). *)
+let test_lemma_3_5_cycles_exhaustive () =
+  List.iter
+    (fun len ->
+      let g = Graph.cycle_graph len in
+      B.iter_colorings g ~colors:3 (fun colors ->
+          let cycle = List.init len (fun i -> i) in
+          check_bool
+            (Printf.sprintf "parity for %d-cycle" len)
+            true
+            (Bv.check_parity_cycle colors cycle)))
+    [ 3; 4; 5; 6; 7 ]
+
+(* b-value additivity under concatenation. *)
+let prop_b_concat =
+  QCheck2.Test.make ~name:"b additive under concat" ~count:300
+    QCheck2.Gen.(
+      bind (int_range 1 10) (fun l1 ->
+          bind (int_range 1 10) (fun l2 ->
+              map
+                (fun colors -> (l1, l2, Array.of_list colors))
+                (list_size (return (l1 + l2 + 1)) (int_range 0 2)))))
+    (fun (l1, l2, colors) ->
+      let p1 = List.init (l1 + 1) (fun i -> i) in
+      let p2 = List.init (l2 + 1) (fun i -> i + l1) in
+      let whole = List.init (l1 + l2 + 1) (fun i -> i) in
+      Bv.b_path colors whole = Bv.b_path colors p1 + Bv.b_path colors p2)
+
+let prop_b_reverse_negates =
+  QCheck2.Test.make ~name:"b negates under reversal" ~count:300
+    QCheck2.Gen.(
+      bind (int_range 0 15) (fun len ->
+          map (fun colors -> Array.of_list colors)
+            (list_size (return (len + 1)) (int_range 0 2))))
+    (fun colors ->
+      let path = List.init (Array.length colors) (fun i -> i) in
+      Bv.b_path colors (Walk.reverse path) = -Bv.b_path colors path)
+
+(* b is bounded by the length. *)
+let prop_b_bounded =
+  QCheck2.Test.make ~name:"|b| <= length" ~count:300
+    QCheck2.Gen.(
+      bind (int_range 0 20) (fun len ->
+          map (fun colors -> Array.of_list colors)
+            (list_size (return (len + 1)) (int_range 0 2))))
+    (fun colors ->
+      let path = List.init (Array.length colors) (fun i -> i) in
+      abs (Bv.b_path colors path) <= Walk.length path)
+
+(* Equation (1): two opposite row cycles of a properly 3-colored
+   cylindrical grid have b-values summing to zero — exhaustive on a small
+   cylinder. *)
+let test_equation_1_cylinder () =
+  let grid = G2.create G2.Cylindrical ~rows:3 ~cols:3 in
+  let g = G2.graph grid in
+  let east r = G2.row_nodes grid r in
+  let west r = Walk.reverse (G2.row_nodes grid r) in
+  let count = ref 0 in
+  B.iter_colorings g ~colors:3 (fun colors ->
+      incr count;
+      check_int "rows 0,1" 0 (Bv.b_cycle colors (east 0) + Bv.b_cycle colors (west 1));
+      check_int "rows 0,2" 0 (Bv.b_cycle colors (east 0) + Bv.b_cycle colors (west 2)));
+  check_bool "nontrivial enumeration" true (!count > 0)
+
+(* Odd-column row cycles have odd b-value in any proper 3-coloring. *)
+let test_odd_row_b_odd () =
+  let grid = G2.create G2.Cylindrical ~rows:2 ~cols:5 in
+  let g = G2.graph grid in
+  B.iter_colorings g ~colors:3 (fun colors ->
+      check_int "odd" 1 (abs (Bv.b_cycle colors (G2.row_nodes grid 0)) mod 2))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "bvalue"
+    [
+      ( "definitions",
+        [
+          Alcotest.test_case "a-value cases" `Quick test_a_value_cases;
+          Alcotest.test_case "a-value range" `Quick test_a_value_range_check;
+          Alcotest.test_case "indicator" `Quick test_indicator;
+          Alcotest.test_case "b path examples" `Quick test_b_path_examples;
+          Alcotest.test_case "b cycle closing arc" `Quick test_b_cycle_closing_arc;
+        ] );
+      ( "lemma-3.3",
+        [
+          Alcotest.test_case "exhaustive" `Quick test_lemma_3_3_exhaustive;
+          Alcotest.test_case "malformed rejected" `Quick test_cell_checker_rejects_malformed;
+        ] );
+      ( "lemma-3.4",
+        [
+          Alcotest.test_case "exhaustive small grid" `Slow test_lemma_3_4_exhaustive;
+          Alcotest.test_case "rectangle shape" `Quick test_rectangle_cycle_shape;
+        ] );
+      ( "lemma-3.5",
+        qsuite [ prop_lemma_3_5_paths ]
+        @ [ Alcotest.test_case "cycles exhaustive" `Quick test_lemma_3_5_cycles_exhaustive ] );
+      ( "b-algebra",
+        qsuite [ prop_b_concat; prop_b_reverse_negates; prop_b_bounded ] );
+      ( "equation-1",
+        [
+          Alcotest.test_case "cylinder cancellation" `Slow test_equation_1_cylinder;
+          Alcotest.test_case "odd rows odd b" `Quick test_odd_row_b_odd;
+        ] );
+    ]

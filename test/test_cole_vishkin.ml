@@ -1,0 +1,97 @@
+module CV = Models.Cole_vishkin
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let proper g colors = Colorings.Coloring.is_proper g (Colorings.Coloring.of_array colors)
+
+let test_log_star () =
+  check_int "log* 1" 0 (CV.log_star 1);
+  check_int "log* 2" 1 (CV.log_star 2);
+  check_int "log* 4" 2 (CV.log_star 4);
+  check_int "log* 16" 3 (CV.log_star 16);
+  check_int "log* 65536" 4 (CV.log_star 65536)
+
+let test_path_three_coloring () =
+  (* A single path with identity ids. *)
+  let n = 200 in
+  let ids = Array.init n (fun i -> i + 1) in
+  let succ = Array.init n (fun i -> if i + 1 < n then Some (i + 1) else None) in
+  let colors, rounds = CV.path_three_coloring ~ids ~succ in
+  Array.iteri
+    (fun i c ->
+      check_bool "three colors" true (c >= 0 && c <= 2);
+      if i + 1 < n then check_bool "proper" true (c <> colors.(i + 1)))
+    colors;
+  check_bool "few rounds" true (rounds <= CV.log_star n + 8)
+
+let test_path_adversarial_ids () =
+  (* Large, weird identifiers. *)
+  let n = 64 in
+  let ids = Array.init n (fun i -> (i * 7919) + 1_000_000) in
+  let succ = Array.init n (fun i -> if i + 1 < n then Some (i + 1) else None) in
+  let colors, _ = CV.path_three_coloring ~ids ~succ in
+  for i = 0 to n - 2 do
+    check_bool "proper" true (colors.(i) <> colors.(i + 1))
+  done
+
+let test_forest_of_paths () =
+  (* Two disjoint paths at once. *)
+  let ids = [| 11; 5; 9; 42; 17 |] in
+  let succ = [| Some 1; Some 2; None; Some 4; None |] in
+  let colors, _ = CV.path_three_coloring ~ids ~succ in
+  check_bool "path 1 proper" true (colors.(0) <> colors.(1) && colors.(1) <> colors.(2));
+  check_bool "path 2 proper" true (colors.(3) <> colors.(4))
+
+let test_grid_five_coloring () =
+  List.iter
+    (fun (rows, cols) ->
+      let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols in
+      let g = Topology.Grid2d.graph grid in
+      let trace = CV.five_color grid in
+      check_bool
+        (Printf.sprintf "proper %dx%d" rows cols)
+        true
+        (proper g trace.CV.colors);
+      check_bool "five colors" true (Array.for_all (fun c -> c >= 0 && c < 5) trace.CV.colors);
+      check_bool "log*-ish rounds" true
+        (trace.CV.rounds <= CV.log_star (rows * cols) + 12))
+    [ (5, 5); (12, 17); (30, 30); (1, 40) ]
+
+let test_grid_adversarial_ids () =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:10 ~cols:10 in
+  let g = Topology.Grid2d.graph grid in
+  let trace = CV.five_color ~ids:(fun v -> (v * 7919) + 3) grid in
+  check_bool "proper" true (proper g trace.CV.colors)
+
+let test_wrapped_rejected () =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Toroidal ~rows:5 ~cols:5 in
+  Alcotest.check_raises "wrapped"
+    (Invalid_argument "Cole_vishkin.five_color: simple grids only") (fun () ->
+      ignore (CV.five_color grid))
+
+let test_rounds_scale_log_star () =
+  (* The iteration count grows extremely slowly: a 10^6-node-wide path
+     still converges in a handful of rounds. *)
+  let wide = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:1 ~cols:100_000 in
+  let trace = CV.five_color wide in
+  check_bool "tiny iteration count" true (trace.CV.cv_iterations <= 6)
+
+let () =
+  Alcotest.run "cole-vishkin"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "log*" `Quick test_log_star;
+          Alcotest.test_case "single path" `Quick test_path_three_coloring;
+          Alcotest.test_case "adversarial ids" `Quick test_path_adversarial_ids;
+          Alcotest.test_case "forest" `Quick test_forest_of_paths;
+        ] );
+      ( "grids",
+        [
+          Alcotest.test_case "five coloring" `Quick test_grid_five_coloring;
+          Alcotest.test_case "adversarial ids" `Quick test_grid_adversarial_ids;
+          Alcotest.test_case "wrapped rejected" `Quick test_wrapped_rejected;
+          Alcotest.test_case "log* scaling" `Slow test_rounds_scale_log_star;
+        ] );
+    ]

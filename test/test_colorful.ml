@@ -1,0 +1,139 @@
+module Cf = Colorings.Colorful
+module B = Colorings.Brute
+module C = Colorings.Coloring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_confinement_basics () =
+  let m = [| [| 0; 0; 1 |]; [| 1; 2; 3 |]; [| 2; 3; 0 |] |] in
+  check_bool "confined row" true (Cf.confined_to_row m ~color:0 ~row:0);
+  check_bool "not confined row" false (Cf.confined_to_row m ~color:1 ~row:0);
+  check_bool "not confined col" false (Cf.confined_to_col m ~color:0 ~col:0);
+  let m2 = [| [| 0; 1 |]; [| 0; 2 |] |] in
+  check_bool "confined col" true (Cf.confined_to_col m2 ~color:0 ~col:0)
+
+let test_colorful_basics () =
+  let m = [| [| 0; 0; 1 |]; [| 1; 2; 3 |]; [| 2; 3; 0 |] |] in
+  check_bool "row 0 not colorful" false (Cf.row_colorful m ~row:0);
+  check_bool "row 1 colorful" true (Cf.row_colorful m ~row:1);
+  check_bool "is row colorful" true (Cf.is_row_colorful m);
+  check_bool "col 2 colorful" true (Cf.col_colorful m ~col:2)
+
+let test_transpose () =
+  let m = [| [| 0; 1 |]; [| 2; 3 |] |] in
+  Alcotest.(check (array (array int))) "transpose" [| [| 0; 2 |]; [| 1; 3 |] |] (Cf.transpose m);
+  check_bool "row colorful flips" true
+    (Cf.is_row_colorful m = Cf.is_col_colorful (Cf.transpose m))
+
+let test_classify () =
+  check_bool "both" true (Cf.classify [| [| 0; 1 |]; [| 2; 3 |] |] = Cf.Both);
+  check_bool "neither" true (Cf.classify [| [| 0; 0 |]; [| 0; 0 |] |] = Cf.Neither)
+
+let test_matrix_of_gadget () =
+  let chain = Topology.Gadget.create ~k:3 ~gadgets:2 () in
+  let coloring = C.of_array (Topology.Gadget.canonical_k_coloring chain) in
+  let m = Cf.matrix_of_gadget chain coloring ~gadget:0 in
+  Alcotest.(check (array (array int)))
+    "row coloring" [| [| 0; 0; 0 |]; [| 1; 1; 1 |]; [| 2; 2; 2 |] |] m
+
+(* Claim 4.5 exhaustively for k = 3: every proper 4-coloring of A(3)
+   classifies as exactly one of row-/column-colorful. *)
+let test_claim_4_5_exhaustive () =
+  let k = 3 in
+  let chain = Topology.Gadget.create ~k ~gadgets:1 () in
+  let g = Topology.Gadget.graph chain in
+  let count = ref 0 and rows = ref 0 and cols = ref 0 in
+  B.iter_colorings g ~colors:((2 * k) - 2) (fun colors ->
+      incr count;
+      let m =
+        Array.init k (fun i ->
+            Array.init k (fun j -> colors.(Topology.Gadget.node chain ~gadget:0 ~row:i ~col:j)))
+      in
+      match Cf.classify m with
+      | Cf.Row_colorful -> incr rows
+      | Cf.Column_colorful -> incr cols
+      | Cf.Both -> Alcotest.fail "gadget cannot be both"
+      | Cf.Neither -> Alcotest.fail "gadget cannot be neither");
+  check_bool "enumerated" true (!count > 0);
+  check_bool "both kinds occur" true (!rows > 0 && !cols > 0);
+  (* Transposition symmetry of A(k) forces the two counts to agree. *)
+  check_int "row/col symmetry" !rows !cols
+
+(* Claim 4.3 on proper colorings of A(3) with any number of colors up to
+   2k-2: a color is confined to at most one row xor one column. *)
+let test_claim_4_3_exhaustive () =
+  let k = 3 in
+  let chain = Topology.Gadget.create ~k ~gadgets:1 () in
+  let g = Topology.Gadget.graph chain in
+  B.iter_colorings g ~colors:((2 * k) - 2) (fun colors ->
+      let m =
+        Array.init k (fun i ->
+            Array.init k (fun j -> colors.(Topology.Gadget.node chain ~gadget:0 ~row:i ~col:j)))
+      in
+      for color = 0 to (2 * k) - 3 do
+        let rows_confined =
+          List.length
+            (List.filter (fun i -> Cf.confined_to_row m ~color ~row:i)
+               (List.init k (fun i -> i)))
+        in
+        let cols_confined =
+          List.length
+            (List.filter (fun j -> Cf.confined_to_col m ~color ~col:j)
+               (List.init k (fun j -> j)))
+        in
+        check_bool "at most one row" true (rows_confined <= 1);
+        check_bool "at most one col" true (cols_confined <= 1);
+        check_bool "not both" true (not (rows_confined = 1 && cols_confined = 1))
+      done)
+
+(* Lemma 4.6 on a 2-gadget chain, sampled: consecutive gadgets never
+   classify differently under a proper (2k-2)-coloring. *)
+let test_lemma_4_6_sampled () =
+  let k = 3 in
+  let chain = Topology.Gadget.create ~k ~gadgets:2 () in
+  let g = Topology.Gadget.graph chain in
+  let seen = ref 0 in
+  (try
+     B.iter_colorings g ~colors:((2 * k) - 2) (fun colors ->
+         incr seen;
+         let coloring = C.of_array colors in
+         let c0 = Cf.classify (Cf.matrix_of_gadget chain coloring ~gadget:0) in
+         let c1 = Cf.classify (Cf.matrix_of_gadget chain coloring ~gadget:1) in
+         check_bool "same classification" true (c0 = c1);
+         if !seen > 20000 then raise Exit)
+   with Exit -> ());
+  check_bool "found colorings" true (!seen > 0)
+
+(* The canonical coloring (rows monochromatic) makes every column carry
+   all k colors, so each gadget classifies as column-colorful. *)
+let test_canonical_is_row_colorful () =
+  List.iter
+    (fun k ->
+      let chain = Topology.Gadget.create ~k ~gadgets:3 () in
+      let coloring = C.of_array (Topology.Gadget.canonical_k_coloring chain) in
+      for gadget = 0 to 2 do
+        check_bool "canonical col-colorful" true
+          (Cf.classify (Cf.matrix_of_gadget chain coloring ~gadget) = Cf.Column_colorful)
+      done)
+    [ 3; 4 ]
+
+let () =
+  Alcotest.run "colorful"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "confinement" `Quick test_confinement_basics;
+          Alcotest.test_case "colorful" `Quick test_colorful_basics;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "matrix of gadget" `Quick test_matrix_of_gadget;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "claim 4.5 exhaustive" `Slow test_claim_4_5_exhaustive;
+          Alcotest.test_case "claim 4.3 exhaustive" `Slow test_claim_4_3_exhaustive;
+          Alcotest.test_case "lemma 4.6 sampled" `Slow test_lemma_4_6_sampled;
+          Alcotest.test_case "canonical classification" `Quick test_canonical_is_row_colorful;
+        ] );
+    ]

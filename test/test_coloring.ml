@@ -1,0 +1,206 @@
+open Grid_graph
+module C = Colorings.Coloring
+module B = Colorings.Brute
+module P = Colorings.Perm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_partial_basics () =
+  let c = C.create 4 in
+  check_bool "nothing colored" false (C.is_colored c 2);
+  check_int "count" 0 (C.colored_count c);
+  C.set c 2 5;
+  check_int "count" 1 (C.colored_count c);
+  Alcotest.(check (option int)) "get" (Some 5) (C.get c 2);
+  Alcotest.(check (option int)) "get uncolored" None (C.get c 0);
+  check_bool "not total" false (C.is_total c);
+  C.set c 2 5 (* same color is a no-op *);
+  Alcotest.check_raises "recolor"
+    (Invalid_argument "Coloring.set: node 2 already colored 5, refusing 6") (fun () ->
+      C.set c 2 6)
+
+let test_total_and_snapshots () =
+  let c = C.of_array [| 0; 1; 2 |] in
+  check_bool "total" true (C.is_total c);
+  Alcotest.(check (option int)) "max" (Some 2) (C.max_color_used c);
+  check_bool "within 3" true (C.uses_at_most c 3);
+  check_bool "not within 2" false (C.uses_at_most c 2);
+  Alcotest.(check (array int)) "snapshot" [| 0; 1; 2 |] (C.to_array_exn c);
+  let p = C.create 2 in
+  Alcotest.check_raises "partial snapshot"
+    (Invalid_argument "Coloring.to_array_exn: partial coloring") (fun () ->
+      ignore (C.to_array_exn p))
+
+let test_proper_checks () =
+  let g = Graph.path_graph 4 in
+  let good = C.of_array [| 0; 1; 0; 1 |] in
+  check_bool "proper" true (C.is_proper g good);
+  check_bool "proper total" true (C.is_proper_total g good ~colors:2);
+  let bad = C.of_array [| 0; 0; 1; 0 |] in
+  check_bool "improper" false (C.is_proper g bad);
+  Alcotest.(check (option (pair int int)))
+    "witness" (Some (0, 1))
+    (C.find_monochromatic_edge g bad);
+  (* Partial colorings are proper until contradicted. *)
+  let partial = C.create 4 in
+  C.set partial 0 1;
+  C.set partial 2 1;
+  check_bool "partial proper" true (C.is_proper g partial);
+  C.set partial 1 1;
+  check_bool "partial improper" false (C.is_proper g partial)
+
+let test_colored_nodes () =
+  let c = C.create 5 in
+  C.set c 3 0;
+  C.set c 1 2;
+  Alcotest.(check (list int)) "colored nodes" [ 1; 3 ] (C.colored_nodes c);
+  let copy = C.copy c in
+  C.set copy 0 0;
+  check_int "copy isolated" 2 (C.colored_count c)
+
+(* ------------------------------ brute ------------------------------ *)
+
+let test_chromatic_numbers () =
+  check_int "empty" 0 (B.chromatic_number (Graph.empty 0));
+  check_int "edgeless" 1 (B.chromatic_number (Graph.empty 4));
+  check_int "path" 2 (B.chromatic_number (Graph.path_graph 5));
+  check_int "odd cycle" 3 (B.chromatic_number (Graph.cycle_graph 7));
+  check_int "even cycle" 2 (B.chromatic_number (Graph.cycle_graph 8));
+  check_int "K5" 5 (B.chromatic_number (Graph.complete 5));
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:3 ~cols:4 in
+  check_int "grid" 2 (B.chromatic_number (Topology.Grid2d.graph grid))
+
+let test_petersen () =
+  (* The Petersen graph: outer 5-cycle, inner pentagram, spokes. *)
+  let edges =
+    List.init 5 (fun i -> (i, (i + 1) mod 5))
+    @ List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5)))
+    @ List.init 5 (fun i -> (i, 5 + i))
+  in
+  let g = Graph.create ~n:10 ~edges in
+  check_int "petersen chromatic" 3 (B.chromatic_number g)
+
+let test_find_coloring_proper () =
+  let g = Graph.cycle_graph 5 in
+  (match B.find_coloring g ~colors:3 with
+  | None -> Alcotest.fail "expected coloring"
+  | Some a -> check_bool "proper" true (C.is_proper g (C.of_array a)));
+  check_bool "no 2-coloring" true (B.find_coloring g ~colors:2 = None)
+
+let test_partial_extension () =
+  (* Ends of an even-length path share a side: pinning both to 0 is
+     satisfiable with 2 colors. *)
+  let g = Graph.path_graph 5 in
+  let partial = C.create 5 in
+  C.set partial 0 0;
+  C.set partial 4 0;
+  (match B.find_coloring ~partial g ~colors:2 with
+  | None -> Alcotest.fail "expected extension"
+  | Some a ->
+      check_int "pin respected" 0 a.(0);
+      check_int "pin respected" 0 a.(4);
+      check_bool "proper" true (C.is_proper g (C.of_array a)));
+  (* Pinning opposite-parity ends to the same color is unsatisfiable. *)
+  let odd = Graph.path_graph 4 in
+  let unsat = C.create 4 in
+  C.set unsat 0 0;
+  C.set unsat 3 0;
+  check_bool "parity contradiction" true (B.find_coloring ~partial:unsat odd ~colors:2 = None);
+  (* So is pinning two adjacent nodes alike. *)
+  let bad = C.create 4 in
+  C.set bad 0 0;
+  C.set bad 1 0;
+  check_bool "contradiction" true (B.find_coloring ~partial:bad odd ~colors:2 = None)
+
+let test_partial_out_of_palette () =
+  let g = Graph.path_graph 2 in
+  let partial = C.create 2 in
+  C.set partial 0 7;
+  check_bool "pin beyond palette fails" true (B.find_coloring ~partial g ~colors:3 = None)
+
+let test_count_colorings () =
+  (* An n-path has c*(c-1)^(n-1) proper c-colorings. *)
+  check_int "path count" (3 * 2 * 2) (B.count_colorings (Graph.path_graph 3) ~colors:3);
+  (* Triangle with 3 colors: 3! = 6. *)
+  check_int "triangle count" 6 (B.count_colorings (Graph.complete 3) ~colors:3);
+  check_int "impossible" 0 (B.count_colorings (Graph.complete 3) ~colors:2)
+
+let test_iter_colorings_all_proper () =
+  let g = Graph.cycle_graph 4 in
+  let seen = ref 0 in
+  B.iter_colorings g ~colors:2 (fun a ->
+      incr seen;
+      check_bool "proper" true (C.is_proper g (C.of_array a)));
+  check_int "two 2-colorings" 2 !seen
+
+(* ------------------------------ perms ------------------------------ *)
+
+let test_perm_basics () =
+  let p = P.of_array [| 2; 0; 1 |] in
+  check_int "apply" 2 (P.apply p 0);
+  check_int "size" 3 (P.size p);
+  check_bool "identity" true (P.equal (P.identity 3) (P.of_array [| 0; 1; 2 |]));
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Perm.of_array: not a permutation") (fun () ->
+      ignore (P.of_array [| 0; 0; 1 |]))
+
+let test_perm_compose_inverse () =
+  let p = P.of_array [| 1; 2; 0 |] in
+  check_bool "p . p^-1 = id" true (P.equal (P.compose p (P.inverse p)) (P.identity 3));
+  check_bool "p^-1 . p = id" true (P.equal (P.compose (P.inverse p) p) (P.identity 3));
+  let q = P.transposition 3 0 2 in
+  check_int "compose applies right first" (P.apply p (P.apply q 0)) (P.apply (P.compose p q) 0)
+
+let test_perm_all () =
+  check_int "3! perms" 6 (List.length (P.all 3));
+  check_int "4! perms" 24 (List.length (P.all 4));
+  let distinct = List.sort_uniq compare (List.map P.to_array (P.all 3)) in
+  check_int "all distinct" 6 (List.length distinct)
+
+let test_transposition_decomposition () =
+  let k = 5 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          let swaps = P.transposition_decomposition ~src ~dst in
+          check_bool "at most k-1 swaps" true (List.length swaps <= k - 1);
+          (* Re-apply: swapping colors c1,c2 = post-compose transposition. *)
+          let final =
+            List.fold_left
+              (fun acc (c1, c2) -> P.compose (P.transposition k c1 c2) acc)
+              src swaps
+          in
+          check_bool "reaches dst" true (P.equal final dst))
+        (List.filteri (fun i _ -> i mod 7 = 0) (P.all k)))
+    (List.filteri (fun i _ -> i mod 13 = 0) (P.all k))
+
+let () =
+  Alcotest.run "colorings"
+    [
+      ( "coloring",
+        [
+          Alcotest.test_case "partial basics" `Quick test_partial_basics;
+          Alcotest.test_case "total + snapshots" `Quick test_total_and_snapshots;
+          Alcotest.test_case "proper checks" `Quick test_proper_checks;
+          Alcotest.test_case "colored nodes + copy" `Quick test_colored_nodes;
+        ] );
+      ( "brute",
+        [
+          Alcotest.test_case "chromatic numbers" `Quick test_chromatic_numbers;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "find proper" `Quick test_find_coloring_proper;
+          Alcotest.test_case "partial extension" `Quick test_partial_extension;
+          Alcotest.test_case "partial out of palette" `Quick test_partial_out_of_palette;
+          Alcotest.test_case "count colorings" `Quick test_count_colorings;
+          Alcotest.test_case "iter colorings" `Quick test_iter_colorings_all_proper;
+        ] );
+      ( "perm",
+        [
+          Alcotest.test_case "basics" `Quick test_perm_basics;
+          Alcotest.test_case "compose + inverse" `Quick test_perm_compose_inverse;
+          Alcotest.test_case "all" `Quick test_perm_all;
+          Alcotest.test_case "transposition decomposition" `Quick test_transposition_decomposition;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+module D = Models.Dynamic_local
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let grid rows cols = Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols
+
+let test_greedy_repair_incremental_grid () =
+  (* greedy-repair maintains a (Delta+1)=5-coloring while the grid is
+     built node by node, in several insertion orders. *)
+  let g = grid 8 8 in
+  let host = Topology.Grid2d.graph g in
+  List.iter
+    (fun order ->
+      let updates = D.incremental_grid_updates g ~order in
+      let outcome =
+        D.run ~n_hint:(Grid_graph.Graph.n host) ~palette:5 ~algorithm:D.greedy_repair
+          ~updates ()
+      in
+      check_bool "no violation" true (outcome.D.violation = None);
+      check_int "all labeled" (Grid_graph.Graph.n host) (List.length outcome.D.labels);
+      (* Cross-check properness against the host graph. *)
+      let coloring = Colorings.Coloring.create (Grid_graph.Graph.n host) in
+      List.iter
+        (fun (v, c) -> Colorings.Coloring.set coloring v c)
+        (D.relabel_to_host ~order outcome.D.labels);
+      check_bool "proper on host" true
+        (Colorings.Coloring.is_proper_total host coloring ~colors:5))
+    [
+      Models.Fixed_host.orders ~all:host `Sequential;
+      Models.Fixed_host.orders ~all:host (`Random 1);
+      Models.Fixed_host.orders ~all:host (`Random 2);
+    ]
+
+let test_greedy_repair_palette3_can_fail () =
+  (* With only 3 colors, greedy repair (locality 1) gets stuck under an
+     adversarial insertion order on a star-of-triangles...  use K4 built
+     incrementally: 4 colors needed. *)
+  let updates =
+    [
+      D.Add_node { edges = [] };
+      D.Add_node { edges = [ 0 ] };
+      D.Add_node { edges = [ 0; 1 ] };
+      D.Add_node { edges = [ 0; 1; 2 ] };
+    ]
+  in
+  let outcome = D.run ~n_hint:4 ~palette:3 ~algorithm:D.greedy_repair ~updates () in
+  check_bool "violated" true (outcome.D.violation <> None)
+
+let test_bfs_repair_stronger () =
+  (* Path built ends-first with 2 colors: greedy repair can deadlock on
+     parity, bfs repair with enough radius fixes it locally. *)
+  let g = grid 1 9 in
+  let host = Topology.Grid2d.graph g in
+  let order = [ 0; 8; 1; 7; 2; 6; 3; 5; 4 ] in
+  let updates = D.incremental_grid_updates g ~order in
+  let greedy_outcome =
+    D.run ~n_hint:9 ~palette:2 ~algorithm:D.greedy_repair ~updates ()
+  in
+  let bfs_outcome =
+    D.run ~n_hint:9 ~palette:2 ~algorithm:(D.bfs_repair ~radius:9) ~updates ()
+  in
+  ignore host;
+  (* greedy may or may not fail depending on parity luck; bfs with full
+     radius must always succeed on a path with 2 colors. *)
+  check_bool "bfs repairs" true (bfs_outcome.D.violation = None);
+  ignore greedy_outcome
+
+let test_edge_insertion () =
+  let updates =
+    [
+      D.Add_node { edges = [] };
+      D.Add_node { edges = [] };
+      D.Add_edge (0, 1);
+    ]
+  in
+  let outcome = D.run ~n_hint:2 ~palette:2 ~algorithm:D.greedy_repair ~updates () in
+  check_bool "repaired after edge insertion" true (outcome.D.violation = None)
+
+let test_deletions_gated () =
+  Alcotest.check_raises "deletion without flag"
+    (Invalid_argument "Dynamic_local.run: deletions need ~allow_deletions:true")
+    (fun () ->
+      ignore
+        (D.run ~n_hint:2 ~palette:2 ~algorithm:D.greedy_repair
+           ~updates:[ D.Add_node { edges = [] }; D.Remove_node 0 ]
+           ()))
+
+let test_fully_dynamic () =
+  (* Dynamic-LOCAL±: build a triangle, remove an edge, verify 2 colors
+     then suffice after repair. *)
+  let updates =
+    [
+      D.Add_node { edges = [] };
+      D.Add_node { edges = [ 0 ] };
+      D.Add_node { edges = [ 0; 1 ] };
+      D.Remove_edge (0, 1);
+      D.Remove_node 2;
+    ]
+  in
+  let outcome =
+    D.run ~allow_deletions:true ~n_hint:3 ~palette:3 ~algorithm:D.greedy_repair
+      ~updates ()
+  in
+  check_bool "no violation" true (outcome.D.violation = None);
+  check_int "two live nodes" 2 (List.length outcome.D.labels)
+
+let test_nonlocal_relabel_rejected () =
+  (* An algorithm that relabels a node far from the change is caught. *)
+  let cheater =
+    {
+      D.name = "cheater";
+      locality = (fun ~n:_ -> 1);
+      react =
+        (fun ~n:_ ~palette:_ view ->
+          (* Properly colors its own node but also keeps rewriting node 0,
+             which leaves the ball as soon as the path grows past it. *)
+          [ (0, 2); (view.Models.View.target, 1) ]);
+    }
+  in
+  let g = grid 1 6 in
+  let order = [ 0; 1; 2; 3; 4; 5 ] in
+  let updates = D.incremental_grid_updates g ~order in
+  let outcome = D.run ~n_hint:6 ~palette:3 ~algorithm:cheater ~updates () in
+  match outcome.D.violation with
+  | Some (_, D.Nonlocal_relabel _) -> ()
+  | other ->
+      Alcotest.failf "expected nonlocal-relabel violation, got %s"
+        (match other with
+        | None -> "none"
+        | Some (_, v) -> Format.asprintf "%a" D.pp_violation v)
+
+let test_unlabeled_detected () =
+  let lazybones =
+    { D.name = "lazy"; locality = (fun ~n:_ -> 1); react = (fun ~n:_ ~palette:_ _ -> []) }
+  in
+  let outcome =
+    D.run ~n_hint:1 ~palette:3 ~algorithm:lazybones
+      ~updates:[ D.Add_node { edges = [] } ]
+      ()
+  in
+  match outcome.D.violation with
+  | Some (1, D.Unlabeled 0) -> ()
+  | _ -> Alcotest.fail "expected unlabeled violation at step 1"
+
+let test_out_of_palette_detected () =
+  let wild =
+    {
+      D.name = "wild";
+      locality = (fun ~n:_ -> 1);
+      react = (fun ~n:_ ~palette:_ view -> [ (view.Models.View.target, 42) ]);
+    }
+  in
+  let outcome =
+    D.run ~n_hint:1 ~palette:3 ~algorithm:wild
+      ~updates:[ D.Add_node { edges = [] } ]
+      ()
+  in
+  match outcome.D.violation with
+  | Some (_, D.Out_of_palette { color = 42; _ }) -> ()
+  | _ -> Alcotest.fail "expected out-of-palette violation"
+
+let test_relabeling_count () =
+  let g = grid 4 4 in
+  let order = Models.Fixed_host.orders ~all:(Topology.Grid2d.graph g) `Sequential in
+  let updates = D.incremental_grid_updates g ~order in
+  let outcome = D.run ~n_hint:16 ~palette:5 ~algorithm:D.greedy_repair ~updates () in
+  (* greedy relabels exactly once per inserted node (no conflicts later). *)
+  check_int "one write per node" 16 outcome.D.relabelings;
+  check_int "steps" 16 outcome.D.steps
+
+let () =
+  Alcotest.run "dynamic-local"
+    [
+      ( "maintenance",
+        [
+          Alcotest.test_case "greedy 5-colors incremental grids" `Quick
+            test_greedy_repair_incremental_grid;
+          Alcotest.test_case "greedy stuck on K4/3" `Quick test_greedy_repair_palette3_can_fail;
+          Alcotest.test_case "bfs repair on a path" `Quick test_bfs_repair_stronger;
+          Alcotest.test_case "edge insertion" `Quick test_edge_insertion;
+          Alcotest.test_case "relabeling count" `Quick test_relabeling_count;
+        ] );
+      ( "model-rules",
+        [
+          Alcotest.test_case "deletions gated" `Quick test_deletions_gated;
+          Alcotest.test_case "fully dynamic" `Quick test_fully_dynamic;
+          Alcotest.test_case "nonlocal relabel rejected" `Quick test_nonlocal_relabel_rejected;
+          Alcotest.test_case "unlabeled detected" `Quick test_unlabeled_detected;
+          Alcotest.test_case "out of palette detected" `Quick test_out_of_palette_detected;
+        ] );
+    ]

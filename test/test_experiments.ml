@@ -1,0 +1,68 @@
+(* End-to-end smoke tests: the experiment drivers (quick mode) run to
+   completion and their tables contain the expected verdict markers.
+   These are the regression net for EXPERIMENTS.md. *)
+
+let render (f : ?quick:bool -> Format.formatter -> unit) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ~quick:true ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name needle out =
+  Alcotest.(check bool) (name ^ " mentions " ^ needle) true (contains ~needle out)
+
+let test_e1 () =
+  let out = render Experiments.e1_grid_lower_bound in
+  check_contains "e1" "DEFEATED" out;
+  check_contains "e1" "greedy" out;
+  check_contains "e1" "fit of T*" out
+
+let test_e2 () =
+  let out = render Experiments.e2_torus_lower_bound in
+  check_contains "e2" "DEFEATED" out;
+  check_contains "e2" "torus" out;
+  (* the quick table must not contain survivals with preconditions met *)
+  Alcotest.(check bool) "no guaranteed survivals" false
+    (contains ~needle:"true       survived" out)
+
+let test_e3 () =
+  let out = render Experiments.e3_gadget_lower_bound in
+  check_contains "e3" "DEFEATED" out;
+  check_contains "e3" "seam" out
+
+let test_e4 () =
+  let out = render Experiments.e4_upper_bound_scaling in
+  check_contains "e4" "grid" out;
+  check_contains "e4" "Ablation" out;
+  Alcotest.(check bool) "no failures at prescribed locality" false
+    (contains ~needle:"failed even" out)
+
+let test_e5 () =
+  let out = render Experiments.e5_reduction in
+  check_contains "e5" "true" out;
+  Alcotest.(check bool) "no false rows" false (contains ~needle:"false" out)
+
+let test_e6 () =
+  let out = render Experiments.e6_lemma_checks in
+  check_contains "e6" "Lemma 3.3" out;
+  check_contains "e6" "Lemma 3.4" out
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "E1" `Slow test_e1;
+          Alcotest.test_case "E2" `Slow test_e2;
+          Alcotest.test_case "E3" `Slow test_e3;
+          Alcotest.test_case "E4" `Slow test_e4;
+          Alcotest.test_case "E5" `Quick test_e5;
+          Alcotest.test_case "E6" `Quick test_e6;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* List coloring (the paper's SLOCAL intro example), identifier schemes,
+   and run transcripts. *)
+
+open Grid_graph
+module LC = Colorings.List_coloring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --------------------------- list coloring --------------------------- *)
+
+let test_uniform_instance () =
+  let g = Graph.cycle_graph 6 in
+  let lists = LC.uniform_lists g ~colors:3 in
+  check_bool "valid" true (LC.valid_instance g lists);
+  let colors = LC.greedy g lists ~order:(List.init 6 (fun i -> i)) in
+  check_bool "proper from lists" true (LC.is_list_proper g lists colors)
+
+let test_invalid_instance_detected () =
+  let g = Graph.complete 4 in
+  let lists = LC.uniform_lists g ~colors:3 in
+  check_bool "too few colors" false (LC.valid_instance g lists)
+
+let test_greedy_never_stuck_on_valid_instances () =
+  (* The intro claim: greedy solves (degree+1)-list coloring in any
+     adversarial order — across random lists, graphs, and orders. *)
+  List.iter
+    (fun seed ->
+      let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:6 ~cols:7 in
+      let g = Topology.Grid2d.graph grid in
+      let lists = LC.random_lists g ~slack:0 ~seed in
+      check_bool "instance valid" true (LC.valid_instance g lists);
+      List.iter
+        (fun order_seed ->
+          let order = Models.Fixed_host.orders ~all:g (`Random order_seed) in
+          let colors = LC.greedy g lists ~order in
+          check_bool "list proper" true (LC.is_list_proper g lists colors))
+        [ 1; 2; 3 ])
+    [ 10; 11; 12 ]
+
+let test_greedy_order_validation () =
+  let g = Graph.path_graph 3 in
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "List_coloring.greedy: order is not a permutation") (fun () ->
+      ignore (LC.greedy g (LC.uniform_lists g ~colors:2) ~order:[ 0; 0; 1 ]))
+
+let test_slocal_list_greedy_matches () =
+  (* The SLOCAL rule and the direct greedy agree on the same order. *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:5 ~cols:5 in
+  let g = Topology.Grid2d.graph grid in
+  let lists = LC.random_lists g ~slack:1 ~seed:77 in
+  let order = Models.Fixed_host.orders ~all:g (`Random 8) in
+  let direct = LC.greedy g lists ~order in
+  let universe = 1 + Array.fold_left (fun acc l -> List.fold_left max acc l) 0 lists in
+  let via_slocal =
+    Models.Slocal.run ~host:g ~palette:universe ~order
+      (Models.Slocal.list_greedy ~lists:(fun v -> lists.(v)))
+  in
+  Graph.iter_nodes g (fun v ->
+      check_int "same color" direct.(v) (Colorings.Coloring.get_exn via_slocal v));
+  (* ... and through the Online-LOCAL simulation too. *)
+  let online =
+    Models.Fixed_host.run ~host:g ~palette:universe
+      ~algorithm:(Models.Slocal.to_online (Models.Slocal.list_greedy ~lists:(fun v -> lists.(v))))
+      ~order ()
+  in
+  Graph.iter_nodes g (fun v ->
+      check_int "same via online" direct.(v)
+        (Colorings.Coloring.get_exn online.Models.Run_stats.coloring v))
+
+(* ------------------------------- ids ------------------------------- *)
+
+let test_id_schemes_injective () =
+  let n = 500 in
+  check_bool "sequential" true (Models.Ids.all_distinct Models.Ids.sequential ~n);
+  check_bool "reversed" true (Models.Ids.all_distinct (Models.Ids.reversed ~n) ~n);
+  check_bool "salted" true (Models.Ids.all_distinct (Models.Ids.salted ~seed:42 ~n) ~n)
+
+let test_salted_differs_by_seed () =
+  let n = 100 in
+  let a = Models.Ids.salted ~seed:1 ~n and b = Models.Ids.salted ~seed:2 ~n in
+  check_bool "different schemes" true
+    (List.exists (fun v -> a v <> b v) (List.init n (fun i -> i)))
+
+let test_salted_memoized () =
+  let ids = Models.Ids.salted ~seed:7 ~n:50 in
+  check_int "stable" (ids 13) (ids 13)
+
+let test_cole_vishkin_with_salted_ids () =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:9 ~cols:9 in
+  let ids = Models.Ids.salted ~seed:3 ~n:81 in
+  let trace = Models.Cole_vishkin.five_color ~ids grid in
+  check_bool "proper" true
+    (Colorings.Coloring.is_proper (Topology.Grid2d.graph grid)
+       (Colorings.Coloring.of_array trace.Models.Cole_vishkin.colors))
+
+(* ---------------------------- transcripts ---------------------------- *)
+
+let test_transcript_records () =
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:6 ~cols:6 in
+  let host = Topology.Grid2d.graph grid in
+  let t = Models.Transcript.create () in
+  let algo = Models.Transcript.wrap t (Models.Algorithm.greedy_first_fit) in
+  let order = Models.Fixed_host.orders ~all:host `Sequential in
+  let outcome = Models.Fixed_host.run ~host ~palette:3 ~algorithm:algo ~order () in
+  ignore outcome;
+  let steps = Models.Transcript.steps t in
+  check_int "36 steps" 36 (List.length steps);
+  let first = List.hd steps in
+  check_int "step 1" 1 first.Models.Transcript.index;
+  check_int "first id" 1 first.Models.Transcript.target_id;
+  (* region sizes never shrink *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Models.Transcript.region_size <= b.Models.Transcript.region_size
+        && monotone rest
+    | _ -> true
+  in
+  check_bool "region monotone" true (monotone steps)
+
+let test_transcript_csv_and_summary () =
+  let host = Graph.path_graph 4 in
+  let t = Models.Transcript.create () in
+  let algo = Models.Transcript.wrap t Models.Algorithm.greedy_first_fit in
+  ignore (Models.Fixed_host.run ~host ~palette:2 ~algorithm:algo ~order:[ 0; 1; 2; 3 ] ());
+  let csv = Models.Transcript.to_csv t in
+  check_int "header + 4 rows" 5
+    (List.length (String.split_on_char '\n' (String.trim csv)));
+  check_bool "summary mentions steps" true
+    (String.length (Models.Transcript.summary t) > 0)
+
+let test_transcript_transparent () =
+  (* Wrapping must not change behavior. *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:7 ~cols:7 in
+  let host = Topology.Grid2d.graph grid in
+  let order = Models.Fixed_host.orders ~all:host (`Random 5) in
+  let bare =
+    Models.Fixed_host.run ~host ~palette:3
+      ~algorithm:(Online_local.Kp1_coloring.ael_bipartite ())
+      ~order ()
+  in
+  let t = Models.Transcript.create () in
+  let wrapped =
+    Models.Fixed_host.run ~host ~palette:3
+      ~algorithm:(Models.Transcript.wrap t (Online_local.Kp1_coloring.ael_bipartite ()))
+      ~order ()
+  in
+  Alcotest.(check (array int))
+    "identical colorings"
+    (Colorings.Coloring.to_array_exn bare.Models.Run_stats.coloring)
+    (Colorings.Coloring.to_array_exn wrapped.Models.Run_stats.coloring)
+
+let () =
+  Alcotest.run "extras"
+    [
+      ( "list-coloring",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_instance;
+          Alcotest.test_case "invalid detected" `Quick test_invalid_instance_detected;
+          Alcotest.test_case "never stuck" `Quick test_greedy_never_stuck_on_valid_instances;
+          Alcotest.test_case "order validation" `Quick test_greedy_order_validation;
+          Alcotest.test_case "slocal rule matches" `Quick test_slocal_list_greedy_matches;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "injective" `Quick test_id_schemes_injective;
+          Alcotest.test_case "seed-dependent" `Quick test_salted_differs_by_seed;
+          Alcotest.test_case "memoized" `Quick test_salted_memoized;
+          Alcotest.test_case "cole-vishkin with salted ids" `Quick test_cole_vishkin_with_salted_ids;
+        ] );
+      ( "transcripts",
+        [
+          Alcotest.test_case "records" `Quick test_transcript_records;
+          Alcotest.test_case "csv + summary" `Quick test_transcript_csv_and_summary;
+          Alcotest.test_case "transparent" `Quick test_transcript_transparent;
+        ] );
+    ]

@@ -1,0 +1,62 @@
+open Online_local
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_registry () =
+  check_int "four games" 4 (List.length Game.games);
+  check_bool "find known" true (Game.find "thm1-grid" <> None);
+  check_bool "find unknown" true (Game.find "nonsense" = None)
+
+let test_thm1_game_defeats_greedy () =
+  let v = Game.thm1.Game.play ~n:3200 (Portfolio.greedy ()) in
+  check_bool "defeated" true v.Game.defeated;
+  check_bool "guaranteed at T=1" true v.Game.guaranteed;
+  check_int "size recorded" 3200 v.Game.n
+
+let test_thm2_game_rounds_to_odd () =
+  let v = Game.thm2_torus.Game.play ~n:20 (Portfolio.greedy ()) in
+  check_int "odd side" 21 v.Game.n;
+  check_bool "defeated" true v.Game.defeated
+
+let test_thm2_cylinder_game () =
+  let v = Game.thm2_cylinder.Game.play ~n:13 (Portfolio.greedy ()) in
+  check_bool "defeated" true v.Game.defeated;
+  check_bool "guaranteed" true v.Game.guaranteed
+
+let test_thm3_game () =
+  let v = Game.thm3.Game.play ~n:9 (Portfolio.gadget_rows ()) in
+  check_bool "defeated" true v.Game.defeated;
+  check_bool "guaranteed" true v.Game.guaranteed
+
+let test_every_game_beats_greedy () =
+  List.iter
+    (fun g ->
+      let v = g.Game.play ~n:25 (Portfolio.greedy ()) in
+      check_bool (g.Game.name ^ " beats greedy") true v.Game.defeated)
+    Game.games
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_verdict_renders () =
+  let v = Game.thm3.Game.play ~n:5 (Portfolio.greedy ()) in
+  let s = Format.asprintf "%a" Game.pp_verdict v in
+  check_bool "mentions adversary" true (contains ~needle:"thm3" s)
+
+let () =
+  Alcotest.run "game"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "thm1 vs greedy" `Quick test_thm1_game_defeats_greedy;
+          Alcotest.test_case "thm2 odd rounding" `Quick test_thm2_game_rounds_to_odd;
+          Alcotest.test_case "thm2 cylinder" `Quick test_thm2_cylinder_game;
+          Alcotest.test_case "thm3" `Quick test_thm3_game;
+          Alcotest.test_case "all games beat greedy" `Slow test_every_game_beats_greedy;
+          Alcotest.test_case "verdict renders" `Quick test_verdict_renders;
+        ] );
+    ]

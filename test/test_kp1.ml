@@ -1,0 +1,306 @@
+open Online_local
+module FH = Models.Fixed_host
+module RS = Models.Run_stats
+module K = Kp1_coloring
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let grid rows cols = Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols
+
+let run_grid ?(t = 4) ?(palette = 3) ?stats ~seed ~rows ~cols maker =
+  let g = grid rows cols in
+  let host = Topology.Grid2d.graph g in
+  let algo = maker ?stats ~t () in
+  let order = FH.orders ~all:host (`Random seed) in
+  let outcome =
+    FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette ~algorithm:algo ~order ()
+  in
+  (RS.succeeded outcome ~colors:palette ~host, outcome)
+
+let kp1_maker ?stats ~t () = K.make ?stats ~k:2 ~locality:(fun ~n:_ -> t) ()
+let ael_maker ?stats ~t () = K.ael_bipartite ?stats ~locality:(fun ~n:_ -> t) ()
+
+let test_kp1_grid_many_seeds () =
+  for seed = 0 to 9 do
+    let ok, _ = run_grid ~seed ~rows:16 ~cols:16 kp1_maker in
+    check_bool (Printf.sprintf "seed %d" seed) true ok
+  done
+
+let test_ael_matches_kp1 () =
+  (* The oracle-based k=2 instance and the incremental bipartite instance
+     implement the same algorithm; their stats must agree on every run. *)
+  for seed = 0 to 5 do
+    let s1 = K.fresh_stats () and s2 = K.fresh_stats () in
+    let ok1, o1 = run_grid ~stats:s1 ~seed ~rows:14 ~cols:14 kp1_maker in
+    let ok2, o2 = run_grid ~stats:s2 ~seed ~rows:14 ~cols:14 ael_maker in
+    check_bool "both succeed" true (ok1 && ok2);
+    check_int "same swaps" s1.K.swaps s2.K.swaps;
+    check_int "same wave commits" s1.K.wave_commits s2.K.wave_commits;
+    (* And identical colorings node for node. *)
+    let c1 = Colorings.Coloring.to_array_exn o1.RS.coloring in
+    let c2 = Colorings.Coloring.to_array_exn o2.RS.coloring in
+    Alcotest.(check (array int)) "identical colorings" c1 c2
+  done
+
+let test_default_locality_always_succeeds () =
+  (* At the prescribed T = 3(k-1)ceil(log2 n), no escapes ever occur. *)
+  List.iter
+    (fun (rows, cols, seed) ->
+      let g = grid rows cols in
+      let host = Topology.Grid2d.graph g in
+      let stats = K.fresh_stats () in
+      let algo = K.make ~stats ~k:2 () in
+      let order = FH.orders ~all:host (`Random seed) in
+      let outcome =
+        FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo
+          ~order ()
+      in
+      check_bool "succeeded" true (RS.succeeded outcome ~colors:3 ~host);
+      check_int "no escapes" 0 stats.K.escapes)
+    [ (10, 10, 1); (12, 9, 2); (20, 20, 3) ]
+
+let test_sequential_and_two_ends_orders () =
+  let g = grid 15 15 in
+  let host = Topology.Grid2d.graph g in
+  List.iter
+    (fun order ->
+      let algo = K.make ~k:2 ~locality:(fun ~n:_ -> 5) () in
+      let outcome =
+        FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo
+          ~order ()
+      in
+      check_bool "succeeded" true (RS.succeeded outcome ~colors:3 ~host))
+    (Measure.adversarial_orders ~host ~seeds:[ 5; 6 ])
+
+let test_determinism () =
+  let run () =
+    let _, o = run_grid ~seed:7 ~rows:12 ~cols:12 kp1_maker in
+    Colorings.Coloring.to_array_exn o.RS.coloring
+  in
+  Alcotest.(check (array int)) "same run twice" (run ()) (run ())
+
+let test_tri_grid_k3 () =
+  for seed = 0 to 4 do
+    let tri = Topology.Tri_grid.create ~side:20 in
+    let host = Topology.Tri_grid.graph tri in
+    let stats = K.fresh_stats () in
+    let algo = K.make ~stats ~k:3 ~locality:(fun ~n:_ -> 6) () in
+    let order = FH.orders ~all:host (`Random seed) in
+    let outcome =
+      FH.run ~oracle:(Oracles.tri_grid tri) ~host ~palette:4 ~algorithm:algo ~order ()
+    in
+    check_bool (Printf.sprintf "tri seed %d" seed) true
+      (RS.succeeded outcome ~colors:4 ~host)
+  done
+
+let test_ktree_coloring () =
+  List.iter
+    (fun k ->
+      let kt = Topology.Ktree.random ~k ~n:200 ~seed:(k * 7) in
+      let host = Topology.Ktree.graph kt in
+      let algo = K.make ~k:(k + 1) ~locality:(fun ~n:_ -> 3) () in
+      let order = FH.orders ~all:host (`Random 1) in
+      let outcome =
+        FH.run ~oracle:(Oracles.ktree kt) ~host ~palette:(k + 2) ~algorithm:algo
+          ~order ()
+      in
+      check_bool
+        (Printf.sprintf "(k+2)-colors %d-tree" k)
+        true
+        (RS.succeeded outcome ~colors:(k + 2) ~host))
+    [ 2; 3; 4 ]
+
+let test_layered_coloring () =
+  let base = Topology.Grid2d.graph (grid 5 5) in
+  List.iter
+    (fun k ->
+      let lay = Topology.Layered.create ~base ~k in
+      let host = Topology.Layered.graph lay in
+      let algo = K.make ~k ~locality:(fun ~n:_ -> 5) () in
+      let order = FH.orders ~all:host (`Random 2) in
+      let outcome =
+        FH.run ~oracle:(Oracles.layered lay) ~host ~palette:(k + 1) ~algorithm:algo
+          ~order ()
+      in
+      check_bool
+        (Printf.sprintf "(k+1)-colors G_%d" k)
+        true
+        (RS.succeeded outcome ~colors:(k + 1) ~host))
+    [ 2; 3; 4 ]
+
+let test_bipartite_wrapped_grids () =
+  (* Even cylinders and even-by-even tori are bipartite, so the k = 2
+     algorithm covers them too (Corollary 1.1 is about all bipartite
+     graphs, not just simple grids). *)
+  List.iter
+    (fun (wrap, rows, cols) ->
+      let g = Topology.Grid2d.create wrap ~rows ~cols in
+      let host = Topology.Grid2d.graph g in
+      let algo = K.make ~k:2 ~locality:(fun ~n:_ -> 4) () in
+      let order = FH.orders ~all:host (`Random 3) in
+      let outcome =
+        FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo
+          ~order ()
+      in
+      check_bool
+        (Printf.sprintf "wrapped %dx%d" rows cols)
+        true
+        (RS.succeeded outcome ~colors:3 ~host))
+    [
+      (Topology.Grid2d.Cylindrical, 8, 10);
+      (Topology.Grid2d.Toroidal, 8, 10);
+      (Topology.Grid2d.Cylindrical, 5, 12);
+    ]
+
+let test_general_bipartite_host () =
+  (* An arbitrary bipartite host: a random even-cycle-glued structure
+     (here: a hypercube-ish graph = product of paths). *)
+  let host =
+    (* 4-dimensional hypercube: bipartite, degree 4. *)
+    let n = 16 in
+    let edges = ref [] in
+    for v = 0 to n - 1 do
+      for b = 0 to 3 do
+        let w = v lxor (1 lsl b) in
+        if v < w then edges := (v, w) :: !edges
+      done
+    done;
+    Grid_graph.Graph.create ~n ~edges:!edges
+  in
+  let algo = K.ael_bipartite ~locality:(fun ~n:_ -> 2) () in
+  for seed = 0 to 4 do
+    let order = FH.orders ~all:host (`Random seed) in
+    let outcome = FH.run ~host ~palette:3 ~algorithm:algo ~order () in
+    check_bool
+      (Printf.sprintf "hypercube seed %d" seed)
+      true
+      (RS.succeeded outcome ~colors:3 ~host)
+  done
+
+(* Randomized end-to-end property: at the prescribed locality, kp1 never
+   fails on random small grids with random orders. *)
+let prop_kp1_prescribed_always_wins =
+  QCheck2.Test.make ~name:"kp1 at prescribed locality always proper" ~count:25
+    QCheck2.Gen.(
+      triple (int_range 3 14) (int_range 3 14) (int_range 0 10_000))
+    (fun (rows, cols, seed) ->
+      let g = grid rows cols in
+      let host = Topology.Grid2d.graph g in
+      let algo = K.make ~k:2 () in
+      let order = FH.orders ~all:host (`Random seed) in
+      let outcome =
+        FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo
+          ~order ()
+      in
+      RS.succeeded outcome ~colors:3 ~host)
+
+let prop_ael_tight_locality_proper_or_caught =
+  (* At arbitrary (possibly insufficient) localities, the outcome is
+     always *audited*: either a proper coloring or an explicit violation
+     certificate — never a silent bad state. *)
+  QCheck2.Test.make ~name:"every outcome is proper or certified" ~count:25
+    QCheck2.Gen.(
+      triple (int_range 4 16) (int_range 1 4) (int_range 0 10_000))
+    (fun (side, t, seed) ->
+      let g = grid side side in
+      let host = Topology.Grid2d.graph g in
+      let algo = K.ael_bipartite ~locality:(fun ~n:_ -> t) () in
+      let order = FH.orders ~all:host (`Random seed) in
+      let outcome = FH.run ~host ~palette:3 ~algorithm:algo ~order () in
+      match outcome.RS.violation with
+      | Some _ -> true
+      | None -> RS.succeeded outcome ~colors:3 ~host)
+
+let test_flip_larger_ablation () =
+  (* The ablation must still color properly when T is generous, but it
+     performs at least as many type changes as the paper's choice on
+     merge-heavy orders. *)
+  let g = grid 16 16 in
+  let host = Topology.Grid2d.graph g in
+  let order = FH.orders ~all:host (`Random 11) in
+  let run flip =
+    let stats = K.fresh_stats () in
+    let algo = K.make ~stats ~k:2 ~flip ~locality:(fun ~n:_ -> 12) () in
+    let outcome =
+      FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo
+        ~order ()
+    in
+    (RS.succeeded outcome ~colors:3 ~host, stats)
+  in
+  let ok_s, smaller = run `Smaller in
+  let ok_l, larger = run `Larger in
+  check_bool "smaller flip succeeds" true ok_s;
+  check_bool "larger flip succeeds" true ok_l;
+  check_bool "ablation does at least as many wave commits" true
+    (larger.K.wave_commits >= smaller.K.wave_commits)
+
+let test_palette_too_small_rejected () =
+  let g = grid 5 5 in
+  let host = Topology.Grid2d.graph g in
+  let algo = K.make ~k:2 () in
+  Alcotest.check_raises "palette" (Invalid_argument "kp1: palette must have k+1 colors")
+    (fun () ->
+      ignore
+        (FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:2 ~algorithm:algo
+           ~order:[ 0 ] ()))
+
+let test_oracle_required () =
+  let host = Topology.Grid2d.graph (grid 4 4) in
+  let algo = K.make ~k:2 () in
+  Alcotest.check_raises "oracle" (Invalid_argument "kp1: partition oracle required")
+    (fun () -> ignore (FH.run ~host ~palette:3 ~algorithm:algo ~order:[ 0 ] ()))
+
+let test_k_validation () =
+  Alcotest.check_raises "k" (Invalid_argument "kp1: k must be >= 2") (fun () ->
+      ignore (K.make ~k:1 ()))
+
+let test_default_locality_formula () =
+  check_int "k=2 n=1024" (3 * 10) (K.default_locality ~k:2 ~n:1024);
+  check_int "k=3 n=1000" (6 * 10) (K.default_locality ~k:3 ~n:1000);
+  check_int "tiny n" 1 (K.default_locality ~k:2 ~n:1)
+
+let test_stats_counters_behave () =
+  let g = grid 18 18 in
+  let host = Topology.Grid2d.graph g in
+  let stats = K.fresh_stats () in
+  let algo = K.make ~stats ~k:2 ~locality:(fun ~n:_ -> 3) () in
+  let order = FH.orders ~all:host (`Random 9) in
+  ignore (FH.run ~oracle:(Oracles.grid_bipartition g) ~host ~palette:3 ~algorithm:algo ~order ());
+  check_int "largest group is everything" (18 * 18) stats.K.largest_group;
+  check_bool "swaps accompany type changes" true (stats.K.swaps >= stats.K.type_changes);
+  check_bool "waves accompany swaps" true
+    (stats.K.swaps = 0 || stats.K.wave_commits > 0)
+
+let () =
+  Alcotest.run "kp1-coloring"
+    [
+      ( "grid-k2",
+        [
+          Alcotest.test_case "many seeds" `Quick test_kp1_grid_many_seeds;
+          Alcotest.test_case "ael = kp1(k=2)" `Quick test_ael_matches_kp1;
+          Alcotest.test_case "prescribed locality" `Quick test_default_locality_always_succeeds;
+          Alcotest.test_case "stress orders" `Quick test_sequential_and_two_ends_orders;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "other-hosts",
+        [
+          Alcotest.test_case "triangular grid k=3" `Slow test_tri_grid_k3;
+          Alcotest.test_case "k-trees" `Quick test_ktree_coloring;
+          Alcotest.test_case "layered G_k" `Quick test_layered_coloring;
+          Alcotest.test_case "bipartite wrapped grids" `Quick test_bipartite_wrapped_grids;
+          Alcotest.test_case "hypercube host" `Quick test_general_bipartite_host;
+        ] );
+      ( "kp1-properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_kp1_prescribed_always_wins; prop_ael_tight_locality_proper_or_caught ] );
+      ( "ablation-and-validation",
+        [
+          Alcotest.test_case "flip larger" `Quick test_flip_larger_ablation;
+          Alcotest.test_case "palette too small" `Quick test_palette_too_small_rejected;
+          Alcotest.test_case "oracle required" `Quick test_oracle_required;
+          Alcotest.test_case "k >= 2" `Quick test_k_validation;
+          Alcotest.test_case "default locality" `Quick test_default_locality_formula;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters_behave;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Rendering, fitting, the general wrapped-grid 3-coloring, the
+   rectangular-grid remarks after Theorems 1 and 2, and the stress-order
+   generator. *)
+
+open Online_local
+module G2 = Topology.Grid2d
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------- proper_3_coloring ------------------------- *)
+
+let test_general_3_coloring_all_wraps () =
+  List.iter
+    (fun (wrap, rows, cols) ->
+      let grid = G2.create wrap ~rows ~cols in
+      let colors = G2.proper_3_coloring grid in
+      check_bool
+        (Printf.sprintf "proper %dx%d" rows cols)
+        true
+        (Colorings.Coloring.is_proper (G2.graph grid) (Colorings.Coloring.of_array colors));
+      check_bool "three colors" true (Array.for_all (fun c -> c >= 0 && c < 3) colors))
+    [
+      (G2.Simple, 5, 7);
+      (G2.Cylindrical, 4, 5);
+      (G2.Cylindrical, 3, 7);
+      (G2.Toroidal, 5, 5);
+      (G2.Toroidal, 5, 7);
+      (G2.Toroidal, 4, 9);
+      (G2.Toroidal, 3, 3);
+      (G2.Toroidal, 7, 11);
+    ]
+
+let test_general_3_coloring_matches_chromatic () =
+  (* For non-bipartite wrapped grids the chromatic number is exactly 3 —
+     the construction is optimal. *)
+  let grid = G2.create G2.Toroidal ~rows:5 ~cols:5 in
+  check_int "chromatic 3" 3 (Colorings.Brute.chromatic_number (G2.graph grid))
+
+(* ------------------------------ render ------------------------------ *)
+
+let test_render_grid_coloring () =
+  let grid = G2.create G2.Simple ~rows:2 ~cols:3 in
+  let colors = [| Some 0; Some 1; None; Some 2; Some 1; Some 0 |] in
+  check_string "render" "01.\n210" (Topology.Render.grid_coloring grid (fun v -> colors.(v)))
+
+let test_render_region () =
+  let probe r c =
+    if r = 0 && c = 0 then `Colored 2 else if c = 1 then `Seen else `Unseen
+  in
+  check_string "window" "2o \n o " (Topology.Render.region ~rows:(0, 1) ~cols:(0, 2) probe)
+
+(* ------------------------------- fit ------------------------------- *)
+
+let test_fit_exact_line () =
+  let line = Experiments.Fit.fit [ (0., 1.); (1., 3.); (2., 5.) ] in
+  check_bool "slope" true (abs_float (line.Experiments.Fit.slope -. 2.) < 1e-9);
+  check_bool "intercept" true (abs_float (line.Experiments.Fit.intercept -. 1.) < 1e-9);
+  check_bool "r2" true (abs_float (line.Experiments.Fit.r_squared -. 1.) < 1e-9)
+
+let test_fit_log () =
+  (* y = 3 log2 x exactly. *)
+  let points = List.map (fun x -> (float_of_int x, 3. *. (log (float_of_int x) /. log 2.))) [ 2; 4; 8; 16; 64 ] in
+  let line = Experiments.Fit.fit_log_x points in
+  check_bool "slope 3" true (abs_float (line.Experiments.Fit.slope -. 3.) < 1e-9)
+
+let test_fit_validation () =
+  Alcotest.check_raises "too few" (Invalid_argument "Fit.fit: need at least 2 points")
+    (fun () -> ignore (Experiments.Fit.fit [ (1., 1.) ]))
+
+(* -------------------------- stress orders -------------------------- *)
+
+let test_adversarial_orders_are_permutations () =
+  let host = Grid_graph.Graph.path_graph 21 in
+  let orders = Measure.adversarial_orders ~host ~seeds:[ 3; 4 ] in
+  check_int "five orders" 5 (List.length orders);
+  List.iter
+    (fun order ->
+      check_int "permutation" 21 (List.length (List.sort_uniq compare order)))
+    orders
+
+let test_bit_reversal_spreads () =
+  let host = Grid_graph.Graph.path_graph 16 in
+  match Measure.adversarial_orders ~host ~seeds:[] with
+  | [ _; _; bitrev ] ->
+      (* The first two nodes are the two halves' representatives. *)
+      check_int "first" 0 (List.nth bitrev 0);
+      check_int "second" 8 (List.nth bitrev 1);
+      check_int "third" 4 (List.nth bitrev 2)
+  | _ -> Alcotest.fail "expected three built-in orders"
+
+(* -------------------- rectangular-grid remarks -------------------- *)
+
+let test_thm1_rectangular_remark () =
+  (* Wide-but-short grids: when the height cannot host the endgame
+     rectangle (a < ~4T+5), the construction does not fit — Omega(min(log
+     b, a)).  Height needed vs available is reported via [fits]. *)
+  let algo = Portfolio.ael ~t:3 () in
+  let tall = Thm1_adversary.run ~dims:(60, 4000) ~n_side:0 ~k:4 ~algorithm:algo () in
+  check_bool "tall enough: fits" true tall.Thm1_adversary.fits;
+  let flat = Thm1_adversary.run ~dims:(6, 4000) ~n_side:0 ~k:4 ~algorithm:algo () in
+  check_bool "too flat: does not fit" false flat.Thm1_adversary.fits
+
+let test_thm2_rectangular_remark () =
+  (* Omega(a) for odd b: row count gates the attack, column count does
+     not (beyond oddness). *)
+  let r_ok =
+    Thm2_adversary.run_rect ~wrap:`Cylindrical ~rows:9 ~cols:15
+      ~algorithm:(Portfolio.greedy ()) ()
+  in
+  check_bool "9 rows, T=1: preconditions met" true r_ok.Thm2_adversary.preconditions_met;
+  check_bool "defeated" true
+    (match r_ok.Thm2_adversary.result with `Defeated _ -> true | `Survived -> false);
+  let r_flat =
+    Thm2_adversary.run_rect ~wrap:`Cylindrical ~rows:7 ~cols:101
+      ~algorithm:(Portfolio.greedy ()) ()
+  in
+  check_bool "7 rows: preconditions unmet however wide" false
+    r_flat.Thm2_adversary.preconditions_met;
+  let r_even =
+    Thm2_adversary.run_rect ~wrap:`Cylindrical ~rows:51 ~cols:10
+      ~algorithm:(Portfolio.greedy ()) ()
+  in
+  check_bool "even columns: no parity lever" false r_even.Thm2_adversary.preconditions_met
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "general-3-coloring",
+        [
+          Alcotest.test_case "all wraps" `Quick test_general_3_coloring_all_wraps;
+          Alcotest.test_case "matches chromatic" `Slow test_general_3_coloring_matches_chromatic;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "grid coloring" `Quick test_render_grid_coloring;
+          Alcotest.test_case "region window" `Quick test_render_region;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "exact line" `Quick test_fit_exact_line;
+          Alcotest.test_case "log fit" `Quick test_fit_log;
+          Alcotest.test_case "validation" `Quick test_fit_validation;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "permutations" `Quick test_adversarial_orders_are_permutations;
+          Alcotest.test_case "bit reversal" `Quick test_bit_reversal_spreads;
+        ] );
+      ( "rectangular-remarks",
+        [
+          Alcotest.test_case "thm1 remark" `Quick test_thm1_rectangular_remark;
+          Alcotest.test_case "thm2 remark" `Quick test_thm2_rectangular_remark;
+        ] );
+    ]

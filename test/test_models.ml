@@ -1,0 +1,304 @@
+open Grid_graph
+module A = Models.Algorithm
+module V = Models.View
+module FH = Models.Fixed_host
+module RS = Models.Run_stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let grid rows cols = Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols
+
+(* An algorithm that records what it sees, for auditing the executor. *)
+let spy seen =
+  A.stateless ~name:"spy" ~locality:(fun ~n:_ -> 2) (fun view ->
+      seen := view.V.new_nodes :: !seen;
+      0)
+
+let test_reveal_is_union_of_balls () =
+  let g2 = grid 7 7 in
+  let host = Topology.Grid2d.graph g2 in
+  let t = FH.start ~host ~palette:3 ~algorithm:A.greedy_first_fit () in
+  let v1 = Topology.Grid2d.node g2 ~row:3 ~col:3 in
+  ignore (FH.present t v1);
+  let revealed = FH.revealed_host_nodes t in
+  let expected = Bfs.ball host [ v1 ] 1 in
+  Alcotest.(check (list int)) "first ball" expected (List.sort compare revealed);
+  let v2 = Topology.Grid2d.node g2 ~row:0 ~col:0 in
+  ignore (FH.present t v2);
+  let expected2 = List.sort_uniq compare (expected @ Bfs.ball host [ v2 ] 1) in
+  Alcotest.(check (list int)) "union of balls" expected2
+    (List.sort compare (FH.revealed_host_nodes t))
+
+let test_view_is_induced_subgraph () =
+  let g2 = grid 6 6 in
+  let host = Topology.Grid2d.graph g2 in
+  let captured = ref None in
+  let capture =
+    A.stateless ~name:"capture" ~locality:(fun ~n:_ -> 2) (fun view ->
+        captured := Some (V.snapshot_graph view);
+        0)
+  in
+  let t = FH.start ~host ~palette:3 ~algorithm:capture () in
+  ignore (FH.present t (Topology.Grid2d.node g2 ~row:2 ~col:2));
+  ignore (FH.present t (Topology.Grid2d.node g2 ~row:2 ~col:3));
+  match !captured with
+  | None -> Alcotest.fail "no view captured"
+  | Some snap ->
+      (* The snapshot must be isomorphic to the induced subgraph on the
+         revealed host nodes — and with our handle order, equal up to the
+         executor's to_host relabeling. *)
+      let revealed = FH.revealed_host_nodes t in
+      let emb = Subgraph.induced host revealed in
+      check_int "same node count" (Graph.n emb.Subgraph.graph) (Graph.n snap);
+      check_int "same edge count" (Graph.m emb.Subgraph.graph) (Graph.m snap)
+
+let test_presented_twice_rejected () =
+  let host = Graph.path_graph 5 in
+  let t = FH.start ~host ~palette:3 ~algorithm:A.greedy_first_fit () in
+  ignore (FH.present t 2);
+  Alcotest.check_raises "double present"
+    (Invalid_argument "Fixed_host.present: node 2 presented twice") (fun () ->
+      ignore (FH.present t 2))
+
+let test_palette_overflow_certificate () =
+  let bad = A.stateless ~name:"bad" ~locality:(fun ~n:_ -> 1) (fun _ -> 99) in
+  let host = Graph.path_graph 3 in
+  let outcome = FH.run ~host ~palette:3 ~algorithm:bad ~order:[ 0; 1; 2 ] () in
+  (match outcome.RS.violation with
+  | Some (RS.Palette_overflow { color = 99; _ }) -> ()
+  | _ -> Alcotest.fail "expected palette overflow");
+  check_bool "not succeeded" false (RS.succeeded outcome ~colors:3 ~host)
+
+let test_greedy_succeeds_on_path () =
+  let host = Graph.path_graph 20 in
+  let outcome =
+    FH.run ~host ~palette:2 ~algorithm:A.greedy_first_fit
+      ~order:(FH.orders ~all:host `Sequential) ()
+  in
+  check_bool "greedy 2-colors a path sequentially" true
+    (RS.succeeded outcome ~colors:2 ~host)
+
+let test_greedy_can_fail_on_adversarial_order () =
+  (* Classic: color both ends of each odd-even pair first. *)
+  let host = Graph.path_graph 6 in
+  (* Present 0,3 far apart (T=1 balls disjoint)... greedy colors both 0;
+     then 1,4 get 1; then 2 adjacent to 1(=1) and 3(=0) -> stuck with
+     palette 2. *)
+  let outcome =
+    FH.run ~host ~palette:2 ~algorithm:A.greedy_first_fit ~order:[ 0; 3; 1; 4; 2; 5 ] ()
+  in
+  check_bool "violated" true (outcome.RS.violation <> None)
+
+let test_ids_and_hints_plumbing () =
+  let host = Graph.path_graph 3 in
+  let got_ids = ref [] and got_hint = ref None in
+  let probe =
+    A.stateless ~name:"probe" ~locality:(fun ~n:_ -> 1) (fun view ->
+        got_ids := List.map view.V.id view.V.new_nodes;
+        got_hint := view.V.hint view.V.target;
+        0)
+  in
+  let outcome =
+    FH.run
+      ~ids:(fun v -> 100 + v)
+      ~hints:(fun v -> Some (V.Layer_pos { layer = v }))
+      ~host ~palette:3 ~algorithm:probe ~order:[ 1 ] ()
+  in
+  ignore outcome;
+  check_bool "custom ids" true (List.mem 101 !got_ids);
+  check_bool "custom hint" true (!got_hint = Some (V.Layer_pos { layer = 1 }))
+
+let test_spy_sees_monotone_reveals () =
+  let g2 = grid 8 8 in
+  let host = Topology.Grid2d.graph g2 in
+  let seen = ref [] in
+  let order = FH.orders ~all:host (`Random 13) in
+  ignore (FH.run ~host ~palette:3 ~algorithm:(spy seen) ~order ());
+  (* New handles must be strictly increasing across steps. *)
+  let all = List.concat (List.rev !seen) in
+  let sorted = List.sort compare all in
+  check_bool "handles unique" true (List.length (List.sort_uniq compare all) = List.length all);
+  check_bool "allocation order" true (all = sorted)
+
+(* ------------------------- LOCAL model ------------------------- *)
+
+let test_local_stripes_runs () =
+  let g2 = grid 5 6 in
+  let host = Topology.Grid2d.graph g2 in
+  let algo = Models.Local_model.grid_stripes g2 in
+  let coloring = Models.Local_model.run ~host ~palette:3 algo in
+  check_bool "proper" true (Colorings.Coloring.is_proper_total host coloring ~colors:3)
+
+let test_local_ball_view_is_local () =
+  (* A LOCAL algorithm at locality 1 sees exactly its closed neighborhood. *)
+  let sizes = ref [] in
+  let algo =
+    {
+      Models.Local_model.name = "size-probe";
+      locality = (fun ~n:_ -> 1);
+      output =
+        (fun ~n:_ ~palette:_ view ->
+          sizes := view.V.node_count () :: !sizes;
+          0);
+    }
+  in
+  let host = Graph.cycle_graph 10 in
+  ignore (Models.Local_model.run ~host ~palette:1 algo);
+  check_bool "every view has 3 nodes" true (List.for_all (( = ) 3) !sizes)
+
+let test_local_to_online_simulation () =
+  (* The simulated LOCAL algorithm must produce the same coloring in
+     Online-LOCAL as in LOCAL, for every presentation order. *)
+  let g2 = grid 4 5 in
+  let host = Topology.Grid2d.graph g2 in
+  let algo = Models.Local_model.grid_stripes g2 in
+  let direct = Models.Local_model.run ~host ~palette:3 algo in
+  List.iter
+    (fun order ->
+      let outcome =
+        FH.run ~host ~palette:3 ~algorithm:(Models.Local_model.to_online algo) ~order ()
+      in
+      check_bool "simulation succeeded" true (RS.succeeded outcome ~colors:3 ~host);
+      Graph.iter_nodes host (fun v ->
+          check_int "same output"
+            (Colorings.Coloring.get_exn direct v)
+            (Colorings.Coloring.get_exn outcome.RS.coloring v)))
+    [ FH.orders ~all:host `Sequential; FH.orders ~all:host (`Random 4) ]
+
+(* ------------------------- SLOCAL model ------------------------- *)
+
+let test_slocal_greedy () =
+  let host = Graph.complete 5 in
+  let order = FH.orders ~all:host `Sequential in
+  let coloring = Models.Slocal.run ~host ~palette:5 ~order Models.Slocal.greedy in
+  check_bool "greedy (degree+1)-colors K5" true
+    (Colorings.Coloring.is_proper_total host coloring ~colors:5)
+
+let test_slocal_to_online_matches () =
+  let g2 = grid 5 5 in
+  let host = Topology.Grid2d.graph g2 in
+  let order = FH.orders ~all:host (`Random 21) in
+  let direct = Models.Slocal.run ~host ~palette:4 ~order Models.Slocal.greedy in
+  let outcome =
+    FH.run ~host ~palette:4
+      ~algorithm:(Models.Slocal.to_online Models.Slocal.greedy)
+      ~order ()
+  in
+  Graph.iter_nodes host (fun v ->
+      check_int "same greedy output"
+        (Colorings.Coloring.get_exn direct v)
+        (Colorings.Coloring.get_exn outcome.RS.coloring v))
+
+let test_partial_order_partial_coloring () =
+  (* Presenting only part of the host yields a partial coloring, which
+     never counts as success. *)
+  let host = Graph.path_graph 10 in
+  let outcome =
+    FH.run ~host ~palette:2 ~algorithm:A.greedy_first_fit ~order:[ 0; 1; 2 ] ()
+  in
+  check_bool "no violation" true (outcome.RS.violation = None);
+  check_int "three colored" 3 (Colorings.Coloring.colored_count outcome.RS.coloring);
+  check_bool "not succeeded" false (RS.succeeded outcome ~colors:2 ~host)
+
+let test_algorithm_exception_becomes_certificate () =
+  let crasher =
+    A.stateless ~name:"crasher" ~locality:(fun ~n:_ -> 1) (fun view ->
+        if view.V.step = 2 then failwith "boom" else 0)
+  in
+  let host = Graph.path_graph 4 in
+  let outcome = FH.run ~host ~palette:3 ~algorithm:crasher ~order:[ 0; 2; 3 ] () in
+  match outcome.RS.violation with
+  | Some (RS.Algorithm_failure { node = 2; message }) ->
+      check_bool "message mentions boom" true
+        (String.length message > 0);
+      (* The run stopped at the failing step. *)
+      check_int "stopped" 2 outcome.RS.presented
+  | other ->
+      Alcotest.failf "expected algorithm failure, got %s"
+        (match other with
+        | None -> "success"
+        | Some v -> Format.asprintf "%a" RS.pp_violation v)
+
+let test_kp1_oracle_parts_mismatch () =
+  let g2 = grid 4 4 in
+  let host = Topology.Grid2d.graph g2 in
+  let algo = Online_local.Kp1_coloring.make ~k:3 () in
+  Alcotest.check_raises "parts mismatch" (Invalid_argument "kp1: oracle parts <> k")
+    (fun () ->
+      ignore
+        (FH.run
+           ~oracle:(Online_local.Oracles.grid_bipartition g2)
+           ~host ~palette:4 ~algorithm:algo ~order:[ 0 ] ()))
+
+let test_oracle_radius_extends_reveals () =
+  (* With an oracle of radius 2 and locality 1, each presentation must
+     reveal the radius-3 host ball. *)
+  let g2 = grid 9 9 in
+  let host = Topology.Grid2d.graph g2 in
+  let algo =
+    {
+      Models.Algorithm.name = "noop";
+      locality = (fun ~n:_ -> 1);
+      instantiate = (fun ~n:_ ~palette:_ ~oracle:_ _ -> 0);
+    }
+  in
+  let oracle ~to_host =
+    ignore to_host;
+    {
+      Models.Oracle.parts = 2;
+      radius = 2;
+      query = (fun _ handles -> Array.make (List.length handles) 0);
+    }
+  in
+  let t = FH.start ~oracle ~host ~palette:3 ~algorithm:algo () in
+  let center = Topology.Grid2d.node g2 ~row:4 ~col:4 in
+  ignore (FH.present t center);
+  let expected = Bfs.ball host [ center ] 3 in
+  Alcotest.(check (list int))
+    "radius = locality + oracle radius" expected
+    (List.sort compare (FH.revealed_host_nodes t))
+
+let test_orders () =
+  let host = Graph.path_graph 6 in
+  Alcotest.(check (list int)) "sequential" [ 0; 1; 2; 3; 4; 5 ]
+    (FH.orders ~all:host `Sequential);
+  let shuffled = FH.orders ~all:host (`Random 3) in
+  check_int "permutation" 6 (List.length (List.sort_uniq compare shuffled));
+  Alcotest.(check (list int)) "deterministic" shuffled (FH.orders ~all:host (`Random 3))
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "fixed-host",
+        [
+          Alcotest.test_case "reveal = union of balls" `Quick test_reveal_is_union_of_balls;
+          Alcotest.test_case "view induced subgraph" `Quick test_view_is_induced_subgraph;
+          Alcotest.test_case "double present rejected" `Quick test_presented_twice_rejected;
+          Alcotest.test_case "palette overflow" `Quick test_palette_overflow_certificate;
+          Alcotest.test_case "greedy path sequential" `Quick test_greedy_succeeds_on_path;
+          Alcotest.test_case "greedy adversarial order" `Quick test_greedy_can_fail_on_adversarial_order;
+          Alcotest.test_case "ids and hints" `Quick test_ids_and_hints_plumbing;
+          Alcotest.test_case "monotone reveals" `Quick test_spy_sees_monotone_reveals;
+          Alcotest.test_case "orders" `Quick test_orders;
+          Alcotest.test_case "oracle radius accounting" `Quick
+            test_oracle_radius_extends_reveals;
+          Alcotest.test_case "partial order partial coloring" `Quick
+            test_partial_order_partial_coloring;
+          Alcotest.test_case "kp1 oracle parts mismatch" `Quick
+            test_kp1_oracle_parts_mismatch;
+          Alcotest.test_case "exception becomes certificate" `Quick
+            test_algorithm_exception_becomes_certificate;
+        ] );
+      ( "local",
+        [
+          Alcotest.test_case "stripes runs" `Quick test_local_stripes_runs;
+          Alcotest.test_case "ball views local" `Quick test_local_ball_view_is_local;
+          Alcotest.test_case "to_online simulation" `Quick test_local_to_online_simulation;
+        ] );
+      ( "slocal",
+        [
+          Alcotest.test_case "greedy" `Quick test_slocal_greedy;
+          Alcotest.test_case "to_online matches" `Quick test_slocal_to_online_matches;
+        ] );
+    ]

@@ -1,0 +1,110 @@
+module S = Colorings.Segments
+module Bv = Colorings.Bvalue
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_decompose_example () =
+  (* Paper colors 3 2 1 2 1 3 = our 2 1 0 1 0 2. *)
+  let colors = [| 2; 1; 0; 1; 0; 2 |] in
+  let path = [ 0; 1; 2; 3; 4; 5 ] in
+  match S.decompose colors path with
+  | [ seg ] ->
+      check_int "start" 1 seg.S.start_index;
+      check_int "stop" 4 seg.S.stop_index;
+      check_int "first color" 1 seg.S.first_color;
+      check_int "last color" 0 seg.S.last_color
+  | other -> Alcotest.failf "expected one segment, got %d" (List.length other)
+
+let test_decompose_multiple () =
+  (* 1 0 2 0 2 1 0 1: segments [1,0], [0], [1,0,1]. *)
+  let colors = [| 1; 0; 2; 0; 2; 1; 0; 1 |] in
+  let segs = S.decompose colors [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  check_int "three segments" 3 (List.length segs);
+  let plus, minus = S.transition_counts colors [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  (* 1->0 once; 0->0 none; 1->1 none. *)
+  check_int "plus" 1 plus;
+  check_int "minus" 0 minus
+
+let test_all_special () =
+  let colors = [| 2; 2; 2 |] in
+  check_bool "no segments" true (S.decompose colors [ 0; 1; 2 ] = []);
+  check_int "b via segments" 0 (S.b_via_segments colors [ 0; 1; 2 ])
+
+let test_empty_path () =
+  check_bool "empty" true (S.decompose [| 0 |] [] = [])
+
+(* The Section 3.1 identity: for properly colored paths,
+   b(P) = plus - minus. *)
+let proper_path_gen =
+  QCheck2.Gen.(
+    bind (int_range 1 40) (fun len ->
+        bind (int_range 0 2) (fun first ->
+            map
+              (fun moves ->
+                let arr = Array.make (len + 1) first in
+                List.iteri (fun i m -> arr.(i + 1) <- (arr.(i) + m) mod 3) moves;
+                arr)
+              (list_size (return len) (int_range 1 2)))))
+
+let prop_identity =
+  QCheck2.Test.make ~name:"b = plus - minus on proper paths" ~count:500 proper_path_gen
+    (fun colors ->
+      let path = List.init (Array.length colors) (fun i -> i) in
+      Bv.b_path colors path = S.b_via_segments colors path)
+
+let prop_segment_structure =
+  QCheck2.Test.make ~name:"segments tile the non-special nodes" ~count:300
+    proper_path_gen (fun colors ->
+      let path = List.init (Array.length colors) (fun i -> i) in
+      let segs = S.decompose colors path in
+      let covered =
+        List.concat_map
+          (fun s -> List.init (s.S.stop_index - s.S.start_index + 1) (fun i -> s.S.start_index + i))
+          segs
+      in
+      let non_special =
+        List.filteri (fun i _ -> colors.(i) <> Bv.special) path
+        |> List.mapi (fun _ v -> v)
+      in
+      List.length covered = List.length non_special
+      && List.for_all (fun i -> colors.(i) <> Bv.special) covered)
+
+let test_regions_grid () =
+  (* A 3x3 grid colored with a special-color cross through the center
+     row: two regions (top row, bottom row). *)
+  let grid = Topology.Grid2d.create Topology.Grid2d.Simple ~rows:3 ~cols:3 in
+  let g = Topology.Grid2d.graph grid in
+  let colors =
+    Array.init 9 (fun v ->
+        let r, c = Topology.Grid2d.coords grid v in
+        if r = 1 then 2 else (r + c) mod 2)
+  in
+  let regions = S.regions g colors in
+  check_int "two regions" 2 (List.length regions);
+  List.iter (fun reg -> check_int "three nodes each" 3 (List.length reg)) regions
+
+let test_regions_whole_graph () =
+  let g = Grid_graph.Graph.path_graph 5 in
+  let colors = [| 0; 1; 0; 1; 0 |] in
+  check_int "one region" 1 (List.length (S.regions g colors))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "segments"
+    [
+      ( "decomposition",
+        [
+          Alcotest.test_case "paper example" `Quick test_decompose_example;
+          Alcotest.test_case "multiple segments" `Quick test_decompose_multiple;
+          Alcotest.test_case "all special" `Quick test_all_special;
+          Alcotest.test_case "empty path" `Quick test_empty_path;
+        ] );
+      ("identity", qsuite [ prop_identity; prop_segment_structure ]);
+      ( "regions",
+        [
+          Alcotest.test_case "cross-separated grid" `Quick test_regions_grid;
+          Alcotest.test_case "no special nodes" `Quick test_regions_whole_graph;
+        ] );
+    ]

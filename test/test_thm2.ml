@@ -1,0 +1,159 @@
+open Online_local
+module T2 = Thm2_adversary
+module A = Models.Algorithm
+open Grid_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let defeated r = match r.T2.result with `Defeated _ -> true | `Survived -> false
+
+let test_variant_plain_is_the_grid () =
+  List.iter
+    (fun (wrap, g2wrap) ->
+      let side = 7 in
+      let plain = T2.variant_host ~wrap ~side ~reflect:false ~band_lo:3 ~band_hi:5 in
+      let reference =
+        Topology.Grid2d.graph (Topology.Grid2d.create g2wrap ~rows:side ~cols:side)
+      in
+      check_bool "equal to reference grid" true (Graph.equal plain reference))
+    [ (`Cylindrical, Topology.Grid2d.Cylindrical); (`Toroidal, Topology.Grid2d.Toroidal) ]
+
+let test_variant_isomorphic () =
+  (* phi = column reflection inside the band maps the reflected variant
+     onto the plain grid. *)
+  List.iter
+    (fun wrap ->
+      let side = 7 and band_lo = 3 and band_hi = 5 in
+      let plain = T2.variant_host ~wrap ~side ~reflect:false ~band_lo ~band_hi in
+      let refl = T2.variant_host ~wrap ~side ~reflect:true ~band_lo ~band_hi in
+      let phi v =
+        let r = v / side and j = v mod side in
+        if r >= band_lo && r <= band_hi then (r * side) + ((side - j) mod side) else v
+      in
+      check_int "same edge count" (Graph.m plain) (Graph.m refl);
+      Graph.iter_edges refl (fun u v ->
+          check_bool "phi maps edges" true (Graph.mem_edge plain (phi u) (phi v))))
+    [ `Cylindrical; `Toroidal ]
+
+let test_variant_agrees_on_bands () =
+  (* Induced subgraphs on the revealed bands coincide between variants. *)
+  let wrap = `Toroidal and side = 13 in
+  let band_lo = 3 and band_hi = 7 in
+  let plain = T2.variant_host ~wrap ~side ~reflect:false ~band_lo ~band_hi in
+  let refl = T2.variant_host ~wrap ~side ~reflect:true ~band_lo ~band_hi in
+  let rows_nodes rows = List.concat_map (fun r -> List.init side (fun j -> (r * side) + j)) rows in
+  List.iter
+    (fun rows ->
+      let a = Subgraph.induced plain (rows_nodes rows) in
+      let b = Subgraph.induced refl (rows_nodes rows) in
+      check_bool "identical induced band" true (Graph.equal a.Subgraph.graph b.Subgraph.graph))
+    [ [ 0; 1; 2 ]; [ 4; 5; 6 ]; [ 8; 9 ] ]
+
+let test_row_cycle_b () =
+  (* Stripes (i + j) mod 3 on a 3-divisible cylinder: each a-value along
+     a row is defined and sums telescope. *)
+  let side = 9 in
+  let colors = Array.init (side * side) (fun v -> ((v / side) + (v mod side)) mod 3) in
+  let c = Colorings.Coloring.of_array colors in
+  let b_east = T2.row_cycle_b c ~side ~row:2 ~east:true in
+  let b_west = T2.row_cycle_b c ~side ~row:2 ~east:false in
+  check_int "reversal negates" 0 (b_east + b_west)
+
+let test_defeats_greedy () =
+  List.iter
+    (fun wrap ->
+      List.iter
+        (fun side ->
+          let r = T2.run ~wrap ~side ~algorithm:A.greedy_first_fit () in
+          check_bool
+            (Printf.sprintf "defeated side=%d" side)
+            true (defeated r);
+          check_bool "preconditions" true r.T2.preconditions_met)
+        [ 9; 13; 21 ])
+    [ `Cylindrical; `Toroidal ]
+
+let test_defeats_stripes () =
+  (* stripes3 colors (row+col) mod 3 from hints; Fixed_host provides no
+     hints here so it answers 0 everywhere — trivially defeated.  The
+     interesting victim is an algorithm that is proper on the plain host:
+     simulate one by coloring from the node id's coordinates. *)
+  let id_stripes side =
+    A.stateless ~name:"id-stripes" ~locality:(fun ~n:_ -> 1) (fun view ->
+        let v = view.Models.View.id view.Models.View.target - 1 in
+        ((v / side) + (v mod side)) mod 3)
+  in
+  let side = 9 in
+  (* id-stripes 3-colors the plain toroidal grid properly (side mod 3 = 0). *)
+  let host = T2.variant_host ~wrap:`Toroidal ~side ~reflect:false ~band_lo:3 ~band_hi:5 in
+  let outcome =
+    Models.Fixed_host.run ~host ~palette:3 ~algorithm:(id_stripes side)
+      ~order:(Models.Fixed_host.orders ~all:host `Sequential)
+      ()
+  in
+  check_bool "proper on plain host" true
+    (Models.Run_stats.succeeded outcome ~colors:3 ~host);
+  (* ... and the adversary still defeats it. *)
+  let r = T2.run ~wrap:`Toroidal ~side ~algorithm:(id_stripes side) () in
+  check_bool "defeated by reflection" true (defeated r)
+
+let test_row_b_values_odd () =
+  (* When the run survives to a full coloring, both recorded row b-values
+     are odd (Lemma 3.5 with odd side). *)
+  let side = 9 in
+  let id_stripes =
+    A.stateless ~name:"id-stripes" ~locality:(fun ~n:_ -> 1) (fun view ->
+        let v = view.Models.View.id view.Models.View.target - 1 in
+        ((v / side) + (v mod side)) mod 3)
+  in
+  let r = T2.run ~wrap:`Cylindrical ~side ~algorithm:id_stripes () in
+  (* Defeated or not, if s-values were computed from a total coloring,
+     they are odd. *)
+  if r.T2.s_east <> 0 || r.T2.s_west <> 0 then begin
+    check_int "s_east odd" 1 (abs r.T2.s_east mod 2);
+    check_int "s_west odd" 1 (abs r.T2.s_west mod 2)
+  end
+
+let test_defeats_ael_on_torus () =
+  (* AEL assumes a bipartite host; on an odd torus its parity labeling
+     eventually meets an odd cycle and the executor converts the crash
+     into an Algorithm_failure certificate — defeat, like any other. *)
+  let r = T2.run ~wrap:`Toroidal ~side:13 ~algorithm:(Portfolio.ael ~t:1 ()) () in
+  check_bool "defeated" true (defeated r);
+  match r.T2.result with
+  | `Defeated (Models.Run_stats.Algorithm_failure _)
+  | `Defeated (Models.Run_stats.Monochromatic_edge _) ->
+      ()
+  | `Defeated other ->
+      Alcotest.failf "unexpected violation: %a" Models.Run_stats.pp_violation other
+  | `Survived -> Alcotest.fail "cannot survive"
+
+let test_preconditions_reported () =
+  (* side too small for T=1: 4T+4 = 8 > 7. *)
+  let r = T2.run ~wrap:`Cylindrical ~side:7 ~algorithm:A.greedy_first_fit () in
+  check_bool "preconditions false" false r.T2.preconditions_met
+
+let test_even_side_not_guaranteed () =
+  let r = T2.run ~wrap:`Cylindrical ~side:12 ~algorithm:A.greedy_first_fit () in
+  check_bool "even side -> preconditions false" false r.T2.preconditions_met
+
+let () =
+  Alcotest.run "thm2-adversary"
+    [
+      ( "host-variants",
+        [
+          Alcotest.test_case "plain = grid" `Quick test_variant_plain_is_the_grid;
+          Alcotest.test_case "isomorphic" `Quick test_variant_isomorphic;
+          Alcotest.test_case "bands agree" `Quick test_variant_agrees_on_bands;
+          Alcotest.test_case "row cycle b" `Quick test_row_cycle_b;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "defeats greedy" `Quick test_defeats_greedy;
+          Alcotest.test_case "defeats proper stripes" `Quick test_defeats_stripes;
+          Alcotest.test_case "row b odd" `Quick test_row_b_values_odd;
+          Alcotest.test_case "ael crashes into a certificate" `Quick test_defeats_ael_on_torus;
+          Alcotest.test_case "preconditions small side" `Quick test_preconditions_reported;
+          Alcotest.test_case "preconditions even side" `Quick test_even_side_not_guaranteed;
+        ] );
+    ]

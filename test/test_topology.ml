@@ -1,0 +1,403 @@
+open Grid_graph
+module G2 = Topology.Grid2d
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let proper g colors = Colorings.Coloring.is_proper g (Colorings.Coloring.of_array colors)
+
+(* ---------------------------- 2d grids ---------------------------- *)
+
+let test_simple_grid_structure () =
+  let grid = G2.create G2.Simple ~rows:3 ~cols:4 in
+  let g = G2.graph grid in
+  check_int "n" 12 (Graph.n g);
+  (* m = rows*(cols-1) + cols*(rows-1) *)
+  check_int "m" ((3 * 3) + (4 * 2)) (Graph.m g);
+  check_bool "horizontal" true (Graph.mem_edge g (G2.node grid ~row:1 ~col:1) (G2.node grid ~row:1 ~col:2));
+  check_bool "vertical" true (Graph.mem_edge g (G2.node grid ~row:1 ~col:1) (G2.node grid ~row:2 ~col:1));
+  check_bool "no diagonal" false (Graph.mem_edge g (G2.node grid ~row:0 ~col:0) (G2.node grid ~row:1 ~col:1));
+  check_bool "no wrap" false (Graph.mem_edge g (G2.node grid ~row:0 ~col:0) (G2.node grid ~row:0 ~col:3))
+
+let test_coords_roundtrip () =
+  let grid = G2.create G2.Simple ~rows:5 ~cols:7 in
+  for r = 0 to 4 do
+    for c = 0 to 6 do
+      let v = G2.node grid ~row:r ~col:c in
+      Alcotest.(check (pair int int)) "roundtrip" (r, c) (G2.coords grid v)
+    done
+  done
+
+let test_cylindrical_grid () =
+  let grid = G2.create G2.Cylindrical ~rows:3 ~cols:5 in
+  let g = G2.graph grid in
+  check_int "m" ((3 * 5) + (5 * 2)) (Graph.m g);
+  check_bool "col wrap" true (Graph.mem_edge g (G2.node grid ~row:1 ~col:0) (G2.node grid ~row:1 ~col:4));
+  check_bool "no row wrap" false (Graph.mem_edge g (G2.node grid ~row:0 ~col:2) (G2.node grid ~row:2 ~col:2));
+  (* rows are cycles, columns are paths *)
+  let row = G2.row_nodes grid 1 in
+  check_bool "row is cycle" true (Walk.is_cycle g row);
+  let col = G2.col_nodes grid 2 in
+  check_bool "col is path" true (Walk.is_path g col)
+
+let test_toroidal_grid () =
+  let grid = G2.create G2.Toroidal ~rows:4 ~cols:5 in
+  let g = G2.graph grid in
+  check_int "m" (2 * 4 * 5) (Graph.m g);
+  check_bool "4-regular" true (Graph.max_degree g = 4 && Graph.degree g 0 = 4);
+  check_bool "row wrap" true (Graph.mem_edge g (G2.node grid ~row:0 ~col:3) (G2.node grid ~row:3 ~col:3));
+  check_bool "row cycle" true (Walk.is_cycle g (G2.row_nodes grid 2));
+  check_bool "col cycle" true (Walk.is_cycle g (G2.col_nodes grid 2))
+
+let test_wrap_validation () =
+  Alcotest.check_raises "cols too small"
+    (Invalid_argument "Grid2d.create: wrapping columns needs cols >= 3") (fun () ->
+      ignore (G2.create G2.Cylindrical ~rows:3 ~cols:2));
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Grid2d.create: nonpositive dimension") (fun () ->
+      ignore (G2.create G2.Simple ~rows:0 ~cols:3))
+
+let test_segments () =
+  let grid = G2.create G2.Simple ~rows:4 ~cols:6 in
+  let g = G2.graph grid in
+  let seg = G2.row_segment grid ~row:2 ~col_lo:1 ~col_hi:4 in
+  check_int "segment length" 4 (List.length seg);
+  check_bool "segment is path" true (Walk.is_path g seg);
+  let cseg = G2.col_segment grid ~col:3 ~row_lo:0 ~row_hi:3 in
+  check_bool "col segment is path" true (Walk.is_path g cseg)
+
+let test_grid_bipartite_parity () =
+  List.iter
+    (fun (wrap, rows, cols, expect) ->
+      let grid = G2.create wrap ~rows ~cols in
+      check_bool
+        (Printf.sprintf "bipartite %dx%d" rows cols)
+        expect
+        (Bipartite.is_bipartite (G2.graph grid)))
+    [
+      (G2.Simple, 5, 5, true);
+      (G2.Cylindrical, 4, 6, true);
+      (G2.Cylindrical, 4, 5, false);
+      (G2.Toroidal, 4, 6, true);
+      (G2.Toroidal, 5, 6, false);
+      (G2.Toroidal, 5, 5, false);
+    ]
+
+let test_canonical_colorings () =
+  let simple = G2.create G2.Simple ~rows:6 ~cols:7 in
+  check_bool "2-coloring proper" true
+    (proper (G2.graph simple) (G2.canonical_2_coloring simple));
+  check_bool "3-coloring proper (simple)" true
+    (proper (G2.graph simple) (G2.canonical_3_coloring simple));
+  let cyl = G2.create G2.Cylindrical ~rows:4 ~cols:9 in
+  check_bool "3-coloring proper (cyl, cols%3=0)" true
+    (proper (G2.graph cyl) (G2.canonical_3_coloring cyl));
+  let tor = G2.create G2.Toroidal ~rows:6 ~cols:9 in
+  check_bool "3-coloring proper (torus, both %3=0)" true
+    (proper (G2.graph tor) (G2.canonical_3_coloring tor));
+  let bad = G2.create G2.Toroidal ~rows:5 ~cols:7 in
+  Alcotest.check_raises "no recipe"
+    (Invalid_argument "Grid2d.canonical_3_coloring: no canonical recipe applies")
+    (fun () -> ignore (G2.canonical_3_coloring bad))
+
+(* -------------------------- triangular grids -------------------------- *)
+
+let test_tri_grid_structure () =
+  let t = Topology.Tri_grid.create ~side:3 in
+  let g = Topology.Tri_grid.graph t in
+  (* Nodes: (side+1)(side+2)/2 = 10. *)
+  check_int "n" 10 (Graph.n g);
+  check_bool "unit edge" true
+    (Graph.mem_edge g (Topology.Tri_grid.node t ~x:0 ~y:0) (Topology.Tri_grid.node t ~x:1 ~y:0));
+  check_bool "anti-diagonal edge" true
+    (Graph.mem_edge g (Topology.Tri_grid.node t ~x:1 ~y:0) (Topology.Tri_grid.node t ~x:0 ~y:1));
+  check_bool "no main diagonal" false
+    (Graph.mem_edge g (Topology.Tri_grid.node t ~x:0 ~y:0) (Topology.Tri_grid.node t ~x:1 ~y:1));
+  check_bool "membership" true (Topology.Tri_grid.mem t ~x:0 ~y:3);
+  check_bool "outside" false (Topology.Tri_grid.mem t ~x:2 ~y:2)
+
+let test_tri_grid_coloring () =
+  let t = Topology.Tri_grid.create ~side:8 in
+  check_bool "3-coloring proper" true
+    (proper (Topology.Tri_grid.graph t) (Topology.Tri_grid.canonical_3_coloring t));
+  check_int "chromatic number 3" 3 (Colorings.Brute.chromatic_number (Topology.Tri_grid.graph (Topology.Tri_grid.create ~side:3)))
+
+let test_tri_grid_triangles () =
+  let t = Topology.Tri_grid.create ~side:4 in
+  let g = Topology.Tri_grid.graph t in
+  (* An interior node belongs to 6 unit triangles. *)
+  let interior = Topology.Tri_grid.node t ~x:1 ~y:1 in
+  let tris = Topology.Tri_grid.triangles_containing t interior in
+  check_int "interior triangles" 6 (List.length tris);
+  List.iter (fun tri -> check_bool "is clique" true (Graph.is_clique g tri)) tris;
+  (* Every corner of the big triangle belongs to exactly 1 unit triangle
+     — including the apexes, which the paper's literal main-diagonal
+     definition would have orphaned. *)
+  List.iter
+    (fun (x, y) ->
+      let corner = Topology.Tri_grid.node t ~x ~y in
+      check_int
+        (Printf.sprintf "corner (%d,%d) triangles" x y)
+        1
+        (List.length (Topology.Tri_grid.triangles_containing t corner)))
+    [ (0, 0); (4, 0); (0, 4) ];
+  (* No node is left outside every triangle. *)
+  Graph.iter_nodes g (fun v ->
+      check_bool "in some triangle" true (Topology.Tri_grid.triangles_containing t v <> []))
+
+(* ------------------------------ k-trees ------------------------------ *)
+
+let test_ktree_structure () =
+  let kt = Topology.Ktree.create ~k:2 ~n:10 ~attach:(fun i -> i) in
+  let g = Topology.Ktree.graph kt in
+  check_int "n" 10 (Graph.n g);
+  (* 2-tree: m = 3 (root triangle) + 2 per extra node. *)
+  check_int "m" (3 + (2 * 7)) (Graph.m g);
+  Array.iter
+    (fun clique -> check_bool "maximal clique" true (Graph.is_clique g (Array.to_list clique)))
+    (Topology.Ktree.cliques kt)
+
+let test_ktree_coloring () =
+  List.iter
+    (fun k ->
+      let kt = Topology.Ktree.random ~k ~n:(4 * (k + 2)) ~seed:11 in
+      let g = Topology.Ktree.graph kt in
+      check_bool
+        (Printf.sprintf "canonical (k+1)-coloring proper, k=%d" k)
+        true
+        (proper g (Topology.Ktree.canonical_coloring kt));
+      check_int
+        (Printf.sprintf "chromatic = k+1, k=%d" k)
+        (k + 1)
+        (Colorings.Brute.chromatic_number g))
+    [ 1; 2; 3 ]
+
+let test_ktree_membership () =
+  let kt = Topology.Ktree.random ~k:2 ~n:12 ~seed:5 in
+  for v = 0 to 11 do
+    let cliques = Topology.Ktree.cliques_containing kt v in
+    check_bool "in some clique" true (cliques <> []);
+    List.iter
+      (fun c -> check_bool "member" true (Array.exists (( = ) v) c))
+      cliques
+  done
+
+let test_ktree_validation () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Ktree.create: need at least k+1 nodes") (fun () ->
+      ignore (Topology.Ktree.create ~k:3 ~n:3 ~attach:(fun _ -> 0)))
+
+(* ------------------------------ gadgets ------------------------------ *)
+
+let test_gadget_edges () =
+  let c = Topology.Gadget.create ~k:3 ~gadgets:2 () in
+  let g = Topology.Gadget.graph c in
+  check_int "n" 18 (Graph.n g);
+  let n000 = Topology.Gadget.node c ~gadget:0 ~row:0 ~col:0 in
+  let n011 = Topology.Gadget.node c ~gadget:0 ~row:1 ~col:1 in
+  let n001 = Topology.Gadget.node c ~gadget:0 ~row:0 ~col:1 in
+  let n010 = Topology.Gadget.node c ~gadget:0 ~row:1 ~col:0 in
+  check_bool "different row+col" true (Graph.mem_edge g n000 n011);
+  check_bool "same row" false (Graph.mem_edge g n000 n001);
+  check_bool "same col" false (Graph.mem_edge g n000 n010);
+  let m100 = Topology.Gadget.node c ~gadget:1 ~row:0 ~col:0 in
+  let m111 = Topology.Gadget.node c ~gadget:1 ~row:1 ~col:1 in
+  check_bool "cross-gadget different row+col" true (Graph.mem_edge g n000 m111);
+  check_bool "cross-gadget same row" false (Graph.mem_edge g n000 m100)
+
+let test_gadget_coords_roundtrip () =
+  let c = Topology.Gadget.create ~k:4 ~gadgets:3 () in
+  for gdt = 0 to 2 do
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        let v = Topology.Gadget.node c ~gadget:gdt ~row:i ~col:j in
+        Alcotest.(check (triple int int int)) "roundtrip" (gdt, i, j)
+          (Topology.Gadget.coords c v)
+      done
+    done
+  done
+
+let test_gadget_k_partite () =
+  List.iter
+    (fun k ->
+      let c = Topology.Gadget.create ~k ~gadgets:4 () in
+      check_bool
+        (Printf.sprintf "canonical k-coloring proper k=%d" k)
+        true
+        (proper (Topology.Gadget.graph c) (Topology.Gadget.canonical_k_coloring c)))
+    [ 2; 3; 4 ]
+
+let test_gadget_seam_isomorphic () =
+  (* The seam variant is isomorphic to the plain chain via transposing
+     every gadget past the seam. *)
+  let k = 3 and gadgets = 4 and seam = 1 in
+  let plain = Topology.Gadget.create ~k ~gadgets () in
+  let seamed = Topology.Gadget.create ~seam ~k ~gadgets () in
+  let phi v =
+    let g, i, j = Topology.Gadget.coords seamed v in
+    if g > seam then Topology.Gadget.node plain ~gadget:g ~row:j ~col:i
+    else v
+  in
+  let gs = Topology.Gadget.graph seamed and gp = Topology.Gadget.graph plain in
+  check_int "same edge count" (Graph.m gp) (Graph.m gs);
+  Graph.iter_edges gs (fun u v ->
+      check_bool "phi maps edges to edges" true (Graph.mem_edge gp (phi u) (phi v)))
+
+let test_gadget_seam_preserves_prefix_suffix () =
+  let k = 3 and gadgets = 6 and seam = 2 in
+  let plain = Topology.Gadget.create ~k ~gadgets () in
+  let seamed = Topology.Gadget.create ~seam ~k ~gadgets () in
+  let gp = Topology.Gadget.graph plain and gs = Topology.Gadget.graph seamed in
+  (* Induced subgraphs on gadgets 0..seam and on gadgets seam+1.. are
+     byte-identical between the two hosts. *)
+  let nodes_of range = List.concat_map (Topology.Gadget.gadget_nodes plain) range in
+  let prefix = nodes_of [ 0; 1; 2 ] and suffix = nodes_of [ 3; 4; 5 ] in
+  List.iter
+    (fun part ->
+      let ep = Subgraph.induced gp part and es = Subgraph.induced gs part in
+      check_bool "identical induced subgraph" true
+        (Graph.equal ep.Subgraph.graph es.Subgraph.graph))
+    [ prefix; suffix ]
+
+let test_gadget_seam_canonical_proper () =
+  let c = Topology.Gadget.create ~seam:2 ~k:3 ~gadgets:5 () in
+  check_bool "seam canonical proper" true
+    (proper (Topology.Gadget.graph c) (Topology.Gadget.canonical_k_coloring c))
+
+(* --------------------------- layered graphs --------------------------- *)
+
+let base_grid rows cols = G2.graph (G2.create G2.Simple ~rows ~cols)
+
+let test_layered_counts () =
+  let base = base_grid 3 4 in
+  List.iter
+    (fun k ->
+      let t = Topology.Layered.create ~base ~k in
+      check_int
+        (Printf.sprintf "n_k for k=%d" k)
+        ((1 lsl (k - 2)) * 12)
+        (Graph.n (Topology.Layered.graph t)))
+    [ 2; 3; 4; 5 ]
+
+let test_layered_parents () =
+  let base = base_grid 3 3 in
+  let t = Topology.Layered.create ~base ~k:4 in
+  let g = Topology.Layered.graph t in
+  Graph.iter_nodes g (fun v ->
+      match Topology.Layered.parent t v with
+      | None -> check_int "layer 2" 2 (Topology.Layered.layer t v)
+      | Some p ->
+          check_bool "adjacent to parent" true (Graph.mem_edge g v p);
+          check_bool "parent in lower layer" true
+            (Topology.Layered.layer t p < Topology.Layered.layer t v);
+          (* v* is adjacent to all of parent's older neighbors. *)
+          let pa = Topology.Layered.base_ancestor t v in
+          check_int "ancestor in base layer" 2 (Topology.Layered.layer t pa))
+
+let test_layered_twins () =
+  let base = base_grid 2 3 in
+  let t = Topology.Layered.create ~base ~k:3 in
+  let g = Topology.Layered.graph t in
+  for v = 0 to 5 do
+    match Topology.Layered.duplicate_in_top_layer t v with
+    | None -> Alcotest.fail "expected twin"
+    | Some tw ->
+        check_bool "twin adjacent" true (Graph.mem_edge g v tw);
+        check_int "twin layer" 3 (Topology.Layered.layer t tw);
+        (* Twin adjacent to all of v's base-graph neighbors. *)
+        Array.iter
+          (fun w -> if w < 6 then check_bool "twin covers neighbor" true (Graph.mem_edge g tw w))
+          (Graph.neighbors base v)
+  done
+
+let test_layered_coloring () =
+  let base = base_grid 3 4 in
+  List.iter
+    (fun k ->
+      let t = Topology.Layered.create ~base ~k in
+      check_bool
+        (Printf.sprintf "canonical %d-coloring proper" k)
+        true
+        (proper (Topology.Layered.graph t) (Topology.Layered.canonical_k_coloring t)))
+    [ 2; 3; 4; 5 ]
+
+let test_layered_chromatic () =
+  let base = base_grid 2 2 in
+  List.iter
+    (fun k ->
+      let t = Topology.Layered.create ~base ~k in
+      check_int
+        (Printf.sprintf "chromatic(G_%d) = %d" k k)
+        k
+        (Colorings.Brute.chromatic_number (Topology.Layered.graph t)))
+    [ 2; 3; 4 ]
+
+let test_layered_cliques_claim () =
+  (* Claim 5.3: every node is in a k-clique together with its base ancestor. *)
+  let base = base_grid 2 3 in
+  let k = 4 in
+  let t = Topology.Layered.create ~base ~k in
+  let g = Topology.Layered.graph t in
+  Graph.iter_nodes g (fun v ->
+      let anc = Topology.Layered.base_ancestor t v in
+      let rec extend clique =
+        if List.length clique >= k then true
+        else
+          let cands =
+            Array.to_list (Graph.neighbors g (List.hd clique))
+            |> List.filter (fun w ->
+                   (not (List.mem w clique))
+                   && List.for_all (fun u -> Graph.mem_edge g u w) clique)
+          in
+          List.exists (fun w -> extend (w :: clique)) cands
+      in
+      let start = if v = anc then [ v ] else [ anc; v ] in
+      let ok = (v = anc || Graph.mem_edge g v anc) && extend start in
+      check_bool "k-clique with ancestor exists" true ok)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "grid2d",
+        [
+          Alcotest.test_case "simple structure" `Quick test_simple_grid_structure;
+          Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+          Alcotest.test_case "cylindrical" `Quick test_cylindrical_grid;
+          Alcotest.test_case "toroidal" `Quick test_toroidal_grid;
+          Alcotest.test_case "wrap validation" `Quick test_wrap_validation;
+          Alcotest.test_case "segments" `Quick test_segments;
+          Alcotest.test_case "bipartite parity" `Quick test_grid_bipartite_parity;
+          Alcotest.test_case "canonical colorings" `Quick test_canonical_colorings;
+        ] );
+      ( "tri-grid",
+        [
+          Alcotest.test_case "structure" `Quick test_tri_grid_structure;
+          Alcotest.test_case "coloring" `Quick test_tri_grid_coloring;
+          Alcotest.test_case "triangles" `Quick test_tri_grid_triangles;
+        ] );
+      ( "ktree",
+        [
+          Alcotest.test_case "structure" `Quick test_ktree_structure;
+          Alcotest.test_case "coloring + chromatic" `Quick test_ktree_coloring;
+          Alcotest.test_case "membership" `Quick test_ktree_membership;
+          Alcotest.test_case "validation" `Quick test_ktree_validation;
+        ] );
+      ( "gadget",
+        [
+          Alcotest.test_case "edge rule" `Quick test_gadget_edges;
+          Alcotest.test_case "coords roundtrip" `Quick test_gadget_coords_roundtrip;
+          Alcotest.test_case "k-partite" `Quick test_gadget_k_partite;
+          Alcotest.test_case "seam isomorphic" `Quick test_gadget_seam_isomorphic;
+          Alcotest.test_case "seam preserves ends" `Quick test_gadget_seam_preserves_prefix_suffix;
+          Alcotest.test_case "seam canonical proper" `Quick test_gadget_seam_canonical_proper;
+        ] );
+      ( "layered",
+        [
+          Alcotest.test_case "counts" `Quick test_layered_counts;
+          Alcotest.test_case "parents" `Quick test_layered_parents;
+          Alcotest.test_case "twins" `Quick test_layered_twins;
+          Alcotest.test_case "coloring" `Quick test_layered_coloring;
+          Alcotest.test_case "chromatic" `Quick test_layered_chromatic;
+          Alcotest.test_case "claim 5.3 cliques" `Quick test_layered_cliques_claim;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+open Grid_graph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let g = Graph.cycle_graph 6
+
+let test_is_walk () =
+  check_bool "walk" true (Walk.is_walk g [ 0; 1; 2; 1; 0 ]);
+  check_bool "not walk" false (Walk.is_walk g [ 0; 2 ]);
+  check_bool "empty" true (Walk.is_walk g []);
+  check_bool "singleton" true (Walk.is_walk g [ 3 ])
+
+let test_is_path () =
+  check_bool "path" true (Walk.is_path g [ 0; 1; 2; 3 ]);
+  check_bool "repeat" false (Walk.is_path g [ 0; 1; 0 ]);
+  check_bool "non-adjacent" false (Walk.is_path g [ 0; 3 ])
+
+let test_is_cycle () =
+  check_bool "full cycle" true (Walk.is_cycle g [ 0; 1; 2; 3; 4; 5 ]);
+  check_bool "not closed" false (Walk.is_cycle g [ 0; 1; 2; 3 ]);
+  check_bool "too short" false (Walk.is_cycle g [ 0; 1 ]);
+  let square = Graph.create ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  check_bool "square" true (Walk.is_cycle square [ 0; 1; 2; 3 ])
+
+let test_lengths () =
+  check_int "path length" 3 (Walk.length [ 0; 1; 2; 3 ]);
+  check_int "empty length" 0 (Walk.length []);
+  check_int "singleton length" 0 (Walk.length [ 2 ]);
+  check_int "cycle length" 6 (Walk.cycle_length [ 0; 1; 2; 3; 4; 5 ])
+
+let test_arcs () =
+  Alcotest.(check (list (pair int int)))
+    "arcs" [ (0, 1); (1, 2) ] (Walk.arcs [ 0; 1; 2 ]);
+  Alcotest.(check (list (pair int int)))
+    "cycle arcs includes closing"
+    [ (0, 1); (1, 2); (2, 0) ]
+    (Walk.cycle_arcs [ 0; 1; 2 ]);
+  Alcotest.(check (list (pair int int))) "empty" [] (Walk.arcs [ 5 ])
+
+let test_reverse () =
+  Alcotest.(check (list int)) "reverse" [ 3; 2; 1 ] (Walk.reverse [ 1; 2; 3 ])
+
+let test_concat () =
+  Alcotest.(check (list int)) "concat" [ 0; 1; 2; 3 ] (Walk.concat [ 0; 1; 2 ] [ 2; 3 ]);
+  Alcotest.(check (list int)) "left empty" [ 2; 3 ] (Walk.concat [] [ 2; 3 ]);
+  Alcotest.(check (list int)) "right empty" [ 0; 1 ] (Walk.concat [ 0; 1 ] []);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Walk.concat: endpoints differ")
+    (fun () -> ignore (Walk.concat [ 0; 1 ] [ 2; 3 ]))
+
+let walk_gen =
+  (* Random walks on the 6-cycle. *)
+  QCheck2.Gen.(
+    bind (int_range 0 5) (fun start ->
+        bind (int_range 0 12) (fun len ->
+            map
+              (fun steps ->
+                let rec go cur acc = function
+                  | [] -> List.rev acc
+                  | s :: rest ->
+                      let next = (cur + if s then 1 else 5) mod 6 in
+                      go next (next :: acc) rest
+                in
+                go start [ start ] steps)
+              (list_size (return len) bool))))
+
+let prop_arcs_count =
+  QCheck2.Test.make ~name:"|arcs| = length" ~count:200 walk_gen (fun w ->
+      List.length (Walk.arcs w) = Walk.length w)
+
+let prop_reverse_involutive =
+  QCheck2.Test.make ~name:"reverse involutive" ~count:200 walk_gen (fun w ->
+      Walk.reverse (Walk.reverse w) = w)
+
+let prop_walks_valid =
+  QCheck2.Test.make ~name:"generator yields walks" ~count:200 walk_gen (fun w ->
+      Walk.is_walk g w)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "walk"
+    [
+      ( "walk",
+        [
+          Alcotest.test_case "is_walk" `Quick test_is_walk;
+          Alcotest.test_case "is_path" `Quick test_is_path;
+          Alcotest.test_case "is_cycle" `Quick test_is_cycle;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "arcs" `Quick test_arcs;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "concat" `Quick test_concat;
+        ] );
+      ("walk-properties", qsuite [ prop_arcs_count; prop_reverse_involutive; prop_walks_valid ]);
+    ]
