@@ -40,6 +40,17 @@ let bench_thm1 =
          ignore
            (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm:(Portfolio.greedy ()) ())))
 
+let bench_harness_overhead =
+  (* The same thm1 game with the algorithm under full guarding (budgets +
+     deadline + exception containment).  Comparing against the raw e1
+     benchmark above bounds the per-verdict cost of the guarded engine;
+     the happy-path overhead should stay within ~10%. *)
+  Test.make ~name:"harness: thm1 vs greedy (k=6), guarded"
+    (Staged.stage (fun () ->
+         let guard = Harness.Guard.create ~limits:Harness.Guard.default_limits () in
+         let algorithm = Harness.Guard.algorithm guard (Portfolio.greedy ()) in
+         ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm ())))
+
 let bench_thm2 =
   Test.make ~name:"e2: thm2 two-row attack (torus 13)"
     (Staged.stage (fun () ->
@@ -153,6 +164,7 @@ let tests =
       bench_ball;
       bench_gadget_classify;
       bench_thm1;
+      bench_harness_overhead;
       bench_thm2;
       bench_thm3;
       bench_kp1;

@@ -1,6 +1,7 @@
 (* Pit any portfolio algorithm against any adversary.
 
    dune exec bin/play.exe -- --game thm1-grid --algo ael -t 2 --size 500
+   dune exec bin/play.exe -- --game thm1-grid --algo ael --paranoid --deadline 30
    dune exec bin/play.exe -- --list *)
 
 open Online_local
@@ -13,12 +14,13 @@ let algorithm_of name t =
   | "stripes" -> Portfolio.stripes3 ()
   | "gadget-rows" -> Portfolio.gadget_rows ()
   | "ael" -> Portfolio.ael ~t ()
+  | "kp1" -> Portfolio.kp1 ~k:2 ~t ()
   | other -> failwith ("unknown algorithm: " ^ other)
 
-let run list_games game_name algo_name t n =
+let run list_games game_name algo_name t n paranoid max_calls max_work deadline =
   if list_games then
     List.iter
-      (fun g -> Format.printf "%-16s %s@." g.Game.name g.Game.description)
+      (fun g -> Format.printf "%-18s %s@." g.Game.name g.Game.description)
       Game.games
   else
     match Game.find game_name with
@@ -26,21 +28,58 @@ let run list_games game_name algo_name t n =
         Format.printf "unknown game %s; try --list@." game_name;
         exit 1
     | Some g ->
-        let verdict = g.Game.play ~n (algorithm_of algo_name t) in
+        let d = Harness.Guard.default_limits in
+        let limits =
+          {
+            Harness.Guard.max_color_calls =
+              (match max_calls with Some _ as c -> c | None -> d.max_color_calls);
+            max_work = (match max_work with Some _ as w -> w | None -> d.max_work);
+            deadline;
+          }
+        in
+        let verdict = g.Game.play ~paranoid ~limits ~n (algorithm_of algo_name t) in
         Format.printf "%a@." Game.pp_verdict verdict
 
 let list_games = Arg.(value & flag & info [ "list" ] ~doc:"List the games.")
 let game = Arg.(value & opt string "thm1-grid" & info [ "game" ] ~doc:"Game name.")
 
 let algo =
-  Arg.(value & opt string "ael" & info [ "algo" ] ~doc:"greedy|parity|stripes|gadget-rows|ael.")
+  Arg.(
+    value
+    & opt string "ael"
+    & info [ "algo" ] ~doc:"greedy|parity|stripes|gadget-rows|ael|kp1.")
 
-let t = Arg.(value & opt int 1 & info [ "t"; "locality" ] ~doc:"Locality for ael.")
+let t = Arg.(value & opt int 1 & info [ "t"; "locality" ] ~doc:"Locality for ael/kp1.")
 let n = Arg.(value & opt int 400 & info [ "n"; "size" ] ~doc:"Instance size (per game).")
+
+let paranoid =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ] ~doc:"Audit the adversary's transcript (thm1; slow).")
+
+let max_calls =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-calls" ] ~doc:"Color-call budget for the algorithm.")
+
+let max_work =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-work" ] ~doc:"Cooperative work budget for the algorithm.")
+
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~doc:"Wall-clock deadline in seconds.")
 
 let cmd =
   Cmd.v
     (Cmd.info "play" ~doc:"Pit an algorithm against a lower-bound adversary")
-    Term.(const run $ list_games $ game $ algo $ t $ n)
+    Term.(
+      const run $ list_games $ game $ algo $ t $ n $ paranoid $ max_calls $ max_work
+      $ deadline)
 
 let () = exit (Cmd.eval cmd)

@@ -1,40 +1,88 @@
-(* E1 sweep: play the Theorem 1 adversary at chosen parameters.
+(* E1 sweep: play the Theorem 1 adversary over a parameter grid.
 
-   dune exec bin/sweep_thm1.exe -- --t 2 --k 6 --side 4000 --algo ael *)
+   Axes are comma-separated; every combination is one cell.  With
+   --checkpoint FILE each finished cell is flushed to FILE, and --resume
+   replays completed cells verbatim, so a killed sweep can be restarted
+   and still print byte-identical final output.
+
+   dune exec bin/sweep_thm1.exe -- --t 1,2 --k 6,9 --side 4000 --algo ael \
+     --checkpoint sweep_thm1.ckpt
+   dune exec bin/sweep_thm1.exe -- ... --checkpoint sweep_thm1.ckpt --resume *)
 
 open Online_local
 open Cmdliner
 
-let run t k side algo_name validate =
-  let algorithm =
-    match algo_name with
-    | "greedy" -> Portfolio.greedy ()
-    | "parity" -> Portfolio.hint_parity ()
-    | "stripes" -> Portfolio.stripes3 ()
-    | "ael" -> Portfolio.ael ~t ()
-    | other -> failwith ("unknown algorithm: " ^ other)
+let algorithm_of name t =
+  match name with
+  | "greedy" -> Portfolio.greedy ()
+  | "parity" -> Portfolio.hint_parity ()
+  | "stripes" -> Portfolio.stripes3 ()
+  | "ael" -> Portfolio.ael ~t ()
+  | other -> failwith ("unknown algorithm: " ^ other)
+
+let cell ~t ~k ~side ~algo_name ~validate =
+  {
+    Harness.Sweep.key = Printf.sprintf "t=%d k=%d side=%d algo=%s" t k side algo_name;
+    run =
+      (fun () ->
+        let algorithm = algorithm_of algo_name t in
+        let r = Thm1_adversary.run ~validate ~n_side:side ~k ~algorithm () in
+        Format.asprintf
+          "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@.  guaranteed by \
+           theory: %b (needs k > 4T+4)@.  max fitting k at this side/T: %d"
+          algo_name t side k Thm1_adversary.pp_report r
+          (Thm1_adversary.guaranteed ~t ~k)
+          (Thm1_adversary.recommended_k ~n_side:side ~t));
+  }
+
+let run ts ks sides algos validate checkpoint resume =
+  let cells =
+    List.concat_map
+      (fun t ->
+        List.concat_map
+          (fun k ->
+            List.concat_map
+              (fun side ->
+                List.map
+                  (fun algo_name -> cell ~t ~k ~side ~algo_name ~validate)
+                  (Harness.Sweep.string_axis algos))
+              (Harness.Sweep.int_axis sides))
+          (Harness.Sweep.int_axis ks))
+      (Harness.Sweep.int_axis ts)
   in
-  let r = Thm1_adversary.run ~validate ~n_side:side ~k ~algorithm () in
-  Format.printf "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@." algo_name t side
-    k Thm1_adversary.pp_report r;
-  Format.printf "  guaranteed by theory: %b (needs k > 4T+4)@."
-    (Thm1_adversary.guaranteed ~t ~k);
-  Format.printf "  max fitting k at this side/T: %d@."
-    (Thm1_adversary.recommended_k ~n_side:side ~t)
+  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  | () -> 0
+  | exception Harness.Sweep.Interrupted ->
+      Format.eprintf "interrupted; finished cells are checkpointed@.";
+      130
 
-let t = Arg.(value & opt int 1 & info [ "t" ] ~doc:"Algorithm locality.")
-let k = Arg.(value & opt int 9 & info [ "k" ] ~doc:"Adversary b-value target.")
-let side = Arg.(value & opt int 4000 & info [ "side" ] ~doc:"Grid side sqrt(n).")
+let ts =
+  Arg.(value & opt string "1" & info [ "t" ] ~doc:"Algorithm localities (comma-separated).")
 
-let algo =
-  Arg.(value & opt string "ael" & info [ "algo" ] ~doc:"greedy|parity|stripes|ael.")
+let ks = Arg.(value & opt string "9" & info [ "k" ] ~doc:"Adversary b-value targets.")
+let sides = Arg.(value & opt string "4000" & info [ "side" ] ~doc:"Grid sides sqrt(n).")
+
+let algos =
+  Arg.(
+    value
+    & opt string "ael"
+    & info [ "algo" ] ~doc:"greedy|parity|stripes|ael (comma-separated).")
 
 let validate =
   Arg.(value & flag & info [ "validate" ] ~doc:"Replay-check the transcript (slow).")
 
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~doc:"Append finished cells to this file.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
-    Term.(const run $ t $ k $ side $ algo $ validate)
+    Term.(const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,28 +1,66 @@
-(* E2 sweep: the two-row attack on wrapped grids.
+(* E2 sweep: the two-row attack on wrapped grids, over a parameter grid.
 
-   dune exec bin/sweep_thm2.exe -- --side 51 --wrap torus *)
+   dune exec bin/sweep_thm2.exe -- --side 21,51 --wrap torus,cylinder \
+     --checkpoint sweep_thm2.ckpt *)
 
 open Online_local
 open Cmdliner
 
-let run side wrap_name =
-  let wrap =
-    match wrap_name with
-    | "torus" -> `Toroidal
-    | "cylinder" -> `Cylindrical
-    | other -> failwith ("unknown wrap: " ^ other)
-  in
-  List.iter
-    (fun (name, algorithm) ->
-      let r = Thm2_adversary.run ~wrap ~side ~algorithm () in
-      Format.printf "thm2 %s side=%d vs %-12s %a@." wrap_name side name
-        Thm2_adversary.pp_report r)
-    [ ("greedy", Portfolio.greedy ()); ("ael(T=1)", Portfolio.ael ~t:1 ()) ]
+let wrap_of = function
+  | "torus" -> `Toroidal
+  | "cylinder" -> `Cylindrical
+  | other -> failwith ("unknown wrap: " ^ other)
 
-let side = Arg.(value & opt int 21 & info [ "side" ] ~doc:"Grid side (odd).")
-let wrap = Arg.(value & opt string "torus" & info [ "wrap" ] ~doc:"torus|cylinder.")
+let cell ~side ~wrap_name ~algo_label ~algorithm =
+  {
+    Harness.Sweep.key =
+      Printf.sprintf "wrap=%s side=%d algo=%s" wrap_name side algo_label;
+    run =
+      (fun () ->
+        let r = Thm2_adversary.run ~wrap:(wrap_of wrap_name) ~side ~algorithm:(algorithm ()) () in
+        Format.asprintf "thm2 %s side=%d vs %-12s %a" wrap_name side algo_label
+          Thm2_adversary.pp_report r);
+  }
+
+let run sides wraps checkpoint resume =
+  let algorithms =
+    [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
+  in
+  let cells =
+    List.concat_map
+      (fun wrap_name ->
+        List.concat_map
+          (fun side ->
+            List.map
+              (fun (algo_label, algorithm) -> cell ~side ~wrap_name ~algo_label ~algorithm)
+              algorithms)
+          (Harness.Sweep.int_axis sides))
+      (Harness.Sweep.string_axis wraps)
+  in
+  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  | () -> 0
+  | exception Harness.Sweep.Interrupted ->
+      Format.eprintf "interrupted; finished cells are checkpointed@.";
+      130
+
+let sides =
+  Arg.(value & opt string "21" & info [ "side" ] ~doc:"Grid sides (odd, comma-separated).")
+
+let wraps =
+  Arg.(value & opt string "torus" & info [ "wrap" ] ~doc:"torus|cylinder (comma-separated).")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~doc:"Append finished cells to this file.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
 let cmd =
-  Cmd.v (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep") Term.(const run $ side $ wrap)
+  Cmd.v
+    (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep")
+    Term.(const run $ sides $ wraps $ checkpoint $ resume)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

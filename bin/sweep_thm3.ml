@@ -1,22 +1,59 @@
-(* E3 sweep: the gadget-chain attack.
+(* E3 sweep: the gadget-chain attack, over a parameter grid.
 
-   dune exec bin/sweep_thm3.exe -- --k 3 --gadgets 33 *)
+   dune exec bin/sweep_thm3.exe -- --k 3 --gadgets 9,33 \
+     --checkpoint sweep_thm3.ckpt *)
 
 open Online_local
 open Cmdliner
 
-let run k gadgets =
-  List.iter
-    (fun (name, algorithm) ->
-      let r = Thm3_adversary.run ~k ~gadgets ~algorithm () in
-      Format.printf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a@." k gadgets
-        (gadgets * k * k) name Thm3_adversary.pp_report r)
-    [ ("greedy", Portfolio.greedy ()); ("gadget-rows", Portfolio.gadget_rows ()) ]
+let cell ~k ~gadgets ~algo_label ~algorithm =
+  {
+    Harness.Sweep.key = Printf.sprintf "k=%d gadgets=%d algo=%s" k gadgets algo_label;
+    run =
+      (fun () ->
+        let r = Thm3_adversary.run ~k ~gadgets ~algorithm:(algorithm ()) () in
+        Format.asprintf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a" k gadgets
+          (gadgets * k * k) algo_label Thm3_adversary.pp_report r);
+  }
 
-let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Gadget side (>= 3).")
-let gadgets = Arg.(value & opt int 9 & info [ "gadgets" ] ~doc:"Chain length (>= 3).")
+let run ks gadget_counts checkpoint resume =
+  let algorithms =
+    [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
+  in
+  let cells =
+    List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun gadgets ->
+            List.map
+              (fun (algo_label, algorithm) -> cell ~k ~gadgets ~algo_label ~algorithm)
+              algorithms)
+          (Harness.Sweep.int_axis gadget_counts))
+      (Harness.Sweep.int_axis ks)
+  in
+  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  | () -> 0
+  | exception Harness.Sweep.Interrupted ->
+      Format.eprintf "interrupted; finished cells are checkpointed@.";
+      130
+
+let ks = Arg.(value & opt string "3" & info [ "k" ] ~doc:"Gadget sides (>= 3, comma-separated).")
+
+let gadget_counts =
+  Arg.(value & opt string "9" & info [ "gadgets" ] ~doc:"Chain lengths (>= 3, comma-separated).")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~doc:"Append finished cells to this file.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
 let cmd =
-  Cmd.v (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep") Term.(const run $ k $ gadgets)
+  Cmd.v
+    (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
+    Term.(const run $ ks $ gadget_counts $ checkpoint $ resume)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

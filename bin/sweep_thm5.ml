@@ -1,38 +1,71 @@
-(* E5 sweep: the Lemma 5.7 reduction on G_k.
+(* E5 sweep: the Lemma 5.7 reduction on G_k, over a locality axis.
 
-   dune exec bin/sweep_thm5.exe -- --k 3 --base-side 6 --t 8 *)
+   dune exec bin/sweep_thm5.exe -- --k 3 --base-side 6 --t 4,8 \
+     --checkpoint sweep_thm5.ckpt *)
 
 open Online_local
 open Cmdliner
 
-let run k base_side t =
-  let base =
-    Topology.Grid2d.graph
-      (Topology.Grid2d.create Topology.Grid2d.Simple ~rows:base_side ~cols:base_side)
-  in
-  let lay = Topology.Layered.create ~base ~k in
-  let host = Topology.Layered.graph lay in
-  let inner = Kp1_coloring.make ~k:(k + 1) ~locality:(fun ~n:_ -> t) () in
-  let reduced = Thm5_reduction.reduce ~inner in
-  let order = Models.Fixed_host.orders ~all:host (`Random 17) in
-  let outcome =
-    Models.Fixed_host.run ~oracle:(Oracles.layered lay) ~host ~palette:(k + 1)
-      ~algorithm:reduced ~order ()
-  in
-  Format.printf "thm5 reduction on G_%d (n=%d, inner T=%d): %a@.  proper=%b@." k
-    (Grid_graph.Graph.n host)
-    t Models.Run_stats.pp_outcome outcome
-    (Models.Run_stats.succeeded outcome
-       ~colors:(k + 1)
-       ~host)
+let cell ~k ~base_side ~t =
+  {
+    Harness.Sweep.key = Printf.sprintf "k=%d base-side=%d t=%d" k base_side t;
+    run =
+      (fun () ->
+        let base =
+          Topology.Grid2d.graph
+            (Topology.Grid2d.create Topology.Grid2d.Simple ~rows:base_side
+               ~cols:base_side)
+        in
+        let lay = Topology.Layered.create ~base ~k in
+        let host = Topology.Layered.graph lay in
+        let inner = Kp1_coloring.make ~k:(k + 1) ~locality:(fun ~n:_ -> t) () in
+        let reduced = Thm5_reduction.reduce ~inner in
+        let order = Models.Fixed_host.orders ~all:host (`Random 17) in
+        let outcome =
+          Models.Fixed_host.run ~oracle:(Oracles.layered lay) ~host ~palette:(k + 1)
+            ~algorithm:reduced ~order ()
+        in
+        Format.asprintf "thm5 reduction on G_%d (n=%d, inner T=%d): %a@.  proper=%b" k
+          (Grid_graph.Graph.n host)
+          t Models.Run_stats.pp_outcome outcome
+          (Models.Run_stats.succeeded outcome ~colors:(k + 1) ~host));
+  }
 
-let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Layer count of G_k (>= 2).")
-let base_side = Arg.(value & opt int 6 & info [ "base-side" ] ~doc:"Base grid side.")
-let t = Arg.(value & opt int 8 & info [ "t" ] ~doc:"Inner algorithm locality.")
+let run ks base_sides ts checkpoint resume =
+  let cells =
+    List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun base_side ->
+            List.map (fun t -> cell ~k ~base_side ~t) (Harness.Sweep.int_axis ts))
+          (Harness.Sweep.int_axis base_sides))
+      (Harness.Sweep.int_axis ks)
+  in
+  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  | () -> 0
+  | exception Harness.Sweep.Interrupted ->
+      Format.eprintf "interrupted; finished cells are checkpointed@.";
+      130
+
+let ks = Arg.(value & opt string "3" & info [ "k" ] ~doc:"Layer counts of G_k (>= 2).")
+
+let base_sides =
+  Arg.(value & opt string "6" & info [ "base-side" ] ~doc:"Base grid sides.")
+
+let ts = Arg.(value & opt string "8" & info [ "t" ] ~doc:"Inner algorithm localities.")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~doc:"Append finished cells to this file.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm5" ~doc:"Theorem 5 reduction sweep")
-    Term.(const run $ k $ base_side $ t)
+    Term.(const run $ ks $ base_sides $ ts $ checkpoint $ resume)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -360,10 +360,90 @@ let e6_lemma_checks ?(quick = false) ppf =
       (!rows + !cols) !rows !cols
   end
 
+(* ------------------------------- E7 ------------------------------- *)
+
+let e7_limits =
+  {
+    Harness.Guard.max_color_calls = Some 200_000;
+    max_work = Some 100_000;
+    deadline = Some 10.0;
+  }
+
+(* Per-game instance size and well-behaved victim.  The victim only
+   matters for the no-fault baseline and the in-palette faults
+   (wrong-color, amnesia); the other classes fail at the first call
+   regardless. *)
+let e7_games () =
+  [
+    (Game.thm1, 30, fun () -> Portfolio.ael ~t:1 ());
+    (* greedy, not ael: an odd-sided torus is not bipartite, so ael's
+       honest answer there is to raise — which would shadow the injected
+       faults with a baseline Algorithm_fault. *)
+    (Game.thm2_torus, 13, fun () -> Portfolio.greedy ());
+    (Game.thm2_cylinder, 13, fun () -> Portfolio.greedy ());
+    (Game.thm3, 9, fun () -> Portfolio.gadget_rows ());
+    (Game.upper_grid, 8, fun () -> Portfolio.ael ~t:4 ());
+    (Game.upper_grid_oracle, 8, fun () -> Portfolio.kp1 ~k:2 ~t:8 ());
+  ]
+
+let fault_matrix () =
+  let injections =
+    ("none", fun algo -> algo) :: Harness.Faults.algorithm_faults
+  in
+  List.concat_map
+    (fun (game, n, base) ->
+      List.map
+        (fun (fault, inject) ->
+          let v = game.Game.play ~limits:e7_limits ~n (inject (base ())) in
+          (game.Game.name, fault, Game.outcome_label v.Game.outcome))
+        injections)
+    (e7_games ())
+
+let e7_fault_matrix ?quick:_ ppf =
+  hr ppf "E7: engine soundness under fault injection";
+  Format.fprintf ppf
+    "@.Every fault class x every game must yield exactly the expected typed@.";
+  Format.fprintf ppf
+    "outcome: honest defeats stay DEFEATED, algorithm bugs become@.";
+  Format.fprintf ppf
+    "ALGORITHM-FAULT, adversary bugs become ADVERSARY-FAULT, and nothing@.";
+  Format.fprintf ppf "aborts the matrix (budgets: %s calls, %s work, %.0fs).@.@."
+    (match e7_limits.Harness.Guard.max_color_calls with
+    | Some c -> string_of_int c
+    | None -> "-")
+    (match e7_limits.Harness.Guard.max_work with
+    | Some w -> string_of_int w
+    | None -> "-")
+    (Option.value e7_limits.Harness.Guard.deadline ~default:0.);
+  Format.fprintf ppf "%-18s %-16s %s@." "game" "fault" "outcome";
+  List.iter
+    (fun (game, fault, outcome) ->
+      Format.fprintf ppf "%-18s %-16s %s@." game fault outcome)
+    (fault_matrix ());
+  (* The chaos oracle is a fault on the environment, not the algorithm:
+     the Theorem 4 algorithm fed corrupted part ids loses honestly. *)
+  let grid = Topology.Grid2d.(create Simple ~rows:8 ~cols:8) in
+  let host = Topology.Grid2d.graph grid in
+  let oracle ~to_host =
+    Harness.Faults.chaos_oracle ~seed:1 (Oracles.grid_bipartition grid ~to_host)
+  in
+  let order = FH.orders ~all:host (`Random 7) in
+  let outcome =
+    FH.run ~oracle ~host ~palette:3
+      ~algorithm:(Portfolio.kp1 ~k:2 ~t:8 ())
+      ~order ()
+  in
+  Format.fprintf ppf
+    "@.chaos oracle (corrupted bipartition) vs kp1 on the 8x8 grid: %s@."
+    (match outcome.RS.violation with
+    | Some v -> Format.asprintf "%a" RS.pp_violation v
+    | None -> "survived (oracle corruption went unpunished!)")
+
 let run_all ?(quick = false) ppf =
   e6_lemma_checks ~quick ppf;
   e1_grid_lower_bound ~quick ppf;
   e2_torus_lower_bound ~quick ppf;
   e3_gadget_lower_bound ~quick ppf;
   e4_upper_bound_scaling ~quick ppf;
-  e5_reduction ~quick ppf
+  e5_reduction ~quick ppf;
+  e7_fault_matrix ~quick ppf

@@ -1,0 +1,79 @@
+module A = Models.Algorithm
+
+let wrap ~tag algo transform =
+  {
+    algo with
+    A.name = Printf.sprintf "%s(%s)" tag algo.A.name;
+    instantiate =
+      (fun ~n ~palette ~oracle ->
+        transform ~palette (algo.A.instantiate ~n ~palette ~oracle));
+  }
+
+let counting transform = fun ~palette inst ->
+  let calls = ref 0 in
+  fun view ->
+    incr calls;
+    transform ~palette ~call:!calls inst view
+
+let wrong_color ~every algo =
+  if every < 1 then invalid_arg "Faults.wrong_color: every must be >= 1";
+  wrap ~tag:(Printf.sprintf "wrong-color@%d" every) algo
+    (counting (fun ~palette ~call inst view ->
+         let c = inst view in
+         if call mod every = 0 then (c + 1) mod palette else c))
+
+let out_of_palette ?color ~at_step algo =
+  wrap ~tag:(Printf.sprintf "out-of-palette@%d" at_step) algo
+    (counting (fun ~palette ~call inst view ->
+         if call = at_step then Option.value color ~default:palette else inst view))
+
+let raise_at ?(message = "injected fault") ~step algo =
+  wrap ~tag:(Printf.sprintf "raise@%d" step) algo
+    (counting (fun ~palette:_ ~call inst view ->
+         if call = step then failwith message else inst view))
+
+let spin ~steps algo =
+  wrap ~tag:(Printf.sprintf "spin@%d" steps) algo
+    (counting (fun ~palette:_ ~call inst view ->
+         if call >= steps then
+           while true do
+             Guard.tick ()
+           done;
+         inst view))
+
+let amnesia algo =
+  {
+    algo with
+    A.name = Printf.sprintf "amnesia(%s)" algo.A.name;
+    instantiate =
+      (fun ~n ~palette ~oracle ->
+        (* A fresh instance per color call: the unbounded global memory
+           of the Online-LOCAL model is dropped on the floor. *)
+        fun view -> algo.A.instantiate ~n ~palette ~oracle view);
+  }
+
+let chaos_oracle ~seed oracle =
+  let parts = oracle.Models.Oracle.parts in
+  {
+    oracle with
+    Models.Oracle.query =
+      (fun view handles ->
+        let raw = oracle.Models.Oracle.query view handles in
+        List.iteri
+          (fun i h ->
+            if (h + seed) mod 2 = 0 then raw.(i) <- (raw.(i) + 1) mod parts)
+          handles;
+        raw);
+  }
+
+let algorithm_faults =
+  [
+    (* every:2, not every:1 — shifting EVERY answer by +1 mod palette is
+       a color permutation, which turns a proper strategy into another
+       proper strategy; alternating actually corrupts. *)
+    ("wrong-color", fun algo -> wrong_color ~every:2 algo);
+    ("out-of-palette", fun algo -> out_of_palette ~at_step:1 algo);
+    ("raise", fun algo -> raise_at ~step:1 algo);
+    ("spin", fun algo -> spin ~steps:1 algo);
+    ("amnesia", amnesia);
+  ]

@@ -1,0 +1,114 @@
+type limits = {
+  max_color_calls : int option;
+  max_work : int option;
+  deadline : float option;
+}
+
+let no_limits = { max_color_calls = None; max_work = None; deadline = None }
+
+let default_limits =
+  { max_color_calls = None; max_work = Some 50_000_000; deadline = None }
+
+type t = {
+  limits : limits;
+  started : float;
+  mutable color_calls : int;
+  mutable work : int;
+  mutable fault : Misbehavior.t option;
+}
+
+exception Misbehaved of Misbehavior.t
+
+let () =
+  (* Backtraces feed Misbehavior.Raised and Run_stats.Algorithm_failure;
+     the printer keeps executor-recorded messages readable. *)
+  Printexc.record_backtrace true;
+  Printexc.register_printer (function
+    | Misbehaved m -> Some (Misbehavior.to_string m)
+    | _ -> None)
+
+let create ?(limits = default_limits) () =
+  { limits; started = Unix.gettimeofday (); color_calls = 0; work = 0; fault = None }
+
+let fault t = t.fault
+let color_calls t = t.color_calls
+let work t = t.work
+
+let is_fatal = function
+  | Stack_overflow | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let fail t m =
+  if t.fault = None then t.fault <- Some m;
+  raise (Misbehaved m)
+
+let check_deadline t =
+  match t.limits.deadline with
+  | None -> ()
+  | Some deadline ->
+      let elapsed = Unix.gettimeofday () -. t.started in
+      if elapsed > deadline then
+        fail t (Misbehavior.Deadline_exceeded { elapsed; deadline })
+
+let current : t option ref = ref None
+
+let tick ?(cost = 1) () =
+  match !current with
+  | None -> ()
+  | Some t ->
+      t.work <- t.work + cost;
+      (match t.limits.max_work with
+      | Some budget when t.work > budget ->
+          fail t (Misbehavior.Budget_exhausted { used = t.work; budget })
+      | _ -> ());
+      (* Deadline polls are amortized; the budget alone is deterministic. *)
+      if t.work land 255 = 0 then check_deadline t
+
+let with_current t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let raised exn =
+  let backtrace = Printexc.get_backtrace () in
+  Misbehavior.Raised { message = Printexc.to_string exn; backtrace }
+
+let guarded_call t inst view =
+  (match t.fault with Some m -> raise (Misbehaved m) | None -> ());
+  t.color_calls <- t.color_calls + 1;
+  (match t.limits.max_color_calls with
+  | Some budget when t.color_calls > budget ->
+      fail t (Misbehavior.Budget_exhausted { used = t.color_calls; budget })
+  | _ -> ());
+  check_deadline t;
+  with_current t (fun () ->
+      match inst view with
+      | color -> color
+      | exception (Misbehaved _ as e) -> raise e
+      | exception e when is_fatal e -> raise e
+      | exception exn -> fail t (raised exn))
+
+let algorithm t algo =
+  {
+    algo with
+    Models.Algorithm.instantiate =
+      (fun ~n ~palette ~oracle ->
+        match
+          with_current t (fun () ->
+              algo.Models.Algorithm.instantiate ~n ~palette ~oracle)
+        with
+        | inst -> fun view -> guarded_call t inst view
+        | exception (Misbehaved m) -> fun _ -> raise (Misbehaved m)
+        | exception e when is_fatal e -> raise e
+        | exception exn ->
+            let m = raised exn in
+            if t.fault = None then t.fault <- Some m;
+            fun _ -> raise (Misbehaved m));
+  }
+
+let capture _t f =
+  match f () with
+  | v -> Ok v
+  | exception (Misbehaved m) -> Error m
+  | exception e when is_fatal e -> raise e
+  | exception exn -> Error (raised exn)

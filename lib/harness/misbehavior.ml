@@ -1,0 +1,27 @@
+type t =
+  | Raised of { message : string; backtrace : string }
+  | Out_of_palette of { color : int }
+  | Budget_exhausted of { used : int; budget : int }
+  | Deadline_exceeded of { elapsed : float; deadline : float }
+  | Dishonest_transcript of { message : string }
+
+let label = function
+  | Raised _ -> "raised"
+  | Out_of_palette _ -> "out-of-palette"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Dishonest_transcript _ -> "dishonest-transcript"
+
+let pp ppf = function
+  | Raised { message; backtrace } ->
+      Format.fprintf ppf "raised: %s%s" message
+        (if backtrace = "" then "" else " [backtrace recorded]")
+  | Out_of_palette { color } -> Format.fprintf ppf "out-of-palette color %d" color
+  | Budget_exhausted { used; budget } ->
+      Format.fprintf ppf "budget exhausted (%d > %d)" used budget
+  | Deadline_exceeded { elapsed; deadline } ->
+      Format.fprintf ppf "deadline exceeded (%.3fs > %.3fs)" elapsed deadline
+  | Dishonest_transcript { message } ->
+      Format.fprintf ppf "dishonest transcript: %s" message
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,129 @@
+type cell = { key : string; run : unit -> string }
+
+exception Interrupted
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    (match s.[!i] with
+    | '\\' when !i + 1 < len ->
+        incr i;
+        Buffer.add_char b
+          (match s.[!i] with 'n' -> '\n' | 't' -> '\t' | c -> c)
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let load path =
+  let completed = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match String.index_opt line '\t' with
+            | None -> ()  (* torn or foreign line: ignore, the cell reruns *)
+            | Some cut ->
+                Hashtbl.replace completed
+                  (unescape (String.sub line 0 cut))
+                  (unescape (String.sub line (cut + 1) (String.length line - cut - 1)))
+          done
+        with End_of_file -> ())
+  end;
+  completed
+
+let run ?(resume = false) ?checkpoint ~ppf cells =
+  let keys = Hashtbl.create (List.length cells * 2 + 1) in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem keys c.key then
+        invalid_arg ("Sweep.run: duplicate cell key " ^ c.key);
+      Hashtbl.replace keys c.key ())
+    cells;
+  let completed =
+    match checkpoint with
+    | Some path when resume -> load path
+    | Some _ | None -> Hashtbl.create 0
+  in
+  let out =
+    Option.map
+      (fun path ->
+        let flags =
+          Open_wronly :: Open_creat :: (if resume then [ Open_append ] else [ Open_trunc ])
+        in
+        open_out_gen flags 0o644 path)
+      checkpoint
+  in
+  (* Trap SIGINT so a killed sweep flushes its last line and closes the
+     checkpoint cleanly; completed cells survive for --resume. *)
+  let previous_sigint =
+    try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Interrupted)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
+      Option.iter close_out_noerr out)
+    (fun () ->
+      List.iter
+        (fun c ->
+          let result =
+            match Hashtbl.find_opt completed c.key with
+            | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
+            | None ->
+                let r =
+                  match c.run () with
+                  | r -> r
+                  | exception (Interrupted as e) -> raise e
+                  | exception e when Guard.is_fatal e -> raise e
+                  | exception exn ->
+                      (* A crashed cell is a recorded result, not an
+                         aborted sweep. *)
+                      "ERROR: " ^ Printexc.to_string exn
+                in
+                Option.iter
+                  (fun oc ->
+                    output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
+                    flush oc)
+                  out;
+                r
+          in
+          Format.fprintf ppf "%s@." result)
+        cells;
+      Format.pp_print_flush ppf ())
+
+let int_axis s =
+  List.filter_map
+    (fun part ->
+      let part = String.trim part in
+      if part = "" then None
+      else
+        match int_of_string_opt part with
+        | Some i -> Some i
+        | None -> invalid_arg ("Sweep.int_axis: not an integer: " ^ part))
+    (String.split_on_char ',' s)
+
+let string_axis s =
+  List.filter_map
+    (fun part ->
+      let part = String.trim part in
+      if part = "" then None else Some part)
+    (String.split_on_char ',' s)

@@ -1,0 +1,40 @@
+(** Crash-tolerant, checkpointed sweep runner for the [bin/sweep_thm*]
+    binaries.
+
+    A sweep is an ordered list of {e cells}, each with a unique key and
+    a thunk producing its (possibly multi-line) result string.  With a
+    [?checkpoint] file, every finished cell is appended as one
+    escaped line-delimited record ([key TAB result]) and flushed
+    immediately; with [~resume:true], cells whose keys already appear in
+    the file replay their recorded result instead of re-running — so a
+    killed-and-resumed sweep prints byte-identical final output to an
+    uninterrupted one.
+
+    Robustness contract: a cell that raises a non-fatal exception
+    records and prints ["ERROR: ..."] and the sweep continues; SIGINT is
+    trapped as {!Interrupted}, which flushes and closes the checkpoint
+    before propagating; fatal exceptions ({!Guard.is_fatal}) propagate
+    after the same cleanup. *)
+
+type cell = { key : string; run : unit -> string }
+
+exception Interrupted
+(** Raised by the installed SIGINT handler (and honored if a cell thunk
+    raises it directly): stop the sweep now, cleanly. *)
+
+val run :
+  ?resume:bool ->
+  ?checkpoint:string ->
+  ppf:Format.formatter ->
+  cell list ->
+  unit
+(** Run the cells in order, printing each result line to [ppf].
+    Without [~resume] an existing checkpoint file is truncated.
+    @raise Invalid_argument on duplicate cell keys. *)
+
+val int_axis : string -> int list
+(** Parse a comma-separated parameter axis: ["1,2,8"] -> [[1; 2; 8]].
+    @raise Invalid_argument on non-integer entries. *)
+
+val string_axis : string -> string list
+(** Parse a comma-separated string axis, trimming blanks. *)

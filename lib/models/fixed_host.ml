@@ -101,11 +101,14 @@ let present t v =
   let color =
     match t.instance (make_view t ~target ~new_nodes) with
     | c -> c
+    | exception ((Stack_overflow | Out_of_memory | Sys.Break) as e) -> raise e
     | exception exn ->
+        let backtrace = Printexc.get_backtrace () in
         if t.first_violation = None then
           t.first_violation <-
             Some
-              (Run_stats.Algorithm_failure { node = v; message = Printexc.to_string exn });
+              (Run_stats.Algorithm_failure
+                 { node = v; message = Printexc.to_string exn; backtrace });
         -1
   in
   (if t.first_violation = None then
@@ -141,8 +144,14 @@ let run ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
   let rec go = function
     | [] -> ()
     | v :: rest ->
-        let (_ : int) = present t v in
-        if t.first_violation = None then go rest
+        if Hashtbl.mem t.presented_set v then
+          (* A duplicated reveal order is an adversary bug: certify it
+             rather than letting [present]'s invalid_arg abort the run. *)
+          t.first_violation <- Some (Run_stats.Repeated_presentation v)
+        else begin
+          let (_ : int) = present t v in
+          if t.first_violation = None then go rest
+        end
   in
   go order;
   audit t

@@ -2,7 +2,11 @@ type violation =
   | Monochromatic_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
   | Palette_overflow of { node : Grid_graph.Graph.node; color : int }
   | Repeated_presentation of Grid_graph.Graph.node
-  | Algorithm_failure of { node : Grid_graph.Graph.node; message : string }
+  | Algorithm_failure of {
+      node : Grid_graph.Graph.node;
+      message : string;
+      backtrace : string;
+    }
 
 type outcome = {
   coloring : Colorings.Coloring.t;
@@ -18,8 +22,9 @@ let pp_violation ppf = function
   | Palette_overflow { node; color } ->
       Format.fprintf ppf "node %d got out-of-palette color %d" node color
   | Repeated_presentation v -> Format.fprintf ppf "node %d presented twice" v
-  | Algorithm_failure { node; message } ->
-      Format.fprintf ppf "algorithm raised on node %d: %s" node message
+  | Algorithm_failure { node; message; backtrace } ->
+      Format.fprintf ppf "algorithm raised on node %d: %s%s" node message
+        (if backtrace = "" then "" else " [backtrace recorded]")
 
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>steps=%d revealed=%d max_view=%d colored=%d/%d %a@]"

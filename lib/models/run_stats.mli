@@ -12,10 +12,18 @@ type violation =
   | Repeated_presentation of Grid_graph.Graph.node
       (** the reveal order presented a node twice (an adversary bug, not
           an algorithm failure — executors refuse to continue) *)
-  | Algorithm_failure of { node : Grid_graph.Graph.node; message : string }
-      (** the algorithm raised an exception when asked to color the node
-          — a failure like any other (e.g. the bipartite 3-coloring
-          algorithm fed a non-bipartite host) *)
+  | Algorithm_failure of {
+      node : Grid_graph.Graph.node;
+      message : string;
+      backtrace : string;
+          (** [Printexc.get_backtrace] at the catch site ([""] when
+              backtrace recording is off) *)
+    }
+      (** the algorithm raised a non-fatal exception when asked to color
+          the node — a failure like any other (e.g. the bipartite
+          3-coloring algorithm fed a non-bipartite host).  Fatal runtime
+          exceptions ([Stack_overflow], [Out_of_memory], [Sys.Break])
+          are re-raised by the executors, never recorded here. *)
 
 type outcome = {
   coloring : Colorings.Coloring.t;  (** indexed by host node *)

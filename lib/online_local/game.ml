@@ -1,7 +1,17 @@
+module G = Harness.Guard
+module M = Harness.Misbehavior
+
+type outcome =
+  | Defeated
+  | Survived
+  | Algorithm_fault of M.t
+  | Adversary_fault of M.t
+
 type verdict = {
   adversary : string;
   algorithm : string;
   n : int;
+  outcome : outcome;
   defeated : bool;
   guaranteed : bool;
   detail : string;
@@ -10,33 +20,87 @@ type verdict = {
 type t = {
   name : string;
   description : string;
-  play : n:int -> Models.Algorithm.t -> verdict;
+  play : ?paranoid:bool -> ?limits:G.limits -> n:int -> Models.Algorithm.t -> verdict;
 }
+
+let outcome_label = function
+  | Defeated -> "DEFEATED"
+  | Survived -> "survived"
+  | Algorithm_fault m -> "ALGORITHM-FAULT (" ^ M.label m ^ ")"
+  | Adversary_fault m -> "ADVERSARY-FAULT (" ^ M.label m ^ ")"
 
 let pp_verdict ppf v =
   Format.fprintf ppf "@[<v>%s vs %s (n=%d): %s%s@,%s@]" v.adversary v.algorithm v.n
-    (if v.defeated then "DEFEATED" else "survived")
+    (outcome_label v.outcome)
     (if v.guaranteed then " [guaranteed]" else "")
     v.detail
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* An exception escaping the adversary's own code is an adversary fault;
+   transcript-audit failures get the sharper certificate. *)
+let adversary_misbehavior = function
+  | M.Raised { message; _ }
+    when contains_sub message "validate:" || contains_sub message "presented twice" ->
+      M.Dishonest_transcript { message }
+  | m -> m
+
+let of_violation = function
+  | Models.Run_stats.Monochromatic_edge _ -> Defeated
+  | Models.Run_stats.Palette_overflow { color; _ } ->
+      Algorithm_fault (M.Out_of_palette { color })
+  | Models.Run_stats.Algorithm_failure { message; backtrace; _ } ->
+      Algorithm_fault (M.Raised { message; backtrace })
+  | Models.Run_stats.Repeated_presentation v ->
+      Adversary_fault
+        (M.Dishonest_transcript
+           { message = Printf.sprintf "node %d presented twice" v })
+
+let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm play =
+  let guard = G.create ~limits () in
+  let guarded = G.algorithm guard algorithm in
+  let result = G.capture guard (fun () -> play guarded) in
+  let outcome, detail =
+    (* A typed fault recorded on the guard wins over whatever the
+       executor turned it into: the executor only sees a generic
+       exception, the guard knows it was a budget/deadline/raise. *)
+    match (G.fault guard, result) with
+    | Some m, Ok (_, detail) -> (Algorithm_fault m, M.to_string m ^ "; " ^ detail)
+    | Some m, Error _ -> (Algorithm_fault m, M.to_string m)
+    | None, Error m ->
+        let m = adversary_misbehavior m in
+        (Adversary_fault m, M.to_string m)
+    | None, Ok (`Survived, detail) -> (Survived, detail)
+    | None, Ok (`Defeated v, detail) -> (of_violation v, detail)
+  in
+  {
+    adversary;
+    algorithm = algorithm.Models.Algorithm.name;
+    n;
+    outcome;
+    defeated = (match outcome with Defeated -> true | _ -> false);
+    guaranteed;
+    detail;
+  }
 
 let thm1 =
   {
     name = "thm1-grid";
     description = "Lemma 3.6 + cycle closure on an n x n simple grid";
     play =
-      (fun ~n algorithm ->
+      (fun ?(paranoid = false) ?limits ~n algorithm ->
         let t = algorithm.Models.Algorithm.locality ~n:(n * n) in
         let k = max 1 (Thm1_adversary.recommended_k ~n_side:n ~t) in
-        let r = Thm1_adversary.run ~n_side:n ~k ~algorithm () in
-        {
-          adversary = "thm1-grid";
-          algorithm = algorithm.Models.Algorithm.name;
-          n;
-          defeated =
-            (match r.Thm1_adversary.result with `Defeated _ -> true | `Survived -> false);
-          guaranteed = Thm1_adversary.guaranteed ~t ~k;
-          detail = Format.asprintf "%a" Thm1_adversary.pp_report r;
-        });
+        referee ?limits ~adversary:"thm1-grid" ~n
+          ~guaranteed:(Thm1_adversary.guaranteed ~t ~k) algorithm
+          (fun guarded ->
+            let r =
+              Thm1_adversary.run ~validate:paranoid ~n_side:n ~k ~algorithm:guarded ()
+            in
+            (r.Thm1_adversary.result, Format.asprintf "%a" Thm1_adversary.pp_report r)));
   }
 
 let thm2 wrap name =
@@ -44,18 +108,28 @@ let thm2 wrap name =
     name;
     description = "two-row b-value attack on an n x n wrapped grid (n rounded to odd)";
     play =
-      (fun ~n algorithm ->
+      (fun ?paranoid:_ ?limits ~n algorithm ->
         let side = if n mod 2 = 0 then n + 1 else n in
-        let r = Thm2_adversary.run ~wrap ~side ~algorithm () in
-        {
-          adversary = name;
-          algorithm = algorithm.Models.Algorithm.name;
-          n = side;
-          defeated =
-            (match r.Thm2_adversary.result with `Defeated _ -> true | `Survived -> false);
-          guaranteed = r.Thm2_adversary.preconditions_met;
-          detail = Format.asprintf "%a" Thm2_adversary.pp_report r;
-        });
+        let rounding =
+          if side <> n then
+            Printf.sprintf "side rounded %d -> %d (odd side required); " n side
+          else ""
+        in
+        let r = ref None in
+        let v =
+          referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
+            (fun guarded ->
+              let report = Thm2_adversary.run ~wrap ~side ~algorithm:guarded () in
+              r := Some report;
+              ( report.Thm2_adversary.result,
+                rounding ^ Format.asprintf "%a" Thm2_adversary.pp_report report ))
+        in
+        let guaranteed =
+          match !r with
+          | Some report -> report.Thm2_adversary.preconditions_met
+          | None -> false
+        in
+        { v with guaranteed });
   }
 
 let thm2_torus = thm2 `Toroidal "thm2-torus"
@@ -66,19 +140,64 @@ let thm3 =
     name = "thm3-gadgets";
     description = "gadget seam attack on a chain of n gadgets (k = 3)";
     play =
-      (fun ~n algorithm ->
+      (fun ?paranoid:_ ?limits ~n algorithm ->
         let gadgets = max 3 n in
-        let r = Thm3_adversary.run ~k:3 ~gadgets ~algorithm () in
-        {
-          adversary = "thm3-gadgets";
-          algorithm = algorithm.Models.Algorithm.name;
-          n = gadgets;
-          defeated =
-            (match r.Thm3_adversary.result with `Defeated _ -> true | `Survived -> false);
-          guaranteed = r.Thm3_adversary.preconditions_met;
-          detail = Format.asprintf "%a" Thm3_adversary.pp_report r;
-        });
+        let r = ref None in
+        let v =
+          referee ?limits ~adversary:"thm3-gadgets" ~n:gadgets ~guaranteed:false
+            algorithm (fun guarded ->
+              let report = Thm3_adversary.run ~k:3 ~gadgets ~algorithm:guarded () in
+              r := Some report;
+              ( report.Thm3_adversary.result,
+                Format.asprintf "%a" Thm3_adversary.pp_report report ))
+        in
+        let guaranteed =
+          match !r with
+          | Some report -> report.Thm3_adversary.preconditions_met
+          | None -> false
+        in
+        { v with guaranteed });
   }
 
-let games = [ thm1; thm2_torus; thm2_cylinder; thm3 ]
+(* Upper-bound runs as first-class games: a fixed simple grid, a seeded
+   random order, no adversary trickery — the algorithm merely has to
+   survive.  These exist so the fault matrix covers upper-bound
+   executions too (kp1 needs the bipartition oracle, AEL runs
+   oracle-free). *)
+let upper ~with_oracle name description =
+  {
+    name;
+    description;
+    play =
+      (fun ?paranoid:_ ?limits ~n algorithm ->
+        let side = max 4 n in
+        let grid = Topology.Grid2d.(create Simple ~rows:side ~cols:side) in
+        let host = Topology.Grid2d.graph grid in
+        let hints v =
+          let row, col = Topology.Grid2d.coords grid v in
+          Some (Models.View.Grid_pos { frame = 0; row; col })
+        in
+        let order = Models.Fixed_host.orders ~all:host (`Random 7) in
+        let oracle = if with_oracle then Some (Oracles.grid_bipartition grid) else None in
+        referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
+          (fun guarded ->
+            let outcome =
+              Models.Fixed_host.run ?oracle ~hints ~host ~palette:3
+                ~algorithm:guarded ~order ()
+            in
+            ( (match outcome.Models.Run_stats.violation with
+              | Some v -> `Defeated v
+              | None -> `Survived),
+              Format.asprintf "%a" Models.Run_stats.pp_outcome outcome )));
+  }
+
+let upper_grid =
+  upper ~with_oracle:false "upper-grid"
+    "survive a seeded random order on a simple n x n grid (oracle-free)"
+
+let upper_grid_oracle =
+  upper ~with_oracle:true "upper-grid-oracle"
+    "survive a seeded random order on a simple n x n grid with the bipartition oracle"
+
+let games = [ thm1; thm2_torus; thm2_cylinder; thm3; upper_grid; upper_grid_oracle ]
 let find name = List.find_opt (fun g -> g.name = name) games

@@ -2,16 +2,32 @@
     attacks can be paired from one CLI or test loop.
 
     Each game pits one {!Models.Algorithm.t} against one adversary at a
-    given instance size and reports a normalized verdict.  The registry
-    spans the three lower-bound theorems; the "upper-bound game" is
-    {!Models.Fixed_host.run} with an order, which needs no adversary
-    wrapper. *)
+    given instance size and reports a normalized verdict.  Both sides run
+    guarded: the algorithm under a {!Harness.Guard} (step/color budgets,
+    wall-clock deadline, exception containment), the adversary under
+    {!Harness.Guard.capture} — so a misbehaving participant degrades one
+    verdict into a typed fault instead of aborting a portfolio or sweep.
+
+    The registry spans the three lower-bound theorems plus two
+    upper-bound grid runs (oracle-free for AEL, bipartition oracle for
+    the Theorem 4 algorithm). *)
+
+type outcome =
+  | Defeated  (** the adversary produced a genuine violation certificate *)
+  | Survived  (** the algorithm withstood the attack *)
+  | Algorithm_fault of Harness.Misbehavior.t
+      (** the algorithm misbehaved (raised, over budget, past deadline,
+          out of palette) — the run proves nothing about the theorem *)
+  | Adversary_fault of Harness.Misbehavior.t
+      (** the adversary misbehaved (crashed, or its transcript failed
+          the honesty audit) — the verdict cannot be trusted *)
 
 type verdict = {
   adversary : string;
   algorithm : string;
   n : int;  (** instance size the game was played at *)
-  defeated : bool;
+  outcome : outcome;
+  defeated : bool;  (** [outcome = Defeated] — kept for callers charting defeat frontiers *)
   guaranteed : bool;  (** whether theory guarantees defeat at these parameters *)
   detail : string;  (** adversary-specific report, pretty-printed *)
 }
@@ -19,10 +35,41 @@ type verdict = {
 type t = {
   name : string;
   description : string;
-  play : n:int -> Models.Algorithm.t -> verdict;
+  play :
+    ?paranoid:bool ->
+    ?limits:Harness.Guard.limits ->
+    n:int ->
+    Models.Algorithm.t ->
+    verdict;
       (** [n] is interpreted per adversary (grid side, torus side, or
-          gadget count) — see {!val-games}. *)
+          gadget count) — see {!val-games}.  [~paranoid:true] replays the
+          Theorem 1 transcript through {!Virtual_grid.validate}; an audit
+          failure surfaces as {!Adversary_fault} with a
+          [Dishonest_transcript] certificate.  [?limits] defaults to
+          {!Harness.Guard.default_limits}. *)
 }
+
+val referee :
+  ?limits:Harness.Guard.limits ->
+  adversary:string ->
+  n:int ->
+  guaranteed:bool ->
+  Models.Algorithm.t ->
+  (Models.Algorithm.t ->
+  [ `Defeated of Models.Run_stats.violation | `Survived ] * string) ->
+  verdict
+(** The guarded engine behind every game: wrap [algorithm] in a fresh
+    guard, run [play] on the guarded twin under {!Harness.Guard.capture},
+    and classify.  Precedence: a fault recorded on the guard wins (the
+    executor only saw a generic exception; the guard knows it was a
+    budget, deadline, or raise); then an adversary-side escape becomes
+    {!Adversary_fault} (audit failures sharpened to
+    [Dishonest_transcript]); then the violation decides — monochromatic
+    edge is a genuine {!Defeated}, palette overflow and algorithm crashes
+    are {!Algorithm_fault}, repeated presentation is {!Adversary_fault}.
+    Exposed so tests can build rigged games. *)
+
+val outcome_label : outcome -> string
 
 val thm1 : t
 (** Theorem 1 on an [n x n] virtual grid, with the largest fitting
@@ -30,10 +77,19 @@ val thm1 : t
 
 val thm2_torus : t
 val thm2_cylinder : t
-(** Theorem 2 on an [n x n] wrapped grid; [n] is rounded up to odd. *)
+(** Theorem 2 on an [n x n] wrapped grid; [n] is rounded up to odd (and
+    the verdict detail says so when rounding happened). *)
 
 val thm3 : t
 (** Theorem 3 on a chain of [n] gadgets with k = 3. *)
+
+val upper_grid : t
+(** Upper-bound run: a seeded random order on a simple [max 4 n] square
+    grid, no oracle (the AEL algorithm's setting). *)
+
+val upper_grid_oracle : t
+(** Same, supplying {!Oracles.grid_bipartition} (the Theorem 4
+    algorithm's setting). *)
 
 val games : t list
 (** All of the above. *)

@@ -5,11 +5,15 @@ type upper_sweep_point = { n : int; t_star : int; swaps_at_t_star : int }
 let succeeds ~host ~palette ~orders ~make ?oracle ?hints t =
   List.for_all
     (fun order ->
-      let outcome =
-        Models.Fixed_host.run ?oracle ?hints ~host ~palette ~algorithm:(make ~t)
-          ~order ()
-      in
-      Models.Run_stats.succeeded outcome ~colors:palette ~host)
+      (* A crashing run is a failed run, not an aborted sweep. *)
+      let guard = Harness.Guard.create ~limits:Harness.Guard.no_limits () in
+      match
+        Harness.Guard.capture guard (fun () ->
+            Models.Fixed_host.run ?oracle ?hints ~host ~palette ~algorithm:(make ~t)
+              ~order ())
+      with
+      | Ok outcome -> Models.Run_stats.succeeded outcome ~colors:palette ~host
+      | Error _ -> false)
     orders
 
 let min_locality_for_success ~host ~palette ~orders ~make ?oracle ?hints ~t_max () =
@@ -64,9 +68,12 @@ let min_defeating_b ~n_side ~t:_ ~algorithm ~k_max =
   let rec go k =
     if k > k_max then None
     else
-      let r = Thm1_adversary.run ~n_side ~k ~algorithm:(algorithm ()) () in
-      match r.Thm1_adversary.result with
-      | `Defeated _ -> Some k
-      | `Survived -> go (k + 1)
+      let guard = Harness.Guard.create ~limits:Harness.Guard.no_limits () in
+      match
+        Harness.Guard.capture guard (fun () ->
+            Thm1_adversary.run ~n_side ~k ~algorithm:(algorithm ()) ())
+      with
+      | Ok { Thm1_adversary.result = `Defeated _; _ } -> Some k
+      | Ok { Thm1_adversary.result = `Survived; _ } | Error _ -> go (k + 1)
   in
   go 1

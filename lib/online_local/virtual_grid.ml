@@ -149,12 +149,14 @@ let present t f ~row ~col =
   let color =
     match (Lazy.force !(t.instance)) (make_view t ~target ~new_nodes) with
     | c -> c
+    | exception ((Stack_overflow | Out_of_memory | Sys.Break) as e) -> raise e
     | exception exn ->
+        let backtrace = Printexc.get_backtrace () in
         if t.first_violation = None then
           t.first_violation <-
             Some
               (Models.Run_stats.Algorithm_failure
-                 { node = target; message = Printexc.to_string exn });
+                 { node = target; message = Printexc.to_string exn; backtrace });
         -1
   in
   if color < 0 || color >= t.palette then begin

@@ -4,8 +4,9 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let test_registry () =
-  check_int "four games" 4 (List.length Game.games);
+  check_int "six games" 6 (List.length Game.games);
   check_bool "find known" true (Game.find "thm1-grid" <> None);
+  check_bool "find upper" true (Game.find "upper-grid-oracle" <> None);
   check_bool "find unknown" true (Game.find "nonsense" = None)
 
 let test_thm1_game_defeats_greedy () =
@@ -14,10 +15,22 @@ let test_thm1_game_defeats_greedy () =
   check_bool "guaranteed at T=1" true v.Game.guaranteed;
   check_int "size recorded" 3200 v.Game.n
 
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let test_thm2_game_rounds_to_odd () =
   let v = Game.thm2_torus.Game.play ~n:20 (Portfolio.greedy ()) in
   check_int "odd side" 21 v.Game.n;
+  check_bool "rounding visible in detail" true
+    (contains ~needle:"side rounded 20 -> 21" v.Game.detail);
   check_bool "defeated" true v.Game.defeated
+
+let test_thm2_game_odd_input_not_rounded () =
+  let v = Game.thm2_torus.Game.play ~n:21 (Portfolio.greedy ()) in
+  check_int "side kept" 21 v.Game.n;
+  check_bool "no rounding note" false (contains ~needle:"rounded" v.Game.detail)
 
 let test_thm2_cylinder_game () =
   let v = Game.thm2_cylinder.Game.play ~n:13 (Portfolio.greedy ()) in
@@ -29,17 +42,39 @@ let test_thm3_game () =
   check_bool "defeated" true v.Game.defeated;
   check_bool "guaranteed" true v.Game.guaranteed
 
-let test_every_game_beats_greedy () =
+let test_every_lower_game_beats_greedy () =
   List.iter
     (fun g ->
       let v = g.Game.play ~n:25 (Portfolio.greedy ()) in
       check_bool (g.Game.name ^ " beats greedy") true v.Game.defeated)
-    Game.games
+    [ Game.thm1; Game.thm2_torus; Game.thm2_cylinder; Game.thm3 ]
 
-let contains ~needle haystack =
-  let nl = String.length needle and hl = String.length haystack in
-  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
-  go 0
+let test_upper_games_survivable () =
+  let v = Game.upper_grid.Game.play ~n:8 (Portfolio.ael ~t:4 ()) in
+  check_bool "ael survives the oracle-free grid" true (v.Game.outcome = Game.Survived);
+  let v = Game.upper_grid_oracle.Game.play ~n:8 (Portfolio.kp1 ~k:2 ~t:8 ()) in
+  check_bool "kp1 survives with the oracle" true (v.Game.outcome = Game.Survived)
+
+let test_portfolio_run_games_total () =
+  (* One faulty entry degrades its own verdicts only. *)
+  let entries =
+    [
+      ("greedy", Portfolio.greedy ());
+      ("saboteur", Harness.Faults.raise_at ~step:1 (Portfolio.greedy ()));
+    ]
+  in
+  let results = Portfolio.run_games ~n:9 entries [ Game.thm3; Game.upper_grid ] in
+  check_int "all pairings produced verdicts" 4 (List.length results);
+  List.iter
+    (fun (label, v) ->
+      match (label, v.Game.outcome) with
+      | "saboteur", Game.Algorithm_fault _ -> ()
+      | "saboteur", o ->
+          Alcotest.failf "saboteur should fault, got %s" (Game.outcome_label o)
+      | _, (Game.Algorithm_fault _ | Game.Adversary_fault _) ->
+          Alcotest.fail "healthy entry faulted"
+      | _ -> ())
+    results
 
 let test_verdict_renders () =
   let v = Game.thm3.Game.play ~n:5 (Portfolio.greedy ()) in
@@ -54,9 +89,14 @@ let () =
           Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "thm1 vs greedy" `Quick test_thm1_game_defeats_greedy;
           Alcotest.test_case "thm2 odd rounding" `Quick test_thm2_game_rounds_to_odd;
+          Alcotest.test_case "thm2 odd input kept" `Quick
+            test_thm2_game_odd_input_not_rounded;
           Alcotest.test_case "thm2 cylinder" `Quick test_thm2_cylinder_game;
           Alcotest.test_case "thm3" `Quick test_thm3_game;
-          Alcotest.test_case "all games beat greedy" `Slow test_every_game_beats_greedy;
+          Alcotest.test_case "lower games beat greedy" `Slow
+            test_every_lower_game_beats_greedy;
+          Alcotest.test_case "upper games survivable" `Quick test_upper_games_survivable;
+          Alcotest.test_case "portfolio total" `Quick test_portfolio_run_games_total;
           Alcotest.test_case "verdict renders" `Quick test_verdict_renders;
         ] );
     ]

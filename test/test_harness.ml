@@ -1,0 +1,398 @@
+(* The guarded game engine: budgets, deadlines, typed misbehavior,
+   fault injection, and crash-tolerant checkpointed sweeps. *)
+
+open Online_local
+module A = Models.Algorithm
+module FH = Models.Fixed_host
+module RS = Models.Run_stats
+module G = Harness.Guard
+module M = Harness.Misbehavior
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let constant c = A.stateless ~name:"constant" ~locality:(fun ~n:_ -> 1) (fun _ -> c)
+
+let path_run ?(palette = 3) ?(order = [ 0; 1; 2; 3 ]) algorithm =
+  FH.run ~host:(Grid_graph.Graph.path_graph 5) ~palette ~algorithm ~order ()
+
+(* ------------------------------ guard ------------------------------ *)
+
+let test_work_budget_stops_spin () =
+  let limits = { G.no_limits with max_work = Some 1000 } in
+  let guard = G.create ~limits () in
+  let spinner = G.algorithm guard (Harness.Faults.spin ~steps:1 (constant 0)) in
+  let outcome = path_run spinner in
+  (match G.fault guard with
+  | Some (M.Budget_exhausted { used; budget = 1000 }) ->
+      (* Bounded: the loop stopped within one tick of the budget. *)
+      check_int "stopped at the budget" 1001 used
+  | _ -> Alcotest.fail "expected Budget_exhausted");
+  (* The executor saw a contained failure, not an abort. *)
+  check_bool "violation recorded" true
+    (match outcome.RS.violation with
+    | Some (RS.Algorithm_failure _) -> true
+    | _ -> false)
+
+let test_color_call_budget () =
+  let limits = { G.no_limits with max_color_calls = Some 2 } in
+  let guard = G.create ~limits () in
+  let outcome = path_run (G.algorithm guard (constant 0)) in
+  (match G.fault guard with
+  | Some (M.Budget_exhausted { used = 3; budget = 2 }) -> ()
+  | _ -> Alcotest.fail "expected call-budget exhaustion");
+  check_int "two honest answers before the cutoff" 3 outcome.RS.presented
+
+let test_deadline_exceeded () =
+  (* A zero deadline is already past at the first color call — the
+     deterministic way to exercise the deadline path. *)
+  let limits = { G.no_limits with deadline = Some 0.0 } in
+  let guard = G.create ~limits () in
+  ignore (path_run (G.algorithm guard (constant 0)));
+  match G.fault guard with
+  | Some (M.Deadline_exceeded { deadline = 0.0; _ }) -> ()
+  | _ -> Alcotest.fail "expected Deadline_exceeded"
+
+let test_fatal_exceptions_propagate () =
+  let fatal =
+    A.stateless ~name:"fatal" ~locality:(fun ~n:_ -> 1) (fun _ -> raise Stack_overflow)
+  in
+  let guard = G.create ~limits:G.no_limits () in
+  (* Through the guard AND the executor AND capture: never swallowed. *)
+  Alcotest.check_raises "stack overflow reaches the top" Stack_overflow (fun () ->
+      match G.capture guard (fun () -> path_run (G.algorithm guard fatal)) with
+      | Ok _ | Error _ -> ());
+  check_bool "no fault recorded for fatal" true (G.fault guard = None)
+
+let test_poisoned_after_first_fault () =
+  let guard = G.create ~limits:G.no_limits () in
+  let algo = G.algorithm guard (Harness.Faults.raise_at ~step:2 (constant 0)) in
+  let outcome = path_run algo in
+  (* The executor stopped at the failing step; the guard holds the
+     typed cause and would fail fast on any further call. *)
+  check_int "stopped at step 2" 2 outcome.RS.presented;
+  match G.fault guard with
+  | Some (M.Raised { message; _ }) ->
+      check_bool "message kept" true (String.length message > 0)
+  | _ -> Alcotest.fail "expected Raised"
+
+let test_instantiate_failure_poisons () =
+  let broken =
+    {
+      A.name = "broken-instantiate";
+      locality = (fun ~n:_ -> 1);
+      instantiate = (fun ~n:_ ~palette:_ ~oracle:_ -> failwith "ctor boom");
+    }
+  in
+  let guard = G.create ~limits:G.no_limits () in
+  let outcome = path_run (G.algorithm guard broken) in
+  check_bool "typed fault" true
+    (match G.fault guard with Some (M.Raised _) -> true | _ -> false);
+  check_bool "run degraded, not aborted" true
+    (match outcome.RS.violation with
+    | Some (RS.Algorithm_failure _) -> true
+    | _ -> false)
+
+let test_capture_classifies () =
+  let guard = G.create ~limits:G.no_limits () in
+  check_bool "ok" true (G.capture guard (fun () -> 41 + 1) = Ok 42);
+  (match G.capture guard (fun () -> failwith "adversary bug") with
+  | Error (M.Raised { message; _ }) ->
+      check_bool "message" true (String.length message > 0)
+  | _ -> Alcotest.fail "expected Error Raised");
+  Alcotest.check_raises "fatal re-raised" Out_of_memory (fun () ->
+      ignore (G.capture guard (fun () -> raise Out_of_memory)))
+
+let test_tick_without_guard_is_noop () =
+  (* Fault wrappers call tick unconditionally; outside a guarded call it
+     must be free and harmless. *)
+  for _ = 1 to 1000 do
+    G.tick ()
+  done
+
+(* ------------------------------ faults ----------------------------- *)
+
+let test_wrong_color_alternates () =
+  let outcome = path_run (Harness.Faults.wrong_color ~every:2 (constant 0)) in
+  let c v = Colorings.Coloring.get outcome.RS.coloring v in
+  check_bool "odd calls honest" true (c 0 = Some 0 && c 2 = Some 0);
+  check_bool "even calls shifted" true (c 1 = Some 1 && c 3 = Some 1)
+
+let test_out_of_palette_default_color () =
+  let outcome = path_run (Harness.Faults.out_of_palette ~at_step:1 (constant 0)) in
+  match outcome.RS.violation with
+  | Some (RS.Palette_overflow { color = 3; _ }) -> ()
+  | _ -> Alcotest.fail "expected overflow with color = palette"
+
+let test_amnesia_reinstantiates () =
+  let instantiations = ref 0 in
+  let counting =
+    {
+      A.name = "counting";
+      locality = (fun ~n:_ -> 1);
+      instantiate =
+        (fun ~n:_ ~palette:_ ~oracle:_ ->
+          incr instantiations;
+          fun _ -> 0);
+    }
+  in
+  ignore (path_run (Harness.Faults.amnesia counting));
+  check_int "fresh instance per call" 4 !instantiations;
+  ignore (path_run counting);
+  check_int "baseline instantiates once" 5 !instantiations
+
+let test_fault_wrappers_rename () =
+  check_string "tagged name" "spin@3(constant)"
+    (Harness.Faults.spin ~steps:3 (constant 0)).A.name
+
+let dummy_view =
+  {
+    Models.View.n_total = 1;
+    palette = 3;
+    node_count = (fun () -> 1);
+    neighbors = (fun _ -> []);
+    mem_edge = (fun _ _ -> false);
+    id = (fun h -> h);
+    output = (fun _ -> None);
+    hint = (fun _ -> None);
+    target = 0;
+    new_nodes = [ 0 ];
+    step = 1;
+  }
+
+let test_chaos_oracle_corrupts () =
+  let honest =
+    { Models.Oracle.parts = 2; radius = 0; query = (fun _ hs -> Array.make (List.length hs) 0) }
+  in
+  let chaotic = Harness.Faults.chaos_oracle ~seed:0 honest in
+  let parts = chaotic.Models.Oracle.query dummy_view [ 0; 1; 2; 3 ] in
+  Alcotest.(check (array int)) "even handles flipped" [| 1; 0; 1; 0 |] parts;
+  check_int "parts preserved" 2 chaotic.Models.Oracle.parts
+
+(* --------------------------- classification ------------------------ *)
+
+let test_rigged_dishonest_transcript () =
+  let v =
+    Game.referee ~adversary:"rigged" ~n:1 ~guaranteed:false (Portfolio.greedy ())
+      (fun _ -> failwith "validate: frame 0 lied about an edge")
+  in
+  match v.Game.outcome with
+  | Game.Adversary_fault (M.Dishonest_transcript _) -> ()
+  | o -> Alcotest.failf "expected dishonest transcript, got %s" (Game.outcome_label o)
+
+let test_rigged_repeated_presentation () =
+  let v =
+    Game.referee ~adversary:"rigged" ~n:1 ~guaranteed:false (Portfolio.greedy ())
+      (fun _ -> (`Defeated (RS.Repeated_presentation 3), "rigged detail"))
+  in
+  match v.Game.outcome with
+  | Game.Adversary_fault (M.Dishonest_transcript _) -> ()
+  | o -> Alcotest.failf "expected adversary fault, got %s" (Game.outcome_label o)
+
+let test_rigged_adversary_crash () =
+  let v =
+    Game.referee ~adversary:"rigged" ~n:1 ~guaranteed:false (Portfolio.greedy ())
+      (fun _ -> invalid_arg "adversary bug")
+  in
+  check_bool "adversary fault" true
+    (match v.Game.outcome with
+    | Game.Adversary_fault (M.Raised _) -> true
+    | _ -> false);
+  check_bool "not a defeat" false v.Game.defeated
+
+let test_paranoid_thm1_stays_defeated () =
+  let v = Game.thm1.Game.play ~paranoid:true ~n:25 (Portfolio.greedy ()) in
+  check_bool "audited defeat" true v.Game.defeated
+
+(* ---------------------------- fault matrix -------------------------- *)
+
+(* Pinned from a reference run; every row is deterministic (seeded
+   orders, counter-based faults, work budgets — no clocks).  The shape
+   that matters: honest losses stay DEFEATED, in-palette bugs lose
+   honestly, everything else degrades to a typed fault, and no cell
+   aborts the matrix. *)
+let expected_matrix =
+  let lower_games = [ "thm1-grid"; "thm2-torus"; "thm2-cylinder"; "thm3-gadgets" ] in
+  let upper_games = [ "upper-grid"; "upper-grid-oracle" ] in
+  List.concat_map
+    (fun game ->
+      let baseline = if List.mem game lower_games then "DEFEATED" else "survived" in
+      let amnesia =
+        (* greedy and gadget-rows carry no global state, so amnesia just
+           loses honestly; ael and kp1 crash without their memory. *)
+        match game with
+        | "thm2-torus" | "thm2-cylinder" | "thm3-gadgets" -> "DEFEATED"
+        | _ -> "ALGORITHM-FAULT (raised)"
+      in
+      [
+        (game, "none", baseline);
+        (game, "wrong-color", "DEFEATED");
+        (game, "out-of-palette", "ALGORITHM-FAULT (out-of-palette)");
+        (game, "raise", "ALGORITHM-FAULT (raised)");
+        (game, "spin", "ALGORITHM-FAULT (budget-exhausted)");
+        (game, "amnesia", amnesia);
+      ])
+    (lower_games @ upper_games)
+
+let test_fault_matrix () =
+  let actual = Experiments.fault_matrix () in
+  check_int "matrix size" (List.length expected_matrix) (List.length actual);
+  List.iter2
+    (fun (eg, ef, eo) (ag, af, ao) ->
+      check_string (Printf.sprintf "%s/%s game" eg ef) eg ag;
+      check_string (Printf.sprintf "%s/%s fault" eg ef) ef af;
+      check_string (Printf.sprintf "%s x %s" eg ef) eo ao)
+    expected_matrix actual
+
+(* ------------------------------ sweep ------------------------------ *)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "sweep_test" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let render cells ?resume ?checkpoint () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Sweep.run ?resume ?checkpoint ~ppf cells;
+  Buffer.contents buf
+
+let counted_cells log =
+  List.map
+    (fun key ->
+      {
+        Harness.Sweep.key;
+        run =
+          (fun () ->
+            log := key :: !log;
+            "result of " ^ key ^ "\nsecond line of " ^ key);
+      })
+    [ "a"; "b"; "c" ]
+
+let test_sweep_resume_byte_identical () =
+  with_temp_checkpoint (fun path ->
+      let log = ref [] in
+      let full = render (counted_cells log) ~checkpoint:path () in
+      check_int "three cells ran" 3 (List.length !log);
+      (* Drop the last checkpoint line: simulate a kill between cells. *)
+      let lines =
+        String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
+      in
+      let kept = List.filteri (fun i _ -> i < 2) lines in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+      log := [];
+      let resumed = render (counted_cells log) ~resume:true ~checkpoint:path () in
+      check_string "byte-identical output" full resumed;
+      Alcotest.(check (list string)) "only the missing cell reran" [ "c" ] !log;
+      (* And the checkpoint is complete again: a second resume runs nothing. *)
+      log := [];
+      let again = render (counted_cells log) ~resume:true ~checkpoint:path () in
+      check_string "still byte-identical" full again;
+      check_int "nothing reran" 0 (List.length !log))
+
+let test_sweep_crashed_cell_continues () =
+  let cells =
+    [
+      { Harness.Sweep.key = "good"; run = (fun () -> "ok") };
+      { Harness.Sweep.key = "bad"; run = (fun () -> failwith "cell exploded") };
+      { Harness.Sweep.key = "after"; run = (fun () -> "still here") };
+    ]
+  in
+  let out = render cells () in
+  check_string "error recorded, sweep continued"
+    "ok\nERROR: Failure(\"cell exploded\")\nstill here\n" out
+
+let test_sweep_duplicate_keys_rejected () =
+  let cells =
+    [
+      { Harness.Sweep.key = "same"; run = (fun () -> "x") };
+      { Harness.Sweep.key = "same"; run = (fun () -> "y") };
+    ]
+  in
+  Alcotest.check_raises "duplicate keys"
+    (Invalid_argument "Sweep.run: duplicate cell key same") (fun () ->
+      ignore (render cells ()))
+
+let test_sweep_interrupt_preserves_checkpoint () =
+  with_temp_checkpoint (fun path ->
+      let cells =
+        [
+          { Harness.Sweep.key = "first"; run = (fun () -> "done first") };
+          { Harness.Sweep.key = "second"; run = (fun () -> raise Harness.Sweep.Interrupted) };
+          { Harness.Sweep.key = "third"; run = (fun () -> "done third") };
+        ]
+      in
+      (try ignore (render cells ~checkpoint:path ()) with
+      | Harness.Sweep.Interrupted -> ());
+      let saved = In_channel.with_open_text path In_channel.input_all in
+      check_bool "first cell checkpointed" true (String.length saved > 0);
+      (* Resume completes the remaining cells without rerunning the first. *)
+      let log = ref [] in
+      let cells' =
+        List.map
+          (fun key ->
+            {
+              Harness.Sweep.key;
+              run =
+                (fun () ->
+                  log := key :: !log;
+                  "done " ^ key);
+            })
+          [ "first"; "second"; "third" ]
+      in
+      let out = render cells' ~resume:true ~checkpoint:path () in
+      Alcotest.(check (list string)) "only unfinished cells ran" [ "third"; "second" ] !log;
+      check_string "full output" "done first\ndone second\ndone third\n" out)
+
+let test_axis_parsers () =
+  Alcotest.(check (list int)) "ints" [ 1; 2; 8 ] (Harness.Sweep.int_axis "1,2,8");
+  Alcotest.(check (list string)) "strings" [ "ael"; "greedy" ]
+    (Harness.Sweep.string_axis " ael, greedy ,");
+  Alcotest.check_raises "bad int" (Invalid_argument "Sweep.int_axis: not an integer: x")
+    (fun () -> ignore (Harness.Sweep.int_axis "1,x"))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "guard",
+        [
+          Alcotest.test_case "work budget stops spin" `Quick test_work_budget_stops_spin;
+          Alcotest.test_case "color-call budget" `Quick test_color_call_budget;
+          Alcotest.test_case "deadline" `Quick test_deadline_exceeded;
+          Alcotest.test_case "fatal exceptions propagate" `Quick
+            test_fatal_exceptions_propagate;
+          Alcotest.test_case "poisoned after fault" `Quick test_poisoned_after_first_fault;
+          Alcotest.test_case "instantiate failure" `Quick test_instantiate_failure_poisons;
+          Alcotest.test_case "capture" `Quick test_capture_classifies;
+          Alcotest.test_case "tick without guard" `Quick test_tick_without_guard_is_noop;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "wrong-color alternates" `Quick test_wrong_color_alternates;
+          Alcotest.test_case "out-of-palette default" `Quick
+            test_out_of_palette_default_color;
+          Alcotest.test_case "amnesia reinstantiates" `Quick test_amnesia_reinstantiates;
+          Alcotest.test_case "wrappers rename" `Quick test_fault_wrappers_rename;
+          Alcotest.test_case "chaos oracle" `Quick test_chaos_oracle_corrupts;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "dishonest transcript" `Quick test_rigged_dishonest_transcript;
+          Alcotest.test_case "repeated presentation" `Quick
+            test_rigged_repeated_presentation;
+          Alcotest.test_case "adversary crash" `Quick test_rigged_adversary_crash;
+          Alcotest.test_case "paranoid thm1" `Quick test_paranoid_thm1_stays_defeated;
+        ] );
+      ("matrix", [ Alcotest.test_case "fault matrix pinned" `Slow test_fault_matrix ]);
+      ( "sweep",
+        [
+          Alcotest.test_case "resume byte-identical" `Quick test_sweep_resume_byte_identical;
+          Alcotest.test_case "crashed cell continues" `Quick
+            test_sweep_crashed_cell_continues;
+          Alcotest.test_case "duplicate keys" `Quick test_sweep_duplicate_keys_rejected;
+          Alcotest.test_case "interrupt preserves checkpoint" `Quick
+            test_sweep_interrupt_preserves_checkpoint;
+          Alcotest.test_case "axis parsers" `Quick test_axis_parsers;
+        ] );
+    ]

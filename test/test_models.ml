@@ -209,7 +209,7 @@ let test_algorithm_exception_becomes_certificate () =
   let host = Graph.path_graph 4 in
   let outcome = FH.run ~host ~palette:3 ~algorithm:crasher ~order:[ 0; 2; 3 ] () in
   match outcome.RS.violation with
-  | Some (RS.Algorithm_failure { node = 2; message }) ->
+  | Some (RS.Algorithm_failure { node = 2; message; _ }) ->
       check_bool "message mentions boom" true
         (String.length message > 0);
       (* The run stopped at the failing step. *)
@@ -219,6 +219,62 @@ let test_algorithm_exception_becomes_certificate () =
         (match other with
         | None -> "success"
         | Some v -> Format.asprintf "%a" RS.pp_violation v)
+
+let test_run_with_duplicate_order_certifies () =
+  (* [run] converts a duplicated reveal order into a typed violation
+     instead of letting [present]'s invalid_arg abort the run. *)
+  let host = Graph.path_graph 5 in
+  let outcome =
+    FH.run ~host ~palette:3 ~algorithm:A.greedy_first_fit ~order:[ 0; 2; 2; 3 ] ()
+  in
+  (match outcome.RS.violation with
+  | Some (RS.Repeated_presentation 2) -> ()
+  | _ -> Alcotest.fail "expected repeated-presentation certificate");
+  check_int "stopped at the duplicate" 2 outcome.RS.presented
+
+let test_extreme_colors_certified () =
+  let at c =
+    let bad = A.stateless ~name:"bad" ~locality:(fun ~n:_ -> 1) (fun _ -> c) in
+    let outcome =
+      FH.run ~host:(Graph.path_graph 3) ~palette:3 ~algorithm:bad ~order:[ 0; 1 ] ()
+    in
+    match outcome.RS.violation with
+    | Some (RS.Palette_overflow { color; _ }) -> color
+    | _ -> Alcotest.fail "expected palette overflow"
+  in
+  check_int "max_int" max_int (at max_int);
+  check_int "negative" (-5) (at (-5));
+  check_int "min_int" min_int (at min_int)
+
+let test_empty_order_clean_result () =
+  let host = Graph.path_graph 4 in
+  let outcome = FH.run ~host ~palette:3 ~algorithm:A.greedy_first_fit ~order:[] () in
+  check_bool "no violation" true (outcome.RS.violation = None);
+  check_int "nothing presented" 0 outcome.RS.presented;
+  check_int "nothing colored" 0 (Colorings.Coloring.colored_count outcome.RS.coloring);
+  check_bool "not a success" false (RS.succeeded outcome ~colors:3 ~host)
+
+let test_fatal_exception_not_contained () =
+  let fatal =
+    A.stateless ~name:"fatal" ~locality:(fun ~n:_ -> 1) (fun _ -> raise Out_of_memory)
+  in
+  Alcotest.check_raises "out of memory propagates" Out_of_memory (fun () ->
+      ignore
+        (FH.run ~host:(Graph.path_graph 3) ~palette:3 ~algorithm:fatal ~order:[ 0 ] ()))
+
+let test_failure_records_backtrace_field () =
+  let crasher =
+    A.stateless ~name:"crasher" ~locality:(fun ~n:_ -> 1) (fun _ -> failwith "boom")
+  in
+  let outcome =
+    FH.run ~host:(Graph.path_graph 3) ~palette:3 ~algorithm:crasher ~order:[ 0 ] ()
+  in
+  match outcome.RS.violation with
+  | Some (RS.Algorithm_failure { backtrace; _ }) ->
+      (* Recording is enabled by the harness; the field exists and is a
+         string either way. *)
+      check_bool "backtrace is a string" true (String.length backtrace >= 0)
+  | _ -> Alcotest.fail "expected algorithm failure"
 
 let test_kp1_oracle_parts_mismatch () =
   let g2 = grid 4 4 in
@@ -289,6 +345,16 @@ let () =
             test_kp1_oracle_parts_mismatch;
           Alcotest.test_case "exception becomes certificate" `Quick
             test_algorithm_exception_becomes_certificate;
+          Alcotest.test_case "duplicate order certified" `Quick
+            test_run_with_duplicate_order_certifies;
+          Alcotest.test_case "extreme colors certified" `Quick
+            test_extreme_colors_certified;
+          Alcotest.test_case "empty order clean result" `Quick
+            test_empty_order_clean_result;
+          Alcotest.test_case "fatal exception not contained" `Quick
+            test_fatal_exception_not_contained;
+          Alcotest.test_case "backtrace recorded" `Quick
+            test_failure_records_backtrace_field;
         ] );
       ( "local",
         [
