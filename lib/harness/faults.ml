@@ -58,7 +58,10 @@ let chaos_oracle ~seed oracle =
     oracle with
     Models.Oracle.query =
       (fun view handles ->
-        let raw = oracle.Models.Oracle.query view handles in
+        (* Copy before perturbing: the wrapped oracle may hand out a
+           shared or cached buffer, and the injected fault must corrupt
+           the answer, not the oracle's own state. *)
+        let raw = Array.copy (oracle.Models.Oracle.query view handles) in
         List.iteri
           (fun i h ->
             if (h + seed) mod 2 = 0 then raw.(i) <- (raw.(i) + 1) mod parts)

@@ -14,21 +14,32 @@ type t = {
   started : float;
   mutable color_calls : int;
   mutable work : int;
+  mutable since_poll : int;  (* ticks since the last deadline poll *)
   mutable fault : Misbehavior.t option;
 }
 
 exception Misbehaved of Misbehavior.t
 
 let () =
-  (* Backtraces feed Misbehavior.Raised and Run_stats.Algorithm_failure;
-     the printer keeps executor-recorded messages readable. *)
-  Printexc.record_backtrace true;
+  (* The printer keeps executor-recorded messages readable. *)
   Printexc.register_printer (function
     | Misbehaved m -> Some (Misbehavior.to_string m)
     | _ -> None)
 
 let create ?(limits = default_limits) () =
-  { limits; started = Unix.gettimeofday (); color_calls = 0; work = 0; fault = None }
+  (* Backtraces feed Misbehavior.Raised and Run_stats.Algorithm_failure.
+     Flipping the recorder is a global runtime effect, so it happens here
+     — only in programs that actually run guarded games — not at library
+     initialization, where merely linking the harness would pay it. *)
+  Printexc.record_backtrace true;
+  {
+    limits;
+    started = Unix.gettimeofday ();
+    color_calls = 0;
+    work = 0;
+    since_poll = 0;
+    fault = None;
+  }
 
 let fault t = t.fault
 let color_calls t = t.color_calls
@@ -61,17 +72,30 @@ let tick ?(cost = 1) () =
       | Some budget when t.work > budget ->
           fail t (Misbehavior.Budget_exhausted { used = t.work; budget })
       | _ -> ());
-      (* Deadline polls are amortized; the budget alone is deterministic. *)
-      if t.work land 255 = 0 then check_deadline t
+      (* Deadline polls are amortized per tick, not per work unit: a
+         cumulative-work test would skip multiples of 256 whenever a
+         tick's cost exceeds 1, making poll latency depend on cost
+         granularity.  The budget alone is deterministic. *)
+      t.since_poll <- t.since_poll + 1;
+      if t.since_poll >= 256 then begin
+        t.since_poll <- 0;
+        check_deadline t
+      end
 
 let with_current t f =
   let saved = !current in
   current := Some t;
   Fun.protect ~finally:(fun () -> current := saved) f
 
-let raised exn =
-  let backtrace = Printexc.get_backtrace () in
-  Misbehavior.Raised { message = Printexc.to_string exn; backtrace }
+let raised = function
+  | Models.Run_stats.Dishonest_transcript message ->
+      (* Typed audit failures keep their sharper certificate instead of
+         degrading to a generic Raised — classification is by exception
+         constructor, never by message text. *)
+      Misbehavior.Dishonest_transcript { message }
+  | exn ->
+      let backtrace = Printexc.get_backtrace () in
+      Misbehavior.Raised { message = Printexc.to_string exn; backtrace }
 
 let guarded_call t inst view =
   (match t.fault with Some m -> raise (Misbehaved m) | None -> ());

@@ -44,6 +44,10 @@ exception Misbehaved of Misbehavior.t
     exception, and the engine reads the typed form back via {!fault}. *)
 
 val create : ?limits:limits -> unit -> t
+(** Also enables [Printexc.record_backtrace] (a global runtime setting)
+    so contained exceptions carry their backtraces; merely linking the
+    library has no such side effect. *)
+
 val fault : t -> Misbehavior.t option
 (** First misbehavior recorded by this guard, if any. *)
 
@@ -70,5 +74,7 @@ val algorithm : t -> Models.Algorithm.t -> Models.Algorithm.t
 val capture : t -> (unit -> 'a) -> ('a, Misbehavior.t) result
 (** Run a whole adversary [play] (or any engine step) under containment:
     [Error] carries the typed misbehavior for non-fatal exceptions
-    (including {!Misbehaved} escaping an unguarded path); fatal
-    exceptions re-raise. *)
+    (including {!Misbehaved} escaping an unguarded path); a
+    {!Models.Run_stats.Dishonest_transcript} escape maps to
+    [Misbehavior.Dishonest_transcript] rather than a generic [Raised];
+    fatal exceptions re-raise. *)

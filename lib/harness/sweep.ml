@@ -32,23 +32,46 @@ let unescape s =
 let load path =
   let completed = Hashtbl.create 64 in
   if Sys.file_exists path then begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            match String.index_opt line '\t' with
-            | None -> ()  (* torn or foreign line: ignore, the cell reruns *)
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> In_channel.input_all ic)
+    in
+    let n = String.length contents in
+    let rec go start =
+      if start < n then
+        match String.index_from_opt contents start '\n' with
+        | None -> ()  (* torn final record (killed mid-write): the cell reruns *)
+        | Some stop ->
+            let line = String.sub contents start (stop - start) in
+            (match String.index_opt line '\t' with
+            | None -> ()  (* foreign line: ignore, the cell reruns *)
             | Some cut ->
+                (* replace: if a torn record was later terminated and the
+                   cell rerun, the rerun's (later) record wins *)
                 Hashtbl.replace completed
                   (unescape (String.sub line 0 cut))
-                  (unescape (String.sub line (cut + 1) (String.length line - cut - 1)))
-          done
-        with End_of_file -> ())
+                  (unescape (String.sub line (cut + 1) (String.length line - cut - 1))));
+            go (stop + 1)
+    in
+    go 0
   end;
   completed
+
+let ends_without_newline path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          len > 0
+          && begin
+               seek_in ic (len - 1);
+               input_char ic <> '\n'
+             end)
 
 let run ?(resume = false) ?checkpoint ~ppf cells =
   let keys = Hashtbl.create (List.length cells * 2 + 1) in
@@ -66,49 +89,64 @@ let run ?(resume = false) ?checkpoint ~ppf cells =
   let out =
     Option.map
       (fun path ->
+        let torn = resume && ends_without_newline path in
         let flags =
           Open_wronly :: Open_creat :: (if resume then [ Open_append ] else [ Open_trunc ])
         in
-        open_out_gen flags 0o644 path)
+        let oc = open_out_gen flags 0o644 path in
+        (* A kill mid-write can leave a torn, newline-less final record;
+           terminate it so the records appended below stay line-delimited.
+           [load] already skipped the torn record, so its cell reruns and
+           its fresh record supersedes the torn one on any later load. *)
+        if torn then output_char oc '\n';
+        oc)
       checkpoint
   in
-  (* Trap SIGINT so a killed sweep flushes its last line and closes the
-     checkpoint cleanly; completed cells survive for --resume. *)
+  (* Trap SIGINT as [Sys.Break] — the one interrupt every containment
+     layer (Guard.guarded_call, Guard.capture, the executors) treats as
+     fatal and re-raises — so Ctrl-C landing inside algorithm or
+     adversary code can never be swallowed into a fake cell result and
+     flushed to the checkpoint.  The sweep boundary below converts it to
+     {!Interrupted} after the checkpoint is flushed and closed. *)
   let previous_sigint =
-    try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Interrupted)))
+    try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Sys.Break)))
     with Invalid_argument _ | Sys_error _ -> None
   in
-  Fun.protect
-    ~finally:(fun () ->
-      Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
-      Option.iter close_out_noerr out)
-    (fun () ->
-      List.iter
-        (fun c ->
-          let result =
-            match Hashtbl.find_opt completed c.key with
-            | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
-            | None ->
-                let r =
-                  match c.run () with
-                  | r -> r
-                  | exception (Interrupted as e) -> raise e
-                  | exception e when Guard.is_fatal e -> raise e
-                  | exception exn ->
-                      (* A crashed cell is a recorded result, not an
-                         aborted sweep. *)
-                      "ERROR: " ^ Printexc.to_string exn
-                in
-                Option.iter
-                  (fun oc ->
-                    output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
-                    flush oc)
-                  out;
-                r
-          in
-          Format.fprintf ppf "%s@." result)
-        cells;
-      Format.pp_print_flush ppf ())
+  match
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
+        Option.iter close_out_noerr out)
+      (fun () ->
+        List.iter
+          (fun c ->
+            let result =
+              match Hashtbl.find_opt completed c.key with
+              | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
+              | None ->
+                  let r =
+                    match c.run () with
+                    | r -> r
+                    | exception (Interrupted as e) -> raise e
+                    | exception e when Guard.is_fatal e -> raise e
+                    | exception exn ->
+                        (* A crashed cell is a recorded result, not an
+                           aborted sweep. *)
+                        "ERROR: " ^ Printexc.to_string exn
+                  in
+                  Option.iter
+                    (fun oc ->
+                      output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
+                      flush oc)
+                    out;
+                  r
+            in
+            Format.fprintf ppf "%s@." result)
+          cells;
+        Format.pp_print_flush ppf ())
+  with
+  | () -> ()
+  | exception Sys.Break -> raise Interrupted
 
 let int_axis s =
   List.filter_map

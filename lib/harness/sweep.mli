@@ -12,15 +12,20 @@
 
     Robustness contract: a cell that raises a non-fatal exception
     records and prints ["ERROR: ..."] and the sweep continues; SIGINT is
-    trapped as {!Interrupted}, which flushes and closes the checkpoint
-    before propagating; fatal exceptions ({!Guard.is_fatal}) propagate
-    after the same cleanup. *)
+    trapped as [Sys.Break] — fatal to every containment layer
+    ({!Guard.is_fatal}), so an interrupt landing inside guarded
+    algorithm or adversary code aborts the cell instead of being
+    recorded as its result — and surfaces as {!Interrupted} once the
+    checkpoint is flushed and closed; other fatal exceptions propagate
+    after the same cleanup.  Only newline-terminated checkpoint records
+    replay, so a record torn by a kill mid-write reruns its cell. *)
 
 type cell = { key : string; run : unit -> string }
 
 exception Interrupted
-(** Raised by the installed SIGINT handler (and honored if a cell thunk
-    raises it directly): stop the sweep now, cleanly. *)
+(** Raised at the sweep boundary after a SIGINT (and honored if a cell
+    thunk raises it directly): the sweep stopped cleanly, completed
+    cells are checkpointed. *)
 
 val run :
   ?resume:bool ->

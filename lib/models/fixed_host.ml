@@ -92,7 +92,9 @@ let make_view t ~target ~new_nodes =
 
 let present t v =
   if Hashtbl.mem t.presented_set v then
-    invalid_arg (Printf.sprintf "Fixed_host.present: node %d presented twice" v);
+    raise
+      (Run_stats.Dishonest_transcript
+         (Printf.sprintf "Fixed_host.present: node %d presented twice" v));
   Hashtbl.replace t.presented_set v ();
   t.steps <- t.steps + 1;
   let new_nodes = reveal_ball t v in

@@ -34,7 +34,9 @@ val start :
 
 val present : t -> Grid_graph.Graph.node -> int
 (** Present one host node; returns the color the algorithm answered.
-    @raise Invalid_argument if the node was already presented. *)
+    @raise Run_stats.Dishonest_transcript if the node was already
+    presented (an adversary rule violation, typed so the guarded engine
+    certifies it as such). *)
 
 val coloring : t -> Colorings.Coloring.t
 (** Colors output so far, indexed by host node (shared, do not mutate). *)

@@ -1,3 +1,5 @@
+exception Dishonest_transcript of string
+
 type violation =
   | Monochromatic_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
   | Palette_overflow of { node : Grid_graph.Graph.node; color : int }

@@ -4,6 +4,14 @@
     certificate that the algorithm failed; upper-bound runs must end with
     none. *)
 
+exception Dishonest_transcript of string
+(** Raised by executors and transcript auditors when the {e adversary}
+    side breaks the model's rules — a node presented twice, a replay
+    audit mismatch.  A dedicated constructor so the guarded engine can
+    classify audit failures by exception type ({!Harness.Guard.capture}
+    maps it to [Misbehavior.Dishonest_transcript]) instead of sniffing
+    message text. *)
+
 type violation =
   | Monochromatic_edge of Grid_graph.Graph.node * Grid_graph.Graph.node
       (** two adjacent host nodes got the same color *)

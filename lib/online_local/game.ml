@@ -35,19 +35,6 @@ let pp_verdict ppf v =
     (if v.guaranteed then " [guaranteed]" else "")
     v.detail
 
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-(* An exception escaping the adversary's own code is an adversary fault;
-   transcript-audit failures get the sharper certificate. *)
-let adversary_misbehavior = function
-  | M.Raised { message; _ }
-    when contains_sub message "validate:" || contains_sub message "presented twice" ->
-      M.Dishonest_transcript { message }
-  | m -> m
-
 let of_violation = function
   | Models.Run_stats.Monochromatic_edge _ -> Defeated
   | Models.Run_stats.Palette_overflow { color; _ } ->
@@ -70,9 +57,10 @@ let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm pla
     match (G.fault guard, result) with
     | Some m, Ok (_, detail) -> (Algorithm_fault m, M.to_string m ^ "; " ^ detail)
     | Some m, Error _ -> (Algorithm_fault m, M.to_string m)
-    | None, Error m ->
-        let m = adversary_misbehavior m in
-        (Adversary_fault m, M.to_string m)
+    (* An exception escaping the adversary's own code is an adversary
+       fault; Guard.capture already sharpened typed audit failures
+       (Run_stats.Dishonest_transcript) into their certificate. *)
+    | None, Error m -> (Adversary_fault m, M.to_string m)
     | None, Ok (`Survived, detail) -> (Survived, detail)
     | None, Ok (`Defeated v, detail) -> (of_violation v, detail)
   in

@@ -63,8 +63,9 @@ val referee :
     and classify.  Precedence: a fault recorded on the guard wins (the
     executor only saw a generic exception; the guard knows it was a
     budget, deadline, or raise); then an adversary-side escape becomes
-    {!Adversary_fault} (audit failures sharpened to
-    [Dishonest_transcript]); then the violation decides — monochromatic
+    {!Adversary_fault} (a {!Models.Run_stats.Dishonest_transcript}
+    escape keeps its [Dishonest_transcript] certificate, by exception
+    type, not message text); then the violation decides — monochromatic
     edge is a genuine {!Defeated}, palette overflow and algorithm crashes
     are {!Algorithm_fault}, repeated presentation is {!Adversary_fault}.
     Exposed so tests can build rigged games. *)

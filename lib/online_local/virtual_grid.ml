@@ -118,7 +118,9 @@ let present t f ~row ~col =
   check_alive f "present";
   (match Hashtbl.find_opt f.table (row, col) with
   | Some h when Hashtbl.mem t.presented h ->
-      invalid_arg "Virtual_grid.present: node already presented"
+      raise
+        (Models.Run_stats.Dishonest_transcript
+           "Virtual_grid.present: node already presented")
   | Some _ | None -> ());
   t.steps <- t.steps + 1;
   (* Reveal the radius-R diamond around the node. *)
@@ -282,7 +284,9 @@ let validate t =
   let by_coord = Hashtbl.create (count * 2 + 1) in
   for h = 0 to count - 1 do
     let coord = abs_coords h in
-    if Hashtbl.mem by_coord coord then failwith "validate: two nodes share a position";
+    if Hashtbl.mem by_coord coord then
+      raise
+        (Models.Run_stats.Dishonest_transcript "validate: two nodes share a position");
     Hashtbl.replace by_coord coord h
   done;
   (* (a) Region edges = grid adjacency. *)
@@ -294,8 +298,10 @@ let validate t =
     in
     let actual = List.sort compare (Grid_graph.Dyn_graph.neighbors t.region h) in
     if expected <> actual then
-      failwith
-        (Printf.sprintf "validate: node %d has wrong adjacency under final placement" h)
+      raise
+        (Models.Run_stats.Dishonest_transcript
+           (Printf.sprintf
+              "validate: node %d has wrong adjacency under final placement" h))
   done;
   (* (b) Every node appeared exactly at the first presentation whose ball
      contains it under the final placement. *)
@@ -309,10 +315,11 @@ let validate t =
         if abs (hr - tr) + abs (hc - tc) <= t.radius then first := min !first (j + 1))
       targets;
     if !first <> t.revealed_step.(h) then
-      failwith
-        (Printf.sprintf
-           "validate: node %d revealed at step %d but first containing ball is step %d"
-           h t.revealed_step.(h) !first)
+      raise
+        (Models.Run_stats.Dishonest_transcript
+           (Printf.sprintf
+              "validate: node %d revealed at step %d but first containing ball is step %d"
+              h t.revealed_step.(h) !first))
   done
 
 let bipartition_oracle t =

@@ -47,7 +47,8 @@ val new_frame : t -> frame
 val present : t -> frame -> row:int -> col:int -> int
 (** Present the node at the given frame coordinates; reveals its diamond,
     asks the algorithm, records and returns the color.
-    @raise Invalid_argument if this exact node was already presented. *)
+    @raise Models.Run_stats.Dishonest_transcript if this exact node was
+    already presented. *)
 
 val color_at : t -> frame -> row:int -> col:int -> int option
 (** Color output for the node at the coordinates, if presented. *)
@@ -91,7 +92,9 @@ val validate : t -> unit
     and (b) every node entered the revealed region exactly at the first
     presentation whose ball contains it, never earlier, never later.
     Frames never merged are taken as placed unboundedly far apart.
-    @raise Failure with a diagnostic if the transcript was dishonest. *)
+    @raise Models.Run_stats.Dishonest_transcript with a diagnostic if the
+    transcript was dishonest — the typed form the guarded engine turns
+    into an [Adversary_fault] certificate. *)
 
 val bipartition_oracle : t -> Models.Oracle.t
 (** A radius-0 bipartition oracle reading coordinate parity from the

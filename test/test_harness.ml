@@ -170,16 +170,40 @@ let test_chaos_oracle_corrupts () =
   Alcotest.(check (array int)) "even handles flipped" [| 1; 0; 1; 0 |] parts;
   check_int "parts preserved" 2 chaotic.Models.Oracle.parts
 
+let test_chaos_oracle_preserves_shared_buffer () =
+  (* An oracle may answer from a shared or cached buffer; the fault
+     injector must corrupt the answer, never the oracle's own state. *)
+  let shared = Array.make 4 0 in
+  let honest = { Models.Oracle.parts = 2; radius = 0; query = (fun _ _ -> shared) } in
+  let chaotic = Harness.Faults.chaos_oracle ~seed:0 honest in
+  let parts = chaotic.Models.Oracle.query dummy_view [ 0; 1; 2; 3 ] in
+  Alcotest.(check (array int)) "answer perturbed" [| 1; 0; 1; 0 |] parts;
+  Alcotest.(check (array int)) "wrapped oracle's buffer untouched" [| 0; 0; 0; 0 |] shared
+
 (* --------------------------- classification ------------------------ *)
 
 let test_rigged_dishonest_transcript () =
   let v =
     Game.referee ~adversary:"rigged" ~n:1 ~guaranteed:false (Portfolio.greedy ())
-      (fun _ -> failwith "validate: frame 0 lied about an edge")
+      (fun _ -> raise (RS.Dishonest_transcript "frame 0 lied about an edge"))
   in
   match v.Game.outcome with
-  | Game.Adversary_fault (M.Dishonest_transcript _) -> ()
+  | Game.Adversary_fault
+      (M.Dishonest_transcript { message = "frame 0 lied about an edge" }) ->
+      ()
   | o -> Alcotest.failf "expected dishonest transcript, got %s" (Game.outcome_label o)
+
+let test_audit_like_message_stays_raised () =
+  (* Classification is by exception constructor, never message text: a
+     generic crash whose message merely resembles an audit diagnostic
+     must not be promoted to a Dishonest_transcript certificate. *)
+  let v =
+    Game.referee ~adversary:"rigged" ~n:1 ~guaranteed:false (Portfolio.greedy ())
+      (fun _ -> failwith "validate: node 7 presented twice")
+  in
+  match v.Game.outcome with
+  | Game.Adversary_fault (M.Raised _) -> ()
+  | o -> Alcotest.failf "expected generic raised, got %s" (Game.outcome_label o)
 
 let test_rigged_repeated_presentation () =
   let v =
@@ -345,6 +369,51 @@ let test_sweep_interrupt_preserves_checkpoint () =
       Alcotest.(check (list string)) "only unfinished cells ran" [ "third"; "second" ] !log;
       check_string "full output" "done first\ndone second\ndone third\n" out)
 
+let test_sweep_break_mid_cell_not_recorded () =
+  (* What SIGINT now does: Sys.Break out of the deepest containment
+     layer.  capture must re-raise it as fatal, the sweep must surface
+     Interrupted, and the interrupted cell must NOT be recorded as a
+     fake result in the checkpoint. *)
+  with_temp_checkpoint (fun path ->
+      let cells =
+        [
+          { Harness.Sweep.key = "first"; run = (fun () -> "done first") };
+          {
+            Harness.Sweep.key = "break";
+            run =
+              (fun () ->
+                let guard = G.create ~limits:G.no_limits () in
+                match G.capture guard (fun () -> raise Sys.Break) with
+                | Ok _ | Error _ -> "swallowed");
+          };
+        ]
+      in
+      (try
+         ignore (render cells ~checkpoint:path ());
+         Alcotest.fail "expected Interrupted"
+       with Harness.Sweep.Interrupted -> ());
+      let saved = In_channel.with_open_text path In_channel.input_all in
+      check_string "only the completed cell is checkpointed" "first\tdone first\n" saved)
+
+let test_sweep_torn_record_reruns () =
+  with_temp_checkpoint (fun path ->
+      let log = ref [] in
+      let full = render (counted_cells log) ~checkpoint:path () in
+      (* Tear the final record: a kill mid-write leaves no newline. *)
+      let saved = In_channel.with_open_text path In_channel.input_all in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (String.sub saved 0 (String.length saved - 5)));
+      log := [];
+      let resumed = render (counted_cells log) ~resume:true ~checkpoint:path () in
+      Alcotest.(check (list string)) "only the torn cell reran" [ "c" ] !log;
+      check_string "byte-identical output" full resumed;
+      (* The rerun's record superseded the torn one: a further resume
+         replays everything verbatim. *)
+      log := [];
+      let again = render (counted_cells log) ~resume:true ~checkpoint:path () in
+      check_int "nothing reran" 0 (List.length !log);
+      check_string "still byte-identical" full again)
+
 let test_axis_parsers () =
   Alcotest.(check (list int)) "ints" [ 1; 2; 8 ] (Harness.Sweep.int_axis "1,2,8");
   Alcotest.(check (list string)) "strings" [ "ael"; "greedy" ]
@@ -375,10 +444,14 @@ let () =
           Alcotest.test_case "amnesia reinstantiates" `Quick test_amnesia_reinstantiates;
           Alcotest.test_case "wrappers rename" `Quick test_fault_wrappers_rename;
           Alcotest.test_case "chaos oracle" `Quick test_chaos_oracle_corrupts;
+          Alcotest.test_case "chaos oracle copies" `Quick
+            test_chaos_oracle_preserves_shared_buffer;
         ] );
       ( "classification",
         [
           Alcotest.test_case "dishonest transcript" `Quick test_rigged_dishonest_transcript;
+          Alcotest.test_case "audit-like message stays raised" `Quick
+            test_audit_like_message_stays_raised;
           Alcotest.test_case "repeated presentation" `Quick
             test_rigged_repeated_presentation;
           Alcotest.test_case "adversary crash" `Quick test_rigged_adversary_crash;
@@ -393,6 +466,9 @@ let () =
           Alcotest.test_case "duplicate keys" `Quick test_sweep_duplicate_keys_rejected;
           Alcotest.test_case "interrupt preserves checkpoint" `Quick
             test_sweep_interrupt_preserves_checkpoint;
+          Alcotest.test_case "break mid-cell not recorded" `Quick
+            test_sweep_break_mid_cell_not_recorded;
+          Alcotest.test_case "torn record reruns" `Quick test_sweep_torn_record_reruns;
           Alcotest.test_case "axis parsers" `Quick test_axis_parsers;
         ] );
     ]

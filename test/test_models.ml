@@ -58,7 +58,7 @@ let test_presented_twice_rejected () =
   let t = FH.start ~host ~palette:3 ~algorithm:A.greedy_first_fit () in
   ignore (FH.present t 2);
   Alcotest.check_raises "double present"
-    (Invalid_argument "Fixed_host.present: node 2 presented twice") (fun () ->
+    (RS.Dishonest_transcript "Fixed_host.present: node 2 presented twice") (fun () ->
       ignore (FH.present t 2))
 
 let test_palette_overflow_certificate () =
