@@ -1,8 +1,12 @@
 (* Benchmark harness: one bechamel micro-benchmark per experiment (the
-   inner loops that dominate each reproduction), followed by the full
+   inner loops that dominate each reproduction), the domain-scaling
+   benchmark of the parallel sweep engine (E8), and the full
    regeneration of every experiment table (EXPERIMENTS.md).
 
-   dune exec bench/main.exe *)
+   dune exec bench/main.exe                     -- everything
+   dune exec bench/main.exe -- --sweep-scaling  -- only the E8 scaling
+                                                   run (writes
+                                                   BENCH_sweep_parallel.json) *)
 
 open Bechamel
 open Toolkit
@@ -194,9 +198,104 @@ let run_benchmarks () =
       | Some _ | None -> Format.printf "%-55s %15s@." name "-")
     rows
 
+(* ------------------- E8: sweep domain scaling -------------------- *)
+
+(* A fixed Theorem-1 cell grid, heavy enough (~0.1 s/cell, transcript
+   validation on) that domain-spawn overhead is negligible against cell
+   cost.  The same grid runs at 1/2/4/8 domains; output equality across
+   jobs counts is asserted, wall-clock per jobs count is reported, and
+   the record is written to BENCH_sweep_parallel.json. *)
+
+let scaling_cells () =
+  List.concat_map
+    (fun t ->
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun algo_name ->
+              {
+                Harness.Sweep.key =
+                  Printf.sprintf "t=%d k=%d algo=%s" t k algo_name;
+                run =
+                  (fun () ->
+                    let algorithm =
+                      match algo_name with
+                      | "ael" -> Portfolio.ael ~t ()
+                      | _ -> Portfolio.greedy ()
+                    in
+                    let r =
+                      Thm1_adversary.run ~validate:true ~n_side:30_000 ~k
+                        ~algorithm ()
+                    in
+                    Format.asprintf "%a" Thm1_adversary.pp_report r);
+              })
+            [ "ael"; "greedy" ])
+        [ 12; 13 ])
+    [ 4; 6 ]
+
+let sweep_scaling () =
+  Format.printf
+    "== E8: parallel sweep scaling (thm1 grid, %d cells, validate on) ==@.@."
+    (List.length (scaling_cells ()));
+  Format.printf "recommended_domain_count on this machine: %d@.@."
+    (Domain.recommended_domain_count ());
+  let render jobs =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let t0 = Unix.gettimeofday () in
+    Harness.Sweep.run ~jobs ~ppf (scaling_cells ());
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Buffer.contents buf)
+  in
+  (* Warm-up run: pay allocator/code warmup outside the measurements. *)
+  ignore (render 1);
+  let base_t, base_out = render 1 in
+  let rows =
+    (1, base_t, 1.0)
+    :: List.map
+         (fun jobs ->
+           let t, out = render jobs in
+           if not (String.equal out base_out) then
+             failwith
+               (Printf.sprintf
+                  "BENCH sweep_parallel: output at --jobs %d differs from \
+                   --jobs 1 — determinism contract broken"
+                  jobs);
+           (jobs, t, base_t /. t))
+         [ 2; 4; 8 ]
+  in
+  Format.printf "%-8s %-12s %s@." "jobs" "seconds" "speedup";
+  List.iter
+    (fun (jobs, t, s) -> Format.printf "%-8d %-12.3f %.2fx@." jobs t s)
+    rows;
+  let json =
+    Printf.sprintf
+      "{\"bench\": \"sweep_parallel\", \"grid\": \"thm1 t=4,6 k=12,13 \
+       side=30000 algo=ael,greedy validate=true\", \"cells\": %d, \
+       \"recommended_domain_count\": %d, \"identical_output\": true, \
+       \"runs\": [%s]}\n"
+      (List.length (scaling_cells ()))
+      (Domain.recommended_domain_count ())
+      (String.concat ", "
+         (List.map
+            (fun (jobs, t, s) ->
+              Printf.sprintf
+                "{\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f}" jobs t s)
+            rows))
+  in
+  Out_channel.with_open_text "BENCH_sweep_parallel.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Format.printf "@.record written to BENCH_sweep_parallel.json@."
+
 let () =
-  Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
-  run_benchmarks ();
-  Format.printf "@.== Experiment regeneration (see EXPERIMENTS.md) ==@.";
-  Experiments.run_all ~quick:false Format.std_formatter;
-  Format.printf "@."
+  if Array.exists (String.equal "--sweep-scaling") Sys.argv then
+    sweep_scaling ()
+  else begin
+    Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
+    run_benchmarks ();
+    Format.printf "@.";
+    sweep_scaling ();
+    Format.printf "@.== Experiment regeneration (see EXPERIMENTS.md) ==@.";
+    Experiments.run_all ~quick:false Format.std_formatter;
+    Format.printf "@."
+  end

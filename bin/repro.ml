@@ -1,10 +1,12 @@
 (* Regenerate every experiment table (EXPERIMENTS.md).
 
    dune exec bin/repro.exe            -- full tables
-   dune exec bin/repro.exe -- --quick -- bench-sized tables *)
+   dune exec bin/repro.exe -- --quick -- bench-sized tables
+   dune exec bin/repro.exe -- --jobs 4   -- render drivers on 4 domains
+                                         (output is byte-identical) *)
 
-let run quick =
-  Experiments.run_all ~quick Format.std_formatter;
+let run quick jobs =
+  Experiments.run_all ~quick ~jobs Format.std_formatter;
   Format.printf "@."
 
 open Cmdliner
@@ -12,9 +14,18 @@ open Cmdliner
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shrink parameter ranges to bench sizes.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains to render experiment drivers on (default: available \
+           cores, capped at 8).  Output does not depend on this.")
+
 let cmd =
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce all experiments of the paper")
-    Term.(const run $ quick)
+    Term.(const run $ quick $ jobs)
 
 let () = exit (Cmd.eval cmd)

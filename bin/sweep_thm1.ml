@@ -3,10 +3,11 @@
    Axes are comma-separated; every combination is one cell.  With
    --checkpoint FILE each finished cell is flushed to FILE, and --resume
    replays completed cells verbatim, so a killed sweep can be restarted
-   and still print byte-identical final output.
+   and still print byte-identical final output.  --jobs N runs cells on
+   N domains; output order and resume behavior do not depend on N.
 
-   dune exec bin/sweep_thm1.exe -- --t 1,2 --k 6,9 --side 4000 --algo ael \
-     --checkpoint sweep_thm1.ckpt
+   dune exec bin/sweep_thm1.exe -- -t 1,2 -k 6,9 --side 4000 --algo ael \
+     --jobs 4 --checkpoint sweep_thm1.ckpt
    dune exec bin/sweep_thm1.exe -- ... --checkpoint sweep_thm1.ckpt --resume *)
 
 open Online_local
@@ -35,7 +36,7 @@ let cell ~t ~k ~side ~algo_name ~validate =
           (Thm1_adversary.recommended_k ~n_side:side ~t));
   }
 
-let run ts ks sides algos validate checkpoint resume =
+let run ts ks sides algos validate checkpoint resume jobs =
   let cells =
     List.concat_map
       (fun t ->
@@ -45,12 +46,12 @@ let run ts ks sides algos validate checkpoint resume =
               (fun side ->
                 List.map
                   (fun algo_name -> cell ~t ~k ~side ~algo_name ~validate)
-                  (Harness.Sweep.string_axis algos))
-              (Harness.Sweep.int_axis sides))
-          (Harness.Sweep.int_axis ks))
-      (Harness.Sweep.int_axis ts)
+                  (Harness.Sweep.string_axis ~flag:"--algo" algos))
+              (Harness.Sweep.int_axis ~flag:"--side" sides))
+          (Harness.Sweep.int_axis ~flag:"-k" ks))
+      (Harness.Sweep.int_axis ~flag:"-t" ts)
   in
-  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -80,9 +81,16 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: available cores, capped at 8).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
-    Term.(const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume)
+    Term.(const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,7 +1,7 @@
 (* E2 sweep: the two-row attack on wrapped grids, over a parameter grid.
 
    dune exec bin/sweep_thm2.exe -- --side 21,51 --wrap torus,cylinder \
-     --checkpoint sweep_thm2.ckpt *)
+     --jobs 4 --checkpoint sweep_thm2.ckpt *)
 
 open Online_local
 open Cmdliner
@@ -22,7 +22,7 @@ let cell ~side ~wrap_name ~algo_label ~algorithm =
           Thm2_adversary.pp_report r);
   }
 
-let run sides wraps checkpoint resume =
+let run sides wraps checkpoint resume jobs =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
   in
@@ -34,10 +34,10 @@ let run sides wraps checkpoint resume =
             List.map
               (fun (algo_label, algorithm) -> cell ~side ~wrap_name ~algo_label ~algorithm)
               algorithms)
-          (Harness.Sweep.int_axis sides))
-      (Harness.Sweep.string_axis wraps)
+          (Harness.Sweep.int_axis ~flag:"--side" sides))
+      (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
   in
-  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -58,9 +58,16 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: available cores, capped at 8).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep")
-    Term.(const run $ sides $ wraps $ checkpoint $ resume)
+    Term.(const run $ sides $ wraps $ checkpoint $ resume $ jobs)
 
 let () = exit (Cmd.eval' cmd)

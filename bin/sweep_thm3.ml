@@ -1,7 +1,7 @@
 (* E3 sweep: the gadget-chain attack, over a parameter grid.
 
-   dune exec bin/sweep_thm3.exe -- --k 3 --gadgets 9,33 \
-     --checkpoint sweep_thm3.ckpt *)
+   dune exec bin/sweep_thm3.exe -- -k 3 --gadgets 9,33 \
+     --jobs 4 --checkpoint sweep_thm3.ckpt *)
 
 open Online_local
 open Cmdliner
@@ -16,7 +16,7 @@ let cell ~k ~gadgets ~algo_label ~algorithm =
           (gadgets * k * k) algo_label Thm3_adversary.pp_report r);
   }
 
-let run ks gadget_counts checkpoint resume =
+let run ks gadget_counts checkpoint resume jobs =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
   in
@@ -28,10 +28,10 @@ let run ks gadget_counts checkpoint resume =
             List.map
               (fun (algo_label, algorithm) -> cell ~k ~gadgets ~algo_label ~algorithm)
               algorithms)
-          (Harness.Sweep.int_axis gadget_counts))
-      (Harness.Sweep.int_axis ks)
+          (Harness.Sweep.int_axis ~flag:"--gadgets" gadget_counts))
+      (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
-  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -51,9 +51,16 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: available cores, capped at 8).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
-    Term.(const run $ ks $ gadget_counts $ checkpoint $ resume)
+    Term.(const run $ ks $ gadget_counts $ checkpoint $ resume $ jobs)
 
 let () = exit (Cmd.eval' cmd)

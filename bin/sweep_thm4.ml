@@ -2,7 +2,7 @@
    one host family and a size axis.
 
    dune exec bin/sweep_thm4.exe -- --host grid --side 24,32 \
-     --checkpoint sweep_thm4.ckpt *)
+     --jobs 4 --checkpoint sweep_thm4.ckpt *)
 
 open Online_local
 open Cmdliner
@@ -47,14 +47,15 @@ let cell host_name ~size ~seeds =
   in
   { Harness.Sweep.key; run }
 
-let run host_name sides ns seeds checkpoint resume =
+let run host_name sides ns seeds checkpoint resume jobs =
   let seeds = List.init seeds (fun i -> i + 1) in
   (* grid/tri scale by side, ktree by node count. *)
   let sizes =
-    Harness.Sweep.int_axis (if host_name = "ktree" then ns else sides)
+    if host_name = "ktree" then Harness.Sweep.int_axis ~flag:"-n" ns
+    else Harness.Sweep.int_axis ~flag:"--side" sides
   in
   let cells = List.map (fun size -> cell host_name ~size ~seeds) sizes in
-  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -77,9 +78,16 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: available cores, capped at 8).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm4" ~doc:"Theorem 4 locality scaling sweep")
-    Term.(const run $ host $ sides $ ns $ seeds $ checkpoint $ resume)
+    Term.(const run $ host $ sides $ ns $ seeds $ checkpoint $ resume $ jobs)
 
 let () = exit (Cmd.eval' cmd)

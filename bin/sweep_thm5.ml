@@ -1,7 +1,7 @@
 (* E5 sweep: the Lemma 5.7 reduction on G_k, over a locality axis.
 
-   dune exec bin/sweep_thm5.exe -- --k 3 --base-side 6 --t 4,8 \
-     --checkpoint sweep_thm5.ckpt *)
+   dune exec bin/sweep_thm5.exe -- -k 3 --base-side 6 -t 4,8 \
+     --jobs 4 --checkpoint sweep_thm5.ckpt *)
 
 open Online_local
 open Cmdliner
@@ -31,17 +31,19 @@ let cell ~k ~base_side ~t =
           (Models.Run_stats.succeeded outcome ~colors:(k + 1) ~host));
   }
 
-let run ks base_sides ts checkpoint resume =
+let run ks base_sides ts checkpoint resume jobs =
   let cells =
     List.concat_map
       (fun k ->
         List.concat_map
           (fun base_side ->
-            List.map (fun t -> cell ~k ~base_side ~t) (Harness.Sweep.int_axis ts))
-          (Harness.Sweep.int_axis base_sides))
-      (Harness.Sweep.int_axis ks)
+            List.map
+              (fun t -> cell ~k ~base_side ~t)
+              (Harness.Sweep.int_axis ~flag:"-t" ts))
+          (Harness.Sweep.int_axis ~flag:"--base-side" base_sides))
+      (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
-  match Harness.Sweep.run ~resume ?checkpoint ~ppf:Format.std_formatter cells with
+  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -63,9 +65,16 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:"Worker domains (default: available cores, capped at 8).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm5" ~doc:"Theorem 5 reduction sweep")
-    Term.(const run $ ks $ base_sides $ ts $ checkpoint $ resume)
+    Term.(const run $ ks $ base_sides $ ts $ checkpoint $ resume $ jobs)
 
 let () = exit (Cmd.eval' cmd)

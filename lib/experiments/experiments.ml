@@ -439,11 +439,35 @@ let e7_fault_matrix ?quick:_ ppf =
     | Some v -> Format.asprintf "%a" RS.pp_violation v
     | None -> "survived (oracle corruption went unpunished!)")
 
-let run_all ?(quick = false) ppf =
-  e6_lemma_checks ~quick ppf;
-  e1_grid_lower_bound ~quick ppf;
-  e2_torus_lower_bound ~quick ppf;
-  e3_gadget_lower_bound ~quick ppf;
-  e4_upper_bound_scaling ~quick ppf;
-  e5_reduction ~quick ppf;
-  e7_fault_matrix ~quick ppf
+let drivers : (?quick:bool -> Format.formatter -> unit) list =
+  [
+    e6_lemma_checks;
+    e1_grid_lower_bound;
+    e2_torus_lower_bound;
+    e3_gadget_lower_bound;
+    e4_upper_bound_scaling;
+    e5_reduction;
+    e7_fault_matrix;
+  ]
+
+let run_all ?(quick = false) ?(jobs = 1) ppf =
+  if jobs <= 1 then
+    List.iter
+      (fun (driver : ?quick:bool -> Format.formatter -> unit) ->
+        driver ~quick ppf)
+      drivers
+  else begin
+    (* Each driver renders into its own buffer on a pool worker; buffers
+       are concatenated in driver order, so the output is byte-identical
+       to the sequential run at any jobs count. *)
+    let drivers = Array.of_list drivers in
+    Harness.Pool.run ~jobs ~tasks:(Array.length drivers)
+      ~work:(fun i ->
+        let buf = Buffer.create 4096 in
+        let bppf = Format.formatter_of_buffer buf in
+        drivers.(i) ~quick bppf;
+        Format.pp_print_flush bppf ();
+        Buffer.contents buf)
+      ~consume:(fun _ rendered -> Format.pp_print_string ppf rendered);
+    Format.pp_print_flush ppf ()
+  end

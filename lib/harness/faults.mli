@@ -6,7 +6,15 @@
     (fault class x game) pair yields exactly the expected typed outcome.
     All wrappers are deterministic (counters, not clocks) and
     per-instance (fresh state per [instantiate]), so probe-and-replay
-    adversaries still see a deterministic algorithm. *)
+    adversaries still see a deterministic algorithm.
+
+    That same per-instance discipline is what makes the combinators safe
+    under a parallel {!Sweep}: no wrapper touches global mutable state,
+    so two pool workers injecting faults concurrently cannot perturb
+    each other's cells.  In particular {!chaos_oracle} derives every
+    corruption purely from [(handle, seed)] — a stateless seeded
+    function, not a shared RNG stream — so fault-matrix results are
+    identical at any [--jobs] count. *)
 
 val wrong_color : every:int -> Models.Algorithm.t -> Models.Algorithm.t
 (** Every [every]-th color call answers [(c + 1) mod palette] instead of

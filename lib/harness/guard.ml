@@ -61,10 +61,14 @@ let check_deadline t =
       if elapsed > deadline then
         fail t (Misbehavior.Deadline_exceeded { elapsed; deadline })
 
-let current : t option ref = ref None
+(* The ambient guard is domain-local, not global: each {!Pool} worker
+   runs its own cells with its own innermost guard, so a guard installed
+   on one domain must never meter (or fail) a game on another. *)
+let current : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let tick ?(cost = 1) () =
-  match !current with
+  match !(Domain.DLS.get current) with
   | None -> ()
   | Some t ->
       t.work <- t.work + cost;
@@ -83,6 +87,7 @@ let tick ?(cost = 1) () =
       end
 
 let with_current t f =
+  let current = Domain.DLS.get current in
   let saved = !current in
   current := Some t;
   Fun.protect ~finally:(fun () -> current := saved) f

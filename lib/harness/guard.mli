@@ -22,7 +22,15 @@
     [Sys.Break] are {e fatal} — re-raised, never recorded as misbehavior
     (a crashing runtime is not a defeated algorithm, and Ctrl-C must
     reach the sweep checkpointer).  Everything else becomes a
-    {!Misbehavior.Raised} with its backtrace. *)
+    {!Misbehavior.Raised} with its backtrace.
+
+    Domain safety: a guard's meters are mutated only by the domain
+    running its guarded calls, and the {e ambient} guard that {!tick}
+    consults is domain-local — parallel {!Sweep} workers each meter
+    their own innermost guard and can never charge (or fault) a game
+    running on another domain.  Backtrace recording is per-domain in
+    OCaml 5 and {!create} enables it on the domain that will run the
+    game, since guards are created inside the cell that plays it. *)
 
 type limits = {
   max_color_calls : int option;  (** color calls allowed per guard *)
@@ -59,9 +67,10 @@ val is_fatal : exn -> bool
 
 val tick : ?cost:int -> unit -> unit
 (** Cooperative poll point: consumes [cost] (default 1) work units from
-    the innermost active guard and checks its budgets.  A no-op when no
-    guarded call is in progress, so instrumented algorithms run
-    unchanged outside the harness. *)
+    the innermost active guard {e of the current domain} and checks its
+    budgets.  A no-op when no guarded call is in progress on this
+    domain, so instrumented algorithms run unchanged outside the
+    harness. *)
 
 val algorithm : t -> Models.Algorithm.t -> Models.Algorithm.t
 (** Wrap an algorithm so every [instantiate] and every color call runs

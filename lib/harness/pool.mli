@@ -1,0 +1,58 @@
+(** A work-distributing domain pool with ordered result delivery.
+
+    [run] fans [tasks] independent jobs out over [jobs] worker domains
+    ([Domain.spawn], no external dependencies) and hands each result to
+    a consumer callback {e on the calling domain, strictly in task-index
+    order} — a completion buffer holds out-of-order results until their
+    turn.  This is the scheduling core of {!Sweep.run}'s [?jobs]
+    parameter, and is exactly the fan-out shape of a sweep: many
+    independent guarded games whose outputs must stream back
+    deterministically.
+
+    Scheduling is dynamic: workers pull the next task index from a
+    mutex-protected shared counter, so uneven cell costs load-balance
+    without any static partitioning.
+
+    Crash contract: an exception escaping [work] is fatal to the whole
+    pool — no further task is claimed, in-flight tasks on other workers
+    drain, every domain is joined, and the first such exception is
+    re-raised (with its backtrace) on the calling domain.  Results that
+    were completed before the crash are still consumed in order up to
+    the first gap.  [work] is responsible for containing any per-task
+    failure it wants to survive (as {!Sweep.run} does, recording
+    ["ERROR: ..."] results).
+
+    Determinism contract: because delivery order is task-index order and
+    [work] must not depend on cross-task shared state, the sequence of
+    [consume] calls is independent of [jobs].  Per-domain runtime state
+    that the harness itself owns is already safe: {!Guard}'s ambient
+    guard is domain-local, and {!Faults} combinators keep all their
+    state per instance. *)
+
+val default_cap : int
+(** Upper bound applied by {!default_jobs} ([8]): sweeps are
+    memory-bandwidth-bound well before wide fan-out pays off. *)
+
+val default_jobs : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count ()] capped at [cap] (default
+    {!default_cap}) and floored at 1 — the default for the sweep
+    binaries' [--jobs]. *)
+
+val run :
+  jobs:int ->
+  tasks:int ->
+  work:(int -> 'a) ->
+  consume:(int -> 'a -> unit) ->
+  unit
+(** [run ~jobs ~tasks ~work ~consume] computes [work i] for every
+    [i] in [0 .. tasks-1] on up to [jobs] domains and calls [consume i
+    (work i)] in increasing [i] on the calling domain.
+
+    With [jobs <= 1] (or a single task) no domain is spawned and the
+    calls interleave exactly as the sequential loop
+    [for i ... do consume i (work i) done] — byte-for-byte the pre-pool
+    behavior, including undelayed exception propagation.
+
+    [consume] raising stops the pool the same way a [work] crash does
+    (drain, join, re-raise).
+    @raise Invalid_argument on a negative [tasks]. *)

@@ -73,7 +73,7 @@ let ends_without_newline path =
                input_char ic <> '\n'
              end)
 
-let run ?(resume = false) ?checkpoint ~ppf cells =
+let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
   let keys = Hashtbl.create (List.length cells * 2 + 1) in
   List.iter
     (fun c ->
@@ -102,66 +102,99 @@ let run ?(resume = false) ?checkpoint ~ppf cells =
         oc)
       checkpoint
   in
-  (* Trap SIGINT as [Sys.Break] — the one interrupt every containment
-     layer (Guard.guarded_call, Guard.capture, the executors) treats as
-     fatal and re-raises — so Ctrl-C landing inside algorithm or
-     adversary code can never be swallowed into a fake cell result and
-     flushed to the checkpoint.  The sweep boundary below converts it to
-     {!Interrupted} after the checkpoint is flushed and closed. *)
+  let cells_arr = Array.of_list cells in
+  let parallel = jobs > 1 && Array.length cells_arr > 1 in
+  (* Whole records only: each append happens under this mutex and is
+     flushed before release, so concurrent workers interleave at record
+     granularity and a kill can tear at most the final record — the same
+     torn-record semantics [load] already repairs. *)
+  let ckpt_mutex = Mutex.create () in
+  let sigint = Atomic.make false in
+  (* Trap SIGINT.  Sequentially (jobs <= 1) it raises [Sys.Break] — the
+     one interrupt every containment layer (Guard.guarded_call,
+     Guard.capture, the executors) treats as fatal and re-raises — so
+     Ctrl-C landing inside algorithm or adversary code can never be
+     swallowed into a fake cell result and flushed to the checkpoint.
+     Under a pool, OCaml delivers signal handlers on one domain only, so
+     raising there could land inside the pool's own bookkeeping instead
+     of a cell; the handler just records the request, every worker stops
+     before claiming its next cell, in-flight cells drain, and the
+     boundary below still surfaces {!Interrupted} after the checkpoint
+     is flushed and closed. *)
   let previous_sigint =
-    try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Sys.Break)))
+    let handler =
+      if parallel then Sys.Signal_handle (fun _ -> Atomic.set sigint true)
+      else Sys.Signal_handle (fun _ -> raise Sys.Break)
+    in
+    try Some (Sys.signal Sys.sigint handler)
     with Invalid_argument _ | Sys_error _ -> None
   in
+  let work i =
+    let c = cells_arr.(i) in
+    match Hashtbl.find_opt completed c.key with
+    | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
+    | None ->
+        if Atomic.get sigint then raise Sys.Break;
+        let r =
+          match c.run () with
+          | r -> r
+          | exception (Interrupted as e) -> raise e
+          | exception e when Guard.is_fatal e -> raise e
+          | exception exn ->
+              (* A crashed cell is a recorded result, not an
+                 aborted sweep. *)
+              "ERROR: " ^ Printexc.to_string exn
+        in
+        Option.iter
+          (fun oc ->
+            Mutex.protect ckpt_mutex (fun () ->
+                output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
+                flush oc))
+          out;
+        r
+  in
+  let consume _i result = Format.fprintf ppf "%s@." result in
   match
     Fun.protect
       ~finally:(fun () ->
         Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
         Option.iter close_out_noerr out)
       (fun () ->
-        List.iter
-          (fun c ->
-            let result =
-              match Hashtbl.find_opt completed c.key with
-              | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
-              | None ->
-                  let r =
-                    match c.run () with
-                    | r -> r
-                    | exception (Interrupted as e) -> raise e
-                    | exception e when Guard.is_fatal e -> raise e
-                    | exception exn ->
-                        (* A crashed cell is a recorded result, not an
-                           aborted sweep. *)
-                        "ERROR: " ^ Printexc.to_string exn
-                  in
-                  Option.iter
-                    (fun oc ->
-                      output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
-                      flush oc)
-                    out;
-                  r
-            in
-            Format.fprintf ppf "%s@." result)
-          cells;
-        Format.pp_print_flush ppf ())
+        Pool.run ~jobs ~tasks:(Array.length cells_arr) ~work ~consume;
+        Format.pp_print_flush ppf ();
+        if Atomic.get sigint then raise Sys.Break)
   with
   | () -> ()
   | exception Sys.Break -> raise Interrupted
 
-let int_axis s =
-  List.filter_map
-    (fun part ->
-      let part = String.trim part in
-      if part = "" then None
-      else
-        match int_of_string_opt part with
-        | Some i -> Some i
-        | None -> invalid_arg ("Sweep.int_axis: not an integer: " ^ part))
-    (String.split_on_char ',' s)
+let flag_suffix = function None -> "" | Some flag -> " (flag " ^ flag ^ ")"
 
-let string_axis s =
-  List.filter_map
-    (fun part ->
-      let part = String.trim part in
-      if part = "" then None else Some part)
-    (String.split_on_char ',' s)
+let int_axis ?flag s =
+  let axis =
+    List.filter_map
+      (fun part ->
+        let part = String.trim part in
+        if part = "" then None
+        else
+          match int_of_string_opt part with
+          | Some i -> Some i
+          | None ->
+              invalid_arg
+                ("Sweep.int_axis: not an integer: " ^ part ^ flag_suffix flag))
+      (String.split_on_char ',' s)
+  in
+  if axis = [] then
+    invalid_arg ("Sweep.int_axis: empty axis" ^ flag_suffix flag)
+  else axis
+
+let string_axis ?flag s =
+  let axis =
+    List.filter_map
+      (fun part ->
+        let part = String.trim part in
+        if part = "" then None else Some part)
+      (String.split_on_char ',' s)
+  in
+  if axis = [] then
+    invalid_arg ("Sweep.string_axis: empty axis" ^ flag_suffix flag)
+  else axis

@@ -1,5 +1,5 @@
-(** Crash-tolerant, checkpointed sweep runner for the [bin/sweep_thm*]
-    binaries.
+(** Crash-tolerant, checkpointed — and optionally parallel — sweep
+    runner for the [bin/sweep_thm*] binaries.
 
     A sweep is an ordered list of {e cells}, each with a unique key and
     a thunk producing its (possibly multi-line) result string.  With a
@@ -10,15 +10,35 @@
     killed-and-resumed sweep prints byte-identical final output to an
     uninterrupted one.
 
-    Robustness contract: a cell that raises a non-fatal exception
-    records and prints ["ERROR: ..."] and the sweep continues; SIGINT is
-    trapped as [Sys.Break] — fatal to every containment layer
-    ({!Guard.is_fatal}), so an interrupt landing inside guarded
-    algorithm or adversary code aborts the cell instead of being
-    recorded as its result — and surfaces as {!Interrupted} once the
-    checkpoint is flushed and closed; other fatal exceptions propagate
-    after the same cleanup.  Only newline-terminated checkpoint records
-    replay, so a record torn by a kill mid-write reruns its cell. *)
+    With [?jobs] above 1, cells are dispatched across a {!Pool} of that
+    many worker domains.  The observable contract is unchanged:
+
+    {ul
+    {- {e ordered output} — results are printed to [ppf] in cell order,
+       on the calling domain; a completion buffer holds out-of-order
+       results until their turn;}
+    {- {e checkpoint integrity} — records are appended under a mutex and
+       flushed whole, so the file keeps the newline-terminated
+       torn-record semantics regardless of the jobs count;}
+    {- {e deterministic replay} — [--resume] output is byte-identical
+       whatever [jobs] was on the original or the resuming run (replayed
+       results come from the checkpoint table, never from re-execution);}
+    {- {e per-cell containment} — a cell raising a non-fatal exception
+       records and prints ["ERROR: ..."] and only that cell degrades.}}
+
+    Interrupts and fatal errors: sequentially, SIGINT is trapped as
+    [Sys.Break] — fatal to every containment layer ({!Guard.is_fatal}),
+    so an interrupt landing inside guarded algorithm or adversary code
+    aborts the cell instead of being recorded as its result.  Under a
+    pool, signal handlers are only delivered on one domain, so SIGINT
+    instead stops workers from claiming further cells while in-flight
+    cells drain (an in-flight cell runs to completion and is
+    checkpointed).  Either way the sweep surfaces as {!Interrupted} once
+    the checkpoint is flushed and closed.  Any other fatal exception
+    ([Stack_overflow], [Out_of_memory]) in any worker drains the pool
+    the same way and then re-raises.  Only newline-terminated checkpoint
+    records replay, so a record torn by a kill mid-write reruns its
+    cell. *)
 
 type cell = { key : string; run : unit -> string }
 
@@ -30,16 +50,26 @@ exception Interrupted
 val run :
   ?resume:bool ->
   ?checkpoint:string ->
+  ?jobs:int ->
   ppf:Format.formatter ->
   cell list ->
   unit
-(** Run the cells in order, printing each result line to [ppf].
-    Without [~resume] an existing checkpoint file is truncated.
+(** Run the cells — in order with [jobs <= 1] (the default), or
+    dispatched over a [jobs]-domain {!Pool} — printing each result line
+    to [ppf] in cell order either way.  Without [~resume] an existing
+    checkpoint file is truncated.  Cell thunks must not share mutable
+    state with each other; everything the harness itself provides
+    ({!Guard}'s ambient state, {!Faults} combinators) is already
+    domain-safe per cell.
     @raise Invalid_argument on duplicate cell keys. *)
 
-val int_axis : string -> int list
+val int_axis : ?flag:string -> string -> int list
 (** Parse a comma-separated parameter axis: ["1,2,8"] -> [[1; 2; 8]].
-    @raise Invalid_argument on non-integer entries. *)
+    [?flag] names the command-line flag in error messages.
+    @raise Invalid_argument on non-integer entries or an empty axis —
+    an empty axis would silently produce a zero-cell sweep. *)
 
-val string_axis : string -> string list
-(** Parse a comma-separated string axis, trimming blanks. *)
+val string_axis : ?flag:string -> string -> string list
+(** Parse a comma-separated string axis, trimming blanks.
+    @raise Invalid_argument on an empty axis, naming [?flag] like
+    {!int_axis}. *)

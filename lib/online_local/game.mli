@@ -10,7 +10,12 @@
 
     The registry spans the three lower-bound theorems plus two
     upper-bound grid runs (oracle-free for AEL, bipartition oracle for
-    the Theorem 4 algorithm). *)
+    the Theorem 4 algorithm).
+
+    Distinct games share no mutable state, and the guard's ambient
+    tick state is domain-local, so separate verdicts may be computed
+    concurrently on separate domains — this is what
+    [Harness.Sweep.run ~jobs] relies on. *)
 
 type outcome =
   | Defeated  (** the adversary produced a genuine violation certificate *)

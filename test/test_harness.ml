@@ -275,10 +275,10 @@ let with_temp_checkpoint f =
   let path = Filename.temp_file "sweep_test" ".ckpt" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
-let render cells ?resume ?checkpoint () =
+let render cells ?resume ?checkpoint ?jobs () =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
-  Harness.Sweep.run ?resume ?checkpoint ~ppf cells;
+  Harness.Sweep.run ?resume ?checkpoint ?jobs ~ppf cells;
   Buffer.contents buf
 
 let counted_cells log =
@@ -418,8 +418,195 @@ let test_axis_parsers () =
   Alcotest.(check (list int)) "ints" [ 1; 2; 8 ] (Harness.Sweep.int_axis "1,2,8");
   Alcotest.(check (list string)) "strings" [ "ael"; "greedy" ]
     (Harness.Sweep.string_axis " ael, greedy ,");
-  Alcotest.check_raises "bad int" (Invalid_argument "Sweep.int_axis: not an integer: x")
-    (fun () -> ignore (Harness.Sweep.int_axis "1,x"))
+  Alcotest.check_raises "bad int"
+    (Invalid_argument "Sweep.int_axis: not an integer: x (flag -t)") (fun () ->
+      ignore (Harness.Sweep.int_axis ~flag:"-t" "1,x"))
+
+let test_axis_rejects_empty () =
+  (* An empty axis used to silently produce a zero-cell sweep; it must
+     fail loudly, naming the flag the user has to fix. *)
+  Alcotest.check_raises "empty int axis"
+    (Invalid_argument "Sweep.int_axis: empty axis (flag -t)") (fun () ->
+      ignore (Harness.Sweep.int_axis ~flag:"-t" ""));
+  Alcotest.check_raises "blank-only int axis"
+    (Invalid_argument "Sweep.int_axis: empty axis (flag -k)") (fun () ->
+      ignore (Harness.Sweep.int_axis ~flag:"-k" " , ,"));
+  Alcotest.check_raises "empty string axis"
+    (Invalid_argument "Sweep.string_axis: empty axis (flag --algo)") (fun () ->
+      ignore (Harness.Sweep.string_axis ~flag:"--algo" "  ,  "));
+  Alcotest.check_raises "flagless caller still errors"
+    (Invalid_argument "Sweep.int_axis: empty axis") (fun () ->
+      ignore (Harness.Sweep.int_axis ""))
+
+(* ------------------------- parallel sweep -------------------------- *)
+
+(* Ten cells with deliberately uneven, reverse-sorted costs: the first
+   cells finish last, so under any real pool the completion order
+   differs from the cell order and the completion buffer actually has
+   to reorder. *)
+let uneven_cells ?(broken = []) () =
+  List.init 10 (fun i ->
+      let key = Printf.sprintf "cell%02d" i in
+      {
+        Harness.Sweep.key;
+        run =
+          (fun () ->
+            let spin = (10 - i) * 20_000 in
+            let acc = ref 0 in
+            for j = 1 to spin do
+              acc := (!acc + j) land 0xFFFF
+            done;
+            if List.mem i broken then failwith ("boom " ^ key);
+            Printf.sprintf "%s -> %d\nsecond line of %s" key !acc key);
+      })
+
+let checkpoint_records path =
+  (* Order-insensitive view of a checkpoint: the set of key/result
+     records.  Parallel appends land in completion order, so equivalent
+     checkpoints are equal as sets, not as bytes. *)
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.sort compare
+
+let test_parallel_matches_sequential () =
+  with_temp_checkpoint (fun p1 ->
+      with_temp_checkpoint (fun p4 ->
+          let seq = render (uneven_cells ()) ~checkpoint:p1 () in
+          let par = render (uneven_cells ()) ~jobs:4 ~checkpoint:p4 () in
+          check_string "stdout identical at jobs=1 vs jobs=4" seq par;
+          Alcotest.(check (list string))
+            "checkpoints equivalent (same record set)" (checkpoint_records p1)
+            (checkpoint_records p4)))
+
+let test_parallel_crashed_cell_degrades_alone () =
+  let broken = [ 4 ] in
+  let seq = render (uneven_cells ~broken ()) () in
+  let par = render (uneven_cells ~broken ()) ~jobs:3 () in
+  check_string "ERROR cell identical at any jobs count" seq par;
+  check_bool "the error is recorded in place" true
+    (let lines = String.split_on_char '\n' par in
+     List.exists (fun l -> l = "ERROR: Failure(\"boom cell04\")") lines)
+
+let test_parallel_resume_across_jobs_counts () =
+  (* Kill-and-resume must replay byte-identically regardless of the
+     jobs count used on either side of the kill. *)
+  with_temp_checkpoint (fun path ->
+      let full = render (uneven_cells ()) ~jobs:4 ~checkpoint:path () in
+      (* Simulate a kill: drop the last two checkpoint records (whatever
+         completion order they were appended in). *)
+      let kept =
+        let lines = checkpoint_records path in
+        List.filteri (fun i _ -> i < List.length lines - 2) lines
+      in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+      let resumed_seq =
+        render (uneven_cells ()) ~resume:true ~checkpoint:path ()
+      in
+      check_string "jobs=4 run resumed at jobs=1" full resumed_seq;
+      (* And back: tear it again, resume at a third jobs count. *)
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+      let resumed_par =
+        render (uneven_cells ()) ~resume:true ~jobs:2 ~checkpoint:path ()
+      in
+      check_string "jobs=4 run resumed at jobs=2" full resumed_par)
+
+let test_parallel_fatal_aborts_sweep () =
+  (* A fatal exception (here Stack_overflow) in any worker must abort
+     the whole sweep — drained, joined, and re-raised — never be
+     recorded as a cell result. *)
+  with_temp_checkpoint (fun path ->
+      let cells =
+        List.init 6 (fun i ->
+            let key = Printf.sprintf "c%d" i in
+            {
+              Harness.Sweep.key;
+              run =
+                (fun () ->
+                  if i = 2 then raise Stack_overflow else "ok " ^ key);
+            })
+      in
+      Alcotest.check_raises "stack overflow reaches the caller"
+        Stack_overflow (fun () ->
+          ignore (render cells ~jobs:3 ~checkpoint:path ()));
+      check_bool "no fatal cell in the checkpoint" true
+        (List.for_all
+           (fun l -> not (String.length l >= 2 && String.sub l 0 2 = "c2"))
+           (checkpoint_records path)))
+
+let test_parallel_interrupted_cell_propagates () =
+  (* A cell raising Sweep.Interrupted directly is honored under a pool
+     exactly as sequentially. *)
+  let cells =
+    List.init 4 (fun i ->
+        {
+          Harness.Sweep.key = Printf.sprintf "i%d" i;
+          run =
+            (fun () ->
+              if i = 1 then raise Harness.Sweep.Interrupted else "ok");
+        })
+  in
+  Alcotest.check_raises "Interrupted surfaces" Harness.Sweep.Interrupted
+    (fun () -> ignore (render cells ~jobs:2 ()))
+
+let test_parallel_guarded_games_deterministic () =
+  (* Whole guarded games on pool workers: the E7 fault matrix re-run on
+     4 domains must pin the exact same rows — Guard's ambient state is
+     domain-local and the fault combinators share nothing. *)
+  let cells_of () =
+    List.map
+      (fun (game, n, base) ->
+        List.map
+          (fun (fault, inject) ->
+            {
+              Harness.Sweep.key = game ^ "/" ^ fault;
+              run =
+                (fun () ->
+                  let g = Option.get (Game.find game) in
+                  let v =
+                    g.Game.play
+                      ~limits:
+                        {
+                          Harness.Guard.max_color_calls = Some 200_000;
+                          max_work = Some 100_000;
+                          deadline = Some 10.0;
+                        }
+                      ~n
+                      (inject (base ()))
+                  in
+                  Game.outcome_label v.Game.outcome);
+            })
+          (("none", fun algo -> algo) :: Harness.Faults.algorithm_faults))
+      [
+        ("thm1-grid", 30, fun () -> Portfolio.ael ~t:1 ());
+        ("thm2-torus", 13, fun () -> Portfolio.greedy ());
+        ("thm3-gadgets", 9, fun () -> Portfolio.gadget_rows ());
+      ]
+    |> List.concat
+  in
+  let seq = render (cells_of ()) () in
+  let par = render (cells_of ()) ~jobs:4 () in
+  check_string "fault sub-matrix identical on 4 domains" seq par
+
+let test_pool_ordered_delivery () =
+  (* Pool.run alone: consume must see indices in order with results
+     matching, whatever the completion order. *)
+  let seen = ref [] in
+  Harness.Pool.run ~jobs:4 ~tasks:20
+    ~work:(fun i ->
+      let acc = ref 0 in
+      for j = 1 to (20 - i) * 5_000 do
+        acc := (!acc + j) land 0xFF
+      done;
+      ignore !acc;
+      i * i)
+    ~consume:(fun i v -> seen := (i, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "in order, correct values"
+    (List.init 20 (fun i -> (i, i * i)))
+    (List.rev !seen)
 
 let () =
   Alcotest.run "harness"
@@ -470,5 +657,22 @@ let () =
             test_sweep_break_mid_cell_not_recorded;
           Alcotest.test_case "torn record reruns" `Quick test_sweep_torn_record_reruns;
           Alcotest.test_case "axis parsers" `Quick test_axis_parsers;
+          Alcotest.test_case "axis rejects empty" `Quick test_axis_rejects_empty;
+        ] );
+      ( "parallel-sweep",
+        [
+          Alcotest.test_case "pool ordered delivery" `Quick test_pool_ordered_delivery;
+          Alcotest.test_case "jobs=4 matches jobs=1" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "crashed cell degrades alone" `Quick
+            test_parallel_crashed_cell_degrades_alone;
+          Alcotest.test_case "resume across jobs counts" `Quick
+            test_parallel_resume_across_jobs_counts;
+          Alcotest.test_case "fatal aborts sweep" `Quick
+            test_parallel_fatal_aborts_sweep;
+          Alcotest.test_case "Interrupted propagates" `Quick
+            test_parallel_interrupted_cell_propagates;
+          Alcotest.test_case "guarded games deterministic" `Slow
+            test_parallel_guarded_games_deterministic;
         ] );
     ]
