@@ -6,7 +6,10 @@
    dune exec bench/main.exe                     -- everything
    dune exec bench/main.exe -- --sweep-scaling  -- only the E8 scaling
                                                    run (writes
-                                                   BENCH_sweep_parallel.json) *)
+                                                   BENCH_sweep_parallel.json)
+   dune exec bench/main.exe -- --trace-overhead -- only the E9 overhead
+                                                   run (writes
+                                                   BENCH_trace_overhead.json) *)
 
 open Bechamel
 open Toolkit
@@ -54,6 +57,17 @@ let bench_harness_overhead =
          let guard = Harness.Guard.create ~limits:Harness.Guard.default_limits () in
          let algorithm = Harness.Guard.algorithm guard (Portfolio.greedy ()) in
          ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm ())))
+
+let bench_harness_overhead_traced =
+  (* The guarded game again, now streaming its trace to /dev/null —
+     with the sink-open cost paid per run, this upper-bounds the cost of
+     enabled tracing; BENCH_trace_overhead.json isolates the components. *)
+  Test.make ~name:"harness: thm1 vs greedy (k=6), guarded+traced"
+    (Staged.stage (fun () ->
+         Harness.Trace.with_sink ~program:"bench" ~path:"/dev/null" (fun () ->
+             let guard = Harness.Guard.create ~limits:Harness.Guard.default_limits () in
+             let algorithm = Harness.Guard.algorithm guard (Portfolio.greedy ()) in
+             ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm ()))))
 
 let bench_thm2 =
   Test.make ~name:"e2: thm2 two-row attack (torus 13)"
@@ -169,6 +183,7 @@ let tests =
       bench_gadget_classify;
       bench_thm1;
       bench_harness_overhead;
+      bench_harness_overhead_traced;
       bench_thm2;
       bench_thm3;
       bench_kp1;
@@ -197,6 +212,43 @@ let run_benchmarks () =
       | Some [ est ] -> Format.printf "%-55s %15.0f@." name est
       | Some _ | None -> Format.printf "%-55s %15s@." name "-")
     rows
+
+(* -------------------- shared BENCH_*.json schema ------------------ *)
+
+(* Both scaling records share one envelope:
+     {"bench": NAME, "meta": {cores, jobs_axis, ocaml_version, commit},
+      "results": ...}
+   so downstream tooling can parse every BENCH_*.json the same way. *)
+
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ | (exception _) -> "unknown")
+
+let bench_record ~bench ~jobs_axis ~results =
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String bench);
+      ( "meta",
+        Obs.Json.Obj
+          [
+            ("cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+            ("jobs_axis", Obs.Json.List (List.map (fun j -> Obs.Json.Int j) jobs_axis));
+            ("ocaml_version", Obs.Json.String Sys.ocaml_version);
+            ("commit", Obs.Json.String (git_commit ()));
+          ] );
+      ("results", results);
+    ]
+
+let write_bench_record path record =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string record);
+      Out_channel.output_char oc '\n');
+  Format.printf "@.record written to %s@." path
 
 (* ------------------- E8: sweep domain scaling -------------------- *)
 
@@ -268,33 +320,146 @@ let sweep_scaling () =
   List.iter
     (fun (jobs, t, s) -> Format.printf "%-8d %-12.3f %.2fx@." jobs t s)
     rows;
-  let json =
-    Printf.sprintf
-      "{\"bench\": \"sweep_parallel\", \"grid\": \"thm1 t=4,6 k=12,13 \
-       side=30000 algo=ael,greedy validate=true\", \"cells\": %d, \
-       \"recommended_domain_count\": %d, \"identical_output\": true, \
-       \"runs\": [%s]}\n"
-      (List.length (scaling_cells ()))
-      (Domain.recommended_domain_count ())
-      (String.concat ", "
-         (List.map
-            (fun (jobs, t, s) ->
-              Printf.sprintf
-                "{\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f}" jobs t s)
-            rows))
+  let results =
+    Obs.Json.Obj
+      [
+        ( "grid",
+          Obs.Json.String
+            "thm1 t=4,6 k=12,13 side=30000 algo=ael,greedy validate=true" );
+        ("cells", Obs.Json.Int (List.length (scaling_cells ())));
+        ("identical_output", Obs.Json.Bool true);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (jobs, t, s) ->
+                 Obs.Json.Obj
+                   [
+                     ("jobs", Obs.Json.Int jobs);
+                     ("seconds", Obs.Json.Float t);
+                     ("speedup", Obs.Json.Float s);
+                   ])
+               rows) );
+      ]
   in
-  Out_channel.with_open_text "BENCH_sweep_parallel.json" (fun oc ->
-      Out_channel.output_string oc json);
-  Format.printf "@.record written to BENCH_sweep_parallel.json@."
+  write_bench_record "BENCH_sweep_parallel.json"
+    (bench_record ~bench:"sweep_parallel"
+       ~jobs_axis:(List.map (fun (jobs, _, _) -> jobs) rows)
+       ~results)
+
+(* ----------------- trace/metrics overhead (E9) ------------------- *)
+
+(* The overhead contract of the observability layer, measured on the
+   same guarded thm1 game as the bechamel harness-overhead subject:
+
+     raw                        unguarded, hooks disabled
+     guarded_untraced           guarded, hooks disabled (production default)
+     guarded_untraced_control   identical second measurement of the above
+     guarded_traced             guarded, sink streaming to /dev/null
+     guarded_metrics            guarded, metrics registry enabled
+
+   A disabled hook is one atomic load per site, inseparable from
+   measurement noise — so the tracing-disabled regression is measured as
+   untraced vs its interleaved control, and the contract is that it
+   stays under 2%.  Passes run round-robin and each subject keeps its
+   minimum, so clock drift and allocator state cancel instead of
+   biasing one side. *)
+
+let raw_thm1 () =
+  ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm:(Portfolio.greedy ()) ())
+
+let guarded_thm1 () =
+  let guard = Harness.Guard.create ~limits:Harness.Guard.default_limits () in
+  let algorithm = Harness.Guard.algorithm guard (Portfolio.greedy ()) in
+  ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm ())
+
+let trace_overhead () =
+  let inner = 60 and passes = 8 in
+  Format.printf
+    "== E9: trace/metrics overhead (thm1 vs greedy, k=6, side=400; best of \
+     %d passes x %d runs) ==@.@."
+    passes inner;
+  let measure f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int inner
+  in
+  let subjects =
+    [
+      ("raw", fun () -> measure raw_thm1);
+      ("guarded_untraced", fun () -> measure guarded_thm1);
+      ("guarded_untraced_control", fun () -> measure guarded_thm1);
+      ( "guarded_traced",
+        fun () ->
+          Harness.Trace.with_sink ~program:"bench" ~path:"/dev/null" (fun () ->
+              measure guarded_thm1) );
+      ( "guarded_metrics",
+        fun () ->
+          Harness.Metrics.enable ();
+          Fun.protect
+            ~finally:(fun () ->
+              Harness.Metrics.disable ();
+              Harness.Metrics.reset ())
+            (fun () -> measure guarded_thm1) );
+    ]
+  in
+  List.iter (fun (_, pass) -> ignore (pass ())) subjects (* warm-up *);
+  let best = Hashtbl.create 8 in
+  for _ = 1 to passes do
+    List.iter
+      (fun (name, pass) ->
+        let t = pass () in
+        let prev = Option.value ~default:infinity (Hashtbl.find_opt best name) in
+        Hashtbl.replace best name (Float.min prev t))
+      subjects
+  done;
+  let t name = Hashtbl.find best name in
+  let pct a b = 100. *. (t a -. t b) /. t b in
+  Format.printf "%-28s %12s@." "subject" "s/run";
+  List.iter
+    (fun (name, _) -> Format.printf "%-28s %12.6f@." name (t name))
+    subjects;
+  let disabled_pct = Float.max 0. (pct "guarded_untraced_control" "guarded_untraced") in
+  let traced_pct = pct "guarded_traced" "guarded_untraced" in
+  let metrics_pct = pct "guarded_metrics" "guarded_untraced" in
+  Format.printf "@.tracing disabled: %+.2f%%  traced: %+.2f%%  metrics: %+.2f%%@."
+    disabled_pct traced_pct metrics_pct;
+  let results =
+    Obs.Json.Obj
+      [
+        ("subject", Obs.Json.String "thm1 adversary vs greedy (k=6, side=400)");
+        ("inner_runs", Obs.Json.Int inner);
+        ("passes", Obs.Json.Int passes);
+        ( "seconds_per_run",
+          Obs.Json.Obj
+            (List.map (fun (name, _) -> (name, Obs.Json.Float (t name))) subjects)
+        );
+        ( "overhead_pct",
+          Obs.Json.Obj
+            [
+              ("guard_vs_raw", Obs.Json.Float (pct "guarded_untraced" "raw"));
+              ("tracing_disabled", Obs.Json.Float disabled_pct);
+              ("tracing_enabled", Obs.Json.Float traced_pct);
+              ("metrics_enabled", Obs.Json.Float metrics_pct);
+            ] );
+      ]
+  in
+  write_bench_record "BENCH_trace_overhead.json"
+    (bench_record ~bench:"trace_overhead" ~jobs_axis:[ 1 ] ~results)
 
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
+  else if Array.exists (String.equal "--trace-overhead") Sys.argv then
+    trace_overhead ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();
     Format.printf "@.";
     sweep_scaling ();
+    Format.printf "@.";
+    trace_overhead ();
     Format.printf "@.== Experiment regeneration (see EXPERIMENTS.md) ==@.";
     Experiments.run_all ~quick:false Format.std_formatter;
     Format.printf "@."

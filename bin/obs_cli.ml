@@ -1,0 +1,36 @@
+(* Shared --trace/--metrics plumbing for the sweep and repro binaries.
+
+   Every binary in this directory exposes the same two flags:
+
+     --trace FILE   stream NDJSON trace events to FILE
+     --metrics      print the merged metrics registry after the run
+
+   The metrics dump goes to stdout *after* the run's own output, so the
+   CI determinism check can diff the whole stream (results + registry)
+   across --jobs counts.  It is printed even on the interrupted
+   (exit 130) path: a Ctrl-C'd sweep still reports what it counted. *)
+
+open Cmdliner
+
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream NDJSON trace events to $(docv) (see trace_report).")
+
+let metrics =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the merged metrics registry on stdout after the run. \
+           Totals are identical at every --jobs count.")
+
+let with_observability ~program ~trace:trace_path ~metrics:want_metrics f =
+  if want_metrics then Harness.Metrics.enable ();
+  let code = Harness.Trace.with_sink_opt ~program trace_path f in
+  if want_metrics then
+    Format.printf "%a" Harness.Metrics.pp (Harness.Metrics.drain ());
+  code

@@ -5,9 +5,11 @@
    dune exec bin/repro.exe -- --jobs 4   -- render drivers on 4 domains
                                          (output is byte-identical) *)
 
-let run quick jobs =
+let run quick jobs trace metrics =
+  Obs_cli.with_observability ~program:"repro" ~trace ~metrics @@ fun () ->
   Experiments.run_all ~quick ~jobs Format.std_formatter;
-  Format.printf "@."
+  Format.printf "@.";
+  0
 
 open Cmdliner
 
@@ -26,6 +28,6 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce all experiments of the paper")
-    Term.(const run $ quick $ jobs)
+    Term.(const run $ quick $ jobs $ Obs_cli.trace $ Obs_cli.metrics)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -36,7 +36,7 @@ let cell ~t ~k ~side ~algo_name ~validate =
           (Thm1_adversary.recommended_k ~n_side:side ~t));
   }
 
-let run ts ks sides algos validate checkpoint resume jobs =
+let run ts ks sides algos validate checkpoint resume jobs trace metrics =
   let cells =
     List.concat_map
       (fun t ->
@@ -51,6 +51,7 @@ let run ts ks sides algos validate checkpoint resume jobs =
           (Harness.Sweep.int_axis ~flag:"-k" ks))
       (Harness.Sweep.int_axis ~flag:"-t" ts)
   in
+  Obs_cli.with_observability ~program:"sweep_thm1" ~trace ~metrics @@ fun () ->
   match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
@@ -91,6 +92,8 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
-    Term.(const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume $ jobs)
+    Term.(
+      const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume $ jobs
+      $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

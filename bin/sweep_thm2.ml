@@ -22,7 +22,7 @@ let cell ~side ~wrap_name ~algo_label ~algorithm =
           Thm2_adversary.pp_report r);
   }
 
-let run sides wraps checkpoint resume jobs =
+let run sides wraps checkpoint resume jobs trace metrics =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
   in
@@ -37,6 +37,7 @@ let run sides wraps checkpoint resume jobs =
           (Harness.Sweep.int_axis ~flag:"--side" sides))
       (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
   in
+  Obs_cli.with_observability ~program:"sweep_thm2" ~trace ~metrics @@ fun () ->
   match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
@@ -68,6 +69,8 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep")
-    Term.(const run $ sides $ wraps $ checkpoint $ resume $ jobs)
+    Term.(
+      const run $ sides $ wraps $ checkpoint $ resume $ jobs
+      $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

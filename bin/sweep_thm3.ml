@@ -16,7 +16,7 @@ let cell ~k ~gadgets ~algo_label ~algorithm =
           (gadgets * k * k) algo_label Thm3_adversary.pp_report r);
   }
 
-let run ks gadget_counts checkpoint resume jobs =
+let run ks gadget_counts checkpoint resume jobs trace metrics =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
   in
@@ -31,6 +31,7 @@ let run ks gadget_counts checkpoint resume jobs =
           (Harness.Sweep.int_axis ~flag:"--gadgets" gadget_counts))
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
+  Obs_cli.with_observability ~program:"sweep_thm3" ~trace ~metrics @@ fun () ->
   match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
@@ -61,6 +62,8 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
-    Term.(const run $ ks $ gadget_counts $ checkpoint $ resume $ jobs)
+    Term.(
+      const run $ ks $ gadget_counts $ checkpoint $ resume $ jobs
+      $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,7 +47,7 @@ let cell host_name ~size ~seeds =
   in
   { Harness.Sweep.key; run }
 
-let run host_name sides ns seeds checkpoint resume jobs =
+let run host_name sides ns seeds checkpoint resume jobs trace metrics =
   let seeds = List.init seeds (fun i -> i + 1) in
   (* grid/tri scale by side, ktree by node count. *)
   let sizes =
@@ -55,6 +55,7 @@ let run host_name sides ns seeds checkpoint resume jobs =
     else Harness.Sweep.int_axis ~flag:"--side" sides
   in
   let cells = List.map (fun size -> cell host_name ~size ~seeds) sizes in
+  Obs_cli.with_observability ~program:"sweep_thm4" ~trace ~metrics @@ fun () ->
   match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
@@ -88,6 +89,8 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm4" ~doc:"Theorem 4 locality scaling sweep")
-    Term.(const run $ host $ sides $ ns $ seeds $ checkpoint $ resume $ jobs)
+    Term.(
+      const run $ host $ sides $ ns $ seeds $ checkpoint $ resume $ jobs
+      $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,7 +31,7 @@ let cell ~k ~base_side ~t =
           (Models.Run_stats.succeeded outcome ~colors:(k + 1) ~host));
   }
 
-let run ks base_sides ts checkpoint resume jobs =
+let run ks base_sides ts checkpoint resume jobs trace metrics =
   let cells =
     List.concat_map
       (fun k ->
@@ -43,6 +43,7 @@ let run ks base_sides ts checkpoint resume jobs =
           (Harness.Sweep.int_axis ~flag:"--base-side" base_sides))
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
+  Obs_cli.with_observability ~program:"sweep_thm5" ~trace ~metrics @@ fun () ->
   match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
@@ -75,6 +76,8 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm5" ~doc:"Theorem 5 reduction sweep")
-    Term.(const run $ ks $ base_sides $ ts $ checkpoint $ resume $ jobs)
+    Term.(
+      const run $ ks $ base_sides $ ts $ checkpoint $ resume $ jobs
+      $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

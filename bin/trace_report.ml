@@ -1,0 +1,297 @@
+(* Render a per-theorem summary of an NDJSON trace (--trace FILE).
+
+   The reader is strict: any malformed line, unknown event, or trace
+   written by a newer format version is a hard error — a trace that
+   parses here is a trace the whole toolchain agrees on.
+
+   Reconstruction: records carry a global emission index [i] and the
+   emitting domain id [w].  Events with equal [w] are causally ordered,
+   so walking the records in [i] order with per-worker state rebuilds
+   cell spans (Cell_start .. Cell_finish) and game spans
+   (Game_start .. Game_verdict) even when workers interleave.
+
+   dune exec bin/trace_report.exe -- sweep.trace *)
+
+module T = Harness.Trace
+module Mx = Harness.Metrics
+
+(* An open game span on one worker, filled in by Step events until the
+   verdict arrives. *)
+type open_game = {
+  g_adversary : string;
+  g_max_calls : int option;
+  mutable g_steps : int;  (* last presentation step seen *)
+}
+
+(* An open sweep-cell span on one worker. *)
+type open_cell = {
+  c_key : string;
+  c_t0 : float;
+  mutable c_max_view : int;  (* max Step view inside the cell *)
+}
+
+type worker = {
+  mutable cur_cell : open_cell option;
+  mutable cur_game : open_game option;
+  mutable cells : int;
+  mutable busy : float;  (* summed cell span duration, seconds *)
+}
+
+(* Per-adversary tallies. *)
+type adversary_stats = {
+  mutable games : int;
+  outcomes : (string, int ref) Hashtbl.t;  (* outcome label -> count *)
+  mutable defeat_buckets : int array;  (* log2 buckets of defeat steps *)
+  mutable budget_games : int;  (* games that ran under a color-call budget *)
+  mutable budget_used : int;
+  mutable budget_limit : int;
+  mutable budget_max_pct : float;
+}
+
+let adversary_stats () =
+  {
+    games = 0;
+    outcomes = Hashtbl.create 8;
+    defeat_buckets = Array.make 64 0;
+    budget_games = 0;
+    budget_used = 0;
+    budget_limit = 0;
+    budget_max_pct = 0.;
+  }
+
+let count tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl key (ref n)
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort compare
+
+(* "t=1 k=6 side=400 algo=ael" -> Some 1 *)
+let t_of_cell_key key =
+  String.split_on_char ' ' key
+  |> List.find_map (fun part ->
+         match String.split_on_char '=' part with
+         | [ "t"; v ] -> int_of_string_opt v
+         | _ -> None)
+
+let pp_buckets ppf buckets =
+  Array.iteri
+    (fun b n ->
+      if n > 0 then
+        let lo = Mx.bucket_lo b in
+        let hi = if b = 0 then 0 else (2 * lo) - 1 in
+        Format.fprintf ppf "  [%d..%d] %d" lo hi n)
+    buckets
+
+let report path =
+  let records = T.read_file path in
+  let program, version =
+    match records with
+    | { T.ev = T.Trace_header { program; version }; _ } :: _ -> (program, version)
+    | _ -> failwith "trace does not start with a header record"
+  in
+  let span =
+    List.fold_left (fun acc r -> max acc r.T.ts) 0. records
+  in
+  let workers : (int, worker) Hashtbl.t = Hashtbl.create 8 in
+  let worker w =
+    match Hashtbl.find_opt workers w with
+    | Some st -> st
+    | None ->
+        let st = { cur_cell = None; cur_game = None; cells = 0; busy = 0. } in
+        Hashtbl.replace workers w st;
+        st
+  in
+  let adversaries : (string, adversary_stats) Hashtbl.t = Hashtbl.create 8 in
+  let adversary a =
+    match Hashtbl.find_opt adversaries a with
+    | Some st -> st
+    | None ->
+        let st = adversary_stats () in
+        Hashtbl.replace adversaries a st;
+        st
+  in
+  let cell_status = Hashtbl.create 4 in  (* "ok"/"error"/"replayed" -> count *)
+  let fault_tags = Hashtbl.create 8 in
+  let misbehaviors = Hashtbl.create 8 in
+  let audit_ok = Hashtbl.create 4 in  (* executor -> count *)
+  let audit_fail = Hashtbl.create 4 in
+  let max_view_by_t = Hashtbl.create 8 in  (* T -> max view size *)
+  let ckpt_flushes = ref 0 in
+  let ckpt_bytes = ref 0 in
+  let color_calls = ref 0 in
+  List.iter
+    (fun r ->
+      let w = worker r.T.w in
+      match r.T.ev with
+      | T.Trace_header _ -> ()
+      | T.Cell_start { key } ->
+          w.cur_cell <- Some { c_key = key; c_t0 = r.T.ts; c_max_view = 0 }
+      | T.Cell_finish { key = _; status } ->
+          count cell_status status 1;
+          (match w.cur_cell with
+          | Some c ->
+              w.cells <- w.cells + 1;
+              w.busy <- w.busy +. (r.T.ts -. c.c_t0);
+              (match t_of_cell_key c.c_key with
+              | Some t when c.c_max_view > 0 ->
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt max_view_by_t t)
+                  in
+                  Hashtbl.replace max_view_by_t t (max prev c.c_max_view)
+              | _ -> ())
+          | None -> ());
+          w.cur_cell <- None
+      | T.Checkpoint_flush { bytes; _ } ->
+          (* flushes land on the flushing worker's stream, but they are a
+             whole-sweep notion — tallied globally *)
+          incr ckpt_flushes;
+          ckpt_bytes := !ckpt_bytes + bytes
+      | T.Worker_start _ | T.Worker_stop _ -> ()
+      | T.Game_start { adversary = a; max_color_calls; _ } ->
+          w.cur_game <-
+            Some
+              {
+                g_adversary = a;
+                g_max_calls = max_color_calls;
+                g_steps = 0;
+              }
+      | T.Game_verdict { adversary = a; outcome; color_calls = calls; _ } ->
+          let st = adversary a in
+          st.games <- st.games + 1;
+          count st.outcomes outcome 1;
+          (match w.cur_game with
+          | Some g ->
+              if outcome = "DEFEATED" then begin
+                (* how long the adversary needed: last presentation step *)
+                let b = Mx.bucket_of g.g_steps in
+                st.defeat_buckets.(b) <- st.defeat_buckets.(b) + 1
+              end;
+              (match g.g_max_calls with
+              | Some limit when limit > 0 ->
+                  st.budget_games <- st.budget_games + 1;
+                  st.budget_used <- st.budget_used + calls;
+                  st.budget_limit <- st.budget_limit + limit;
+                  st.budget_max_pct <-
+                    Float.max st.budget_max_pct
+                      (100. *. float_of_int calls /. float_of_int limit)
+              | _ -> ())
+          | None -> ());
+          w.cur_game <- None
+      | T.Step { step; max_view; _ } ->
+          (match w.cur_game with
+          | Some g -> g.g_steps <- max g.g_steps step
+          | None -> ());
+          (match w.cur_cell with
+          | Some c -> c.c_max_view <- max c.c_max_view max_view
+          | None -> ())
+      | T.Reveal _ -> ()
+      | T.Color_call _ -> incr color_calls
+      | T.Audit { executor; ok; _ } ->
+          count (if ok then audit_ok else audit_fail) executor 1
+      | T.Fault_injected { tag; _ } -> count fault_tags tag 1
+      | T.Misbehavior { label; _ } -> count misbehaviors label 1)
+    records;
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "trace %s: program %s, format v%d@." path program version;
+  Format.fprintf ppf "  %d records, %d workers, span %.3fs@." (List.length records)
+    (Hashtbl.length workers) span;
+  if Hashtbl.length cell_status > 0 then begin
+    Format.fprintf ppf "@.cells@.";
+    List.iter
+      (fun (status, n) -> Format.fprintf ppf "  %-10s %d@." status n)
+      (sorted_counts cell_status);
+    if !ckpt_flushes > 0 then
+      Format.fprintf ppf "  checkpoint flushes %d (%d bytes)@." !ckpt_flushes
+        !ckpt_bytes
+  end;
+  if Hashtbl.length workers > 1 then begin
+    Format.fprintf ppf "@.worker load balance@.";
+    Hashtbl.fold (fun w st acc -> (w, st) :: acc) workers []
+    |> List.sort compare
+    |> List.iter (fun (w, st) ->
+           Format.fprintf ppf "  w%-3d %3d cells, busy %.3fs@." w st.cells st.busy)
+  end;
+  if Hashtbl.length adversaries > 0 then begin
+    Format.fprintf ppf "@.games by adversary@.";
+    Hashtbl.fold (fun a st acc -> (a, st) :: acc) adversaries []
+    |> List.sort compare
+    |> List.iter (fun (a, st) ->
+           Format.fprintf ppf "  %s: %d game%s@." a st.games
+             (if st.games = 1 then "" else "s");
+           List.iter
+             (fun (outcome, n) -> Format.fprintf ppf "    %-40s %d@." outcome n)
+             (sorted_counts st.outcomes);
+           if Array.exists (fun n -> n > 0) st.defeat_buckets then
+             Format.fprintf ppf "    defeat steps:%a@." pp_buckets
+               st.defeat_buckets;
+           if st.budget_games > 0 && st.budget_limit > 0 then
+             Format.fprintf ppf
+               "    color-call budget: used %d of %d (avg %.1f%%, max %.1f%%)@."
+               st.budget_used st.budget_limit
+               (100. *. float_of_int st.budget_used /. float_of_int st.budget_limit)
+               st.budget_max_pct)
+  end;
+  if Hashtbl.length max_view_by_t > 0 then begin
+    Format.fprintf ppf "@.max view size vs T@.";
+    Hashtbl.fold (fun t v acc -> (t, v) :: acc) max_view_by_t []
+    |> List.sort compare
+    |> List.iter (fun (t, v) -> Format.fprintf ppf "  T=%-3d %d@." t v)
+  end;
+  if !color_calls > 0 then
+    Format.fprintf ppf "@.color calls traced: %d@." !color_calls;
+  if Hashtbl.length fault_tags > 0 then begin
+    Format.fprintf ppf "@.faults injected@.";
+    List.iter
+      (fun (tag, n) -> Format.fprintf ppf "  %-30s %d@." tag n)
+      (sorted_counts fault_tags)
+  end;
+  if Hashtbl.length misbehaviors > 0 then begin
+    Format.fprintf ppf "@.misbehavior certificates@.";
+    List.iter
+      (fun (label, n) -> Format.fprintf ppf "  %-30s %d@." label n)
+      (sorted_counts misbehaviors)
+  end;
+  if Hashtbl.length audit_ok > 0 || Hashtbl.length audit_fail > 0 then begin
+    Format.fprintf ppf "@.audits@.";
+    let executors = Hashtbl.create 4 in
+    Hashtbl.iter (fun e _ -> Hashtbl.replace executors e ()) audit_ok;
+    Hashtbl.iter (fun e _ -> Hashtbl.replace executors e ()) audit_fail;
+    Hashtbl.fold (fun e () acc -> e :: acc) executors []
+    |> List.sort compare
+    |> List.iter (fun e ->
+           let get tbl =
+             match Hashtbl.find_opt tbl e with Some r -> !r | None -> 0
+           in
+           Format.fprintf ppf "  %-15s %d ok, %d failed@." e (get audit_ok)
+             (get audit_fail))
+  end
+
+let main path =
+  match report path with
+  | () -> 0
+  | exception Obs.Json.Parse_error msg ->
+      Format.eprintf "trace_report: %s@." msg;
+      1
+  | exception (Failure msg | Sys_error msg) ->
+      Format.eprintf "trace_report: %s@." msg;
+      1
+
+open Cmdliner
+
+let path =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"NDJSON trace file written by --trace.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trace_report"
+       ~doc:"Summarize an NDJSON trace: outcomes, defeat-step histograms, \
+             budgets, worker load")
+    Term.(const main $ path)
+
+let () = exit (Cmd.eval' cmd)

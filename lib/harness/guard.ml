@@ -49,8 +49,19 @@ let is_fatal = function
   | Stack_overflow | Out_of_memory | Sys.Break -> true
   | _ -> false
 
+(* Only the first certificate is recorded — and only that first one is
+   traced, so a poisoned guard failing fast does not spam the trace. *)
+let record_fault t m =
+  if t.fault = None then begin
+    t.fault <- Some m;
+    if Trace.on () then
+      Trace.emit
+        (Trace.Misbehavior
+           { label = Misbehavior.label m; detail = Misbehavior.to_string m })
+  end
+
 let fail t m =
-  if t.fault = None then t.fault <- Some m;
+  record_fault t m;
   raise (Misbehaved m)
 
 let check_deadline t =
@@ -110,6 +121,8 @@ let guarded_call t inst view =
       fail t (Misbehavior.Budget_exhausted { used = t.color_calls; budget })
   | _ -> ());
   check_deadline t;
+  if Trace.on () then
+    Trace.emit (Trace.Color_call { calls = t.color_calls; work = t.work });
   with_current t (fun () ->
       match inst view with
       | color -> color
@@ -131,7 +144,7 @@ let algorithm t algo =
         | exception e when is_fatal e -> raise e
         | exception exn ->
             let m = raised exn in
-            if t.fault = None then t.fault <- Some m;
+            record_fault t m;
             fun _ -> raise (Misbehaved m));
   }
 

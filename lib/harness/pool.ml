@@ -39,11 +39,14 @@ let parallel ~jobs ~tasks ~work ~consume =
         if !crash = None then crash := Some (exn, bt);
         Condition.broadcast progress)
   in
-  let worker () =
+  let worker index () =
+    if Trace.on () then Trace.emit (Trace.Worker_start { index });
+    let claimed = ref 0 in
     let rec loop () =
       match claim () with
       | None -> ()
       | Some i -> (
+          incr claimed;
           match work i with
           | v ->
               finished i v;
@@ -55,11 +58,12 @@ let parallel ~jobs ~tasks ~work ~consume =
               abort exn (Printexc.get_raw_backtrace ()))
     in
     loop ();
+    if Trace.on () then Trace.emit (Trace.Worker_stop { index; tasks = !claimed });
     Mutex.protect mutex (fun () ->
         decr live;
         Condition.broadcast progress)
   in
-  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  let domains = List.init workers (fun i -> Domain.spawn (worker i)) in
   (* The calling domain is the consumer: results are handed to [consume]
      strictly in index order, as soon as they become contiguous.  After a
      crash the contiguous prefix still flows; the first gap stops it. *)

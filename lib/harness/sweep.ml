@@ -2,6 +2,29 @@ type cell = { key : string; run : unit -> string }
 
 exception Interrupted
 
+(* Checkpoint format version.  The header is a tab-less line, which a
+   pre-versioning loader already skipped as foreign (so v1 files replay
+   under v0 code), and a file with no header is v0 (so old checkpoints
+   replay here).  Bump [ckpt_version] — and keep parsing the old
+   layouts — when the record format changes. *)
+let ckpt_version = 1
+let ckpt_header_prefix = "#sweep-checkpoint v"
+let ckpt_header = Printf.sprintf "%s%d" ckpt_header_prefix ckpt_version
+
+let parse_header line =
+  if String.length line >= String.length ckpt_header_prefix
+     && String.sub line 0 (String.length ckpt_header_prefix) = ckpt_header_prefix
+  then
+    let rest =
+      String.sub line
+        (String.length ckpt_header_prefix)
+        (String.length line - String.length ckpt_header_prefix)
+    in
+    match int_of_string_opt (String.trim rest) with
+    | Some v -> Some v
+    | None -> invalid_arg ("Sweep: malformed checkpoint header: " ^ line)
+  else None
+
 let escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -45,8 +68,17 @@ let load path =
         | None -> ()  (* torn final record (killed mid-write): the cell reruns *)
         | Some stop ->
             let line = String.sub contents start (stop - start) in
+            (match parse_header line with
+            | Some v when v > ckpt_version ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Sweep: checkpoint %s is format v%d, newer than this \
+                      binary (v%d)"
+                     path v ckpt_version)
+            | Some _ -> ()  (* compatible header *)
+            | None -> ());
             (match String.index_opt line '\t' with
-            | None -> ()  (* foreign line: ignore, the cell reruns *)
+            | None -> ()  (* headerless = v0; other foreign lines: the cell reruns *)
             | Some cut ->
                 (* replace: if a torn record was later terminated and the
                    cell rerun, the rerun's (later) record wins *)
@@ -99,6 +131,14 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
            [load] already skipped the torn record, so its cell reruns and
            its fresh record supersedes the torn one on any later load. *)
         if torn then output_char oc '\n';
+        (* A fresh file (truncated, or resuming into nothing) gets the
+           version header; resuming into an existing file keeps whatever
+           header — or v0 absence of one — it already has. *)
+        if out_channel_length oc = 0 then begin
+          output_string oc ckpt_header;
+          output_char oc '\n';
+          flush oc
+        end;
         oc)
       checkpoint
   in
@@ -132,9 +172,19 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
   let work i =
     let c = cells_arr.(i) in
     match Hashtbl.find_opt completed c.key with
-    | Some r -> r  (* replayed verbatim: resumed output is byte-identical *)
+    | Some r ->
+        (* replayed verbatim: resumed output is byte-identical *)
+        if Trace.on () then begin
+          Trace.emit (Trace.Cell_start { key = c.key });
+          Trace.emit (Trace.Cell_finish { key = c.key; status = "replayed" })
+        end;
+        if Metrics.on () then Metrics.incr "sweep.cells_replayed";
+        r
     | None ->
         if Atomic.get sigint then raise Sys.Break;
+        if Trace.on () then Trace.emit (Trace.Cell_start { key = c.key });
+        if Metrics.on () then Metrics.incr "sweep.cells_run";
+        let status = ref "ok" in
         let r =
           match c.run () with
           | r -> r
@@ -143,14 +193,24 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
           | exception exn ->
               (* A crashed cell is a recorded result, not an
                  aborted sweep. *)
+              status := "error";
+              if Metrics.on () then Metrics.incr "sweep.cell_errors";
               "ERROR: " ^ Printexc.to_string exn
         in
         Option.iter
           (fun oc ->
             Mutex.protect ckpt_mutex (fun () ->
-                output_string oc (escape c.key ^ "\t" ^ escape r ^ "\n");
-                flush oc))
+                let record = escape c.key ^ "\t" ^ escape r ^ "\n" in
+                output_string oc record;
+                flush oc;
+                if Trace.on () then
+                  Trace.emit
+                    (Trace.Checkpoint_flush
+                       { key = c.key; bytes = String.length record });
+                if Metrics.on () then Metrics.incr "sweep.checkpoint_flushes"))
           out;
+        if Trace.on () then
+          Trace.emit (Trace.Cell_finish { key = c.key; status = !status });
         r
   in
   let consume _i result = Format.fprintf ppf "%s@." result in

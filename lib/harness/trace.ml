@@ -1,0 +1,5 @@
+(* Re-export: the tracing layer lives in [Obs] (below [Models], so the
+   executors can emit events too), but its harness-facing name is
+   [Harness.Trace] — the sink installed here and the one the executors
+   write to are the same. *)
+include Obs.Trace

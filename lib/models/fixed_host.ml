@@ -99,6 +99,29 @@ let present t v =
   t.steps <- t.steps + 1;
   let new_nodes = reveal_ball t v in
   t.max_view <- max t.max_view (Dyn_graph.n t.region);
+  if Obs.Trace.on () then begin
+    Obs.Trace.emit
+      (Obs.Trace.Reveal
+         {
+           executor = "fixed_host";
+           step = t.steps;
+           fresh = List.length new_nodes;
+           revealed = Dyn_graph.n t.region;
+         });
+    Obs.Trace.emit
+      (Obs.Trace.Step
+         {
+           executor = "fixed_host";
+           step = t.steps;
+           target = v;
+           revealed = Dyn_graph.n t.region;
+           max_view = t.max_view;
+         })
+  end;
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "fixed_host.presented";
+    Obs.Metrics.add "fixed_host.revealed" (List.length new_nodes)
+  end;
   let target = Hashtbl.find t.handle_of_host v in
   let color =
     match t.instance (make_view t ~target ~new_nodes) with
@@ -133,6 +156,22 @@ let audit t =
           (fun (u, v) -> Run_stats.Monochromatic_edge (u, v))
           (Colorings.Coloring.find_monochromatic_edge t.host t.coloring)
   in
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Trace.Audit
+         {
+           executor = "fixed_host";
+           ok = violation = None;
+           detail =
+             (match violation with
+             | None -> ""
+             | Some v -> Format.asprintf "%a" Run_stats.pp_violation v);
+         });
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.observe "fixed_host.run.presented" t.steps;
+    Obs.Metrics.observe "fixed_host.run.max_view" t.max_view;
+    Obs.Metrics.gauge_max "fixed_host.max_view" t.max_view
+  end;
   {
     Run_stats.coloring = t.coloring;
     violation;

@@ -1,0 +1,219 @@
+type hist = { count : int; sum : int; max_value : int; buckets : int array }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist) list;
+}
+
+(* 63 buckets cover every nonnegative OCaml int. *)
+let n_buckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and n = ref v in
+    while !n > 0 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+  end
+
+let bucket_lo b = if b <= 0 then 0 else 1 lsl (b - 1)
+
+type hist_acc = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type shard = {
+  s_counters : (string, int ref) Hashtbl.t;
+  s_gauges : (string, int ref) Hashtbl.t;
+  s_hists : (string, hist_acc) Hashtbl.t;
+  s_epoch : int;
+}
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+(* Shards are domain-private for lock-free recording, but registered in
+   this global list at creation so [drain] can still merge the shard of
+   a worker domain that has since terminated. *)
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+(* Bumped by [reset]: live domains holding a stale cached shard detect
+   the epoch mismatch and re-register a fresh one on next use. *)
+let epoch = Atomic.make 0
+
+let shard_key : shard option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let shard () =
+  let cell = Domain.DLS.get shard_key in
+  match !cell with
+  | Some s when s.s_epoch = Atomic.get epoch -> s
+  | _ ->
+      let s =
+        {
+          s_counters = Hashtbl.create 32;
+          s_gauges = Hashtbl.create 16;
+          s_hists = Hashtbl.create 16;
+          s_epoch = Atomic.get epoch;
+        }
+      in
+      Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
+      cell := Some s;
+      s
+
+let reset () =
+  Atomic.incr epoch;
+  Mutex.protect registry_mutex (fun () -> registry := [])
+
+let add name by =
+  if Atomic.get enabled then begin
+    let s = shard () in
+    match Hashtbl.find_opt s.s_counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace s.s_counters name (ref by)
+  end
+
+let incr name = add name 1
+
+let gauge_max name v =
+  if Atomic.get enabled then begin
+    let s = shard () in
+    match Hashtbl.find_opt s.s_gauges name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.replace s.s_gauges name (ref v)
+  end
+
+let observe name v =
+  if Atomic.get enabled then begin
+    let s = shard () in
+    let acc =
+      match Hashtbl.find_opt s.s_hists name with
+      | Some acc -> acc
+      | None ->
+          let acc =
+            { h_count = 0; h_sum = 0; h_max = min_int; h_buckets = Array.make n_buckets 0 }
+          in
+          Hashtbl.replace s.s_hists name acc;
+          acc
+    in
+    acc.h_count <- acc.h_count + 1;
+    acc.h_sum <- acc.h_sum + v;
+    if v > acc.h_max then acc.h_max <- v;
+    let b = bucket_of v in
+    acc.h_buckets.(b) <- acc.h_buckets.(b) + 1
+  end
+
+let drain () =
+  let shards = Mutex.protect registry_mutex (fun () -> !registry) in
+  let counters = Hashtbl.create 64 in
+  let gauges = Hashtbl.create 32 in
+  let hists = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt counters name with
+          | Some total -> Hashtbl.replace counters name (total + !r)
+          | None -> Hashtbl.replace counters name !r)
+        s.s_counters;
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt gauges name with
+          | Some best -> if !r > best then Hashtbl.replace gauges name !r
+          | None -> Hashtbl.replace gauges name !r)
+        s.s_gauges;
+      Hashtbl.iter
+        (fun name acc ->
+          match Hashtbl.find_opt hists name with
+          | Some h ->
+              Hashtbl.replace hists name
+                {
+                  count = h.count + acc.h_count;
+                  sum = h.sum + acc.h_sum;
+                  max_value = max h.max_value acc.h_max;
+                  buckets = Array.mapi (fun i c -> c + acc.h_buckets.(i)) h.buckets;
+                }
+          | None ->
+              Hashtbl.replace hists name
+                {
+                  count = acc.h_count;
+                  sum = acc.h_sum;
+                  max_value = acc.h_max;
+                  buckets = Array.copy acc.h_buckets;
+                })
+        s.s_hists)
+    shards;
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counters = sorted counters; gauges = sorted gauges; hists = sorted hists }
+
+let pp ppf s =
+  let section title = Format.fprintf ppf "%s:@." title in
+  if s.counters <> [] then begin
+    section "counters";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-44s %12d@." name v)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    section "gauges (max)";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-44s %12d@." name v)
+      s.gauges
+  end;
+  if s.hists <> [] then begin
+    section "histograms";
+    List.iter
+      (fun (name, h) ->
+        let mean =
+          if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+        in
+        Format.fprintf ppf "  %-44s count=%d sum=%d max=%d mean=%.2f@." name
+          h.count h.sum h.max_value mean;
+        Array.iteri
+          (fun b c ->
+            if c > 0 then
+              let lo = bucket_lo b in
+              let hi = if b = 0 then 0 else (2 * lo) - 1 in
+              Format.fprintf ppf "    [%d..%d] %d@." lo hi c)
+          h.buckets)
+      s.hists
+  end;
+  if s.counters = [] && s.gauges = [] && s.hists = [] then
+    Format.fprintf ppf "(no metrics recorded)@."
+
+let snapshot_to_json s =
+  let hist_json h =
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Int h.sum);
+        ("max", Json.Int h.max_value);
+        ( "buckets",
+          Json.List
+            (Array.to_list h.buckets
+            |> List.mapi (fun b c -> (b, c))
+            |> List.filter (fun (_, c) -> c > 0)
+            |> List.map (fun (b, c) ->
+                   Json.Obj [ ("lo", Json.Int (bucket_lo b)); ("count", Json.Int c) ]))
+        );
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.hists));
+    ]

@@ -1,0 +1,80 @@
+(** A domain-safe metrics registry: counters, max-gauges and log2
+    histograms, {e sharded per domain} and merged at {!drain}.
+
+    Each domain that records a metric gets its own private shard (via
+    [Domain.DLS]), so the hot path takes no lock and never contends;
+    shards register themselves in a global list at creation, so {!drain}
+    can merge shards of domains that have since terminated (a [Pool]
+    worker's counts survive the worker).
+
+    {2 Determinism contract}
+
+    Every merge operation is commutative and associative over integers —
+    counters add, gauges max, histogram buckets add — and {!drain} sorts
+    names, so the merged snapshot is {e byte-identical} however the work
+    was distributed: a fixed sweep drains the same totals at [--jobs 1]
+    and [--jobs 4] (CI asserts exactly this).  Keep wall-clock and
+    jobs-count-dependent values out of the registry; they belong in the
+    {!Trace}, which makes no such promise.
+
+    {2 Overhead contract}
+
+    Disabled ({!on} false, the default), every recording function is one
+    atomic load and a branch — no allocation, no table lookup.  Callers
+    pass literal metric names so the disabled path stays allocation-free. *)
+
+type hist = {
+  count : int;  (** number of observations *)
+  sum : int;
+  max_value : int;
+  buckets : int array;
+      (** [buckets.(b)] counts observations [v] with
+          [bucket_of v = b]; see {!bucket_of} *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name; max-merged *)
+  hists : (string * hist) list;  (** sorted by name *)
+}
+
+val bucket_of : int -> int
+(** Log2 bucketing: 0 for values [<= 0], otherwise the bit length of the
+    value — [1] for 1, [2] for 2..3, [3] for 4..7, and so on.  Exposed so
+    report renderers label bucket ranges consistently. *)
+
+val bucket_lo : int -> int
+(** Smallest value in a bucket: [bucket_lo (bucket_of v) <= v]. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Discard every shard (including shards cached by live domains — they
+    re-register lazily on next use). *)
+
+val incr : string -> unit
+(** Add 1 to a counter. *)
+
+val add : string -> int -> unit
+(** Add an arbitrary amount to a counter. *)
+
+val gauge_max : string -> int -> unit
+(** Raise a gauge to at least the given value (max-merge across shards —
+    the only gauge semantics that stays deterministic under
+    parallelism). *)
+
+val observe : string -> int -> unit
+(** Record one observation into a histogram. *)
+
+val drain : unit -> snapshot
+(** Merge all shards into one snapshot, names sorted.  Does not reset.
+    Call it from the main domain after the parallel section; recording
+    concurrent with a drain may or may not be included. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable registry dump, stable formatting (the CI determinism
+    diff runs over this output). *)
+
+val snapshot_to_json : snapshot -> Json.t

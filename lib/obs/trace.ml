@@ -1,0 +1,291 @@
+let version = 1
+
+type event =
+  | Trace_header of { version : int; program : string }
+  | Cell_start of { key : string }
+  | Cell_finish of { key : string; status : string }
+  | Checkpoint_flush of { key : string; bytes : int }
+  | Worker_start of { index : int }
+  | Worker_stop of { index : int; tasks : int }
+  | Game_start of {
+      adversary : string;
+      algorithm : string;
+      n : int;
+      max_color_calls : int option;
+      max_work : int option;
+      deadline : float option;
+    }
+  | Game_verdict of {
+      adversary : string;
+      algorithm : string;
+      n : int;
+      outcome : string;
+      guaranteed : bool;
+      color_calls : int;
+      work : int;
+    }
+  | Step of {
+      executor : string;
+      step : int;
+      target : int;
+      revealed : int;
+      max_view : int;
+    }
+  | Reveal of { executor : string; step : int; fresh : int; revealed : int }
+  | Color_call of { calls : int; work : int }
+  | Audit of { executor : string; ok : bool; detail : string }
+  | Fault_injected of { tag : string; call : int }
+  | Misbehavior of { label : string; detail : string }
+
+type record = { i : int; w : int; ts : float; ev : event }
+
+(* ------------------------------- codec ------------------------------- *)
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+let event_fields = function
+  | Trace_header { version; program } ->
+      ("trace_header", [ ("version", Json.Int version); ("program", Json.String program) ])
+  | Cell_start { key } -> ("cell_start", [ ("key", Json.String key) ])
+  | Cell_finish { key; status } ->
+      ("cell_finish", [ ("key", Json.String key); ("status", Json.String status) ])
+  | Checkpoint_flush { key; bytes } ->
+      ("checkpoint_flush", [ ("key", Json.String key); ("bytes", Json.Int bytes) ])
+  | Worker_start { index } -> ("worker_start", [ ("index", Json.Int index) ])
+  | Worker_stop { index; tasks } ->
+      ("worker_stop", [ ("index", Json.Int index); ("tasks", Json.Int tasks) ])
+  | Game_start { adversary; algorithm; n; max_color_calls; max_work; deadline } ->
+      ( "game_start",
+        [
+          ("adversary", Json.String adversary);
+          ("algorithm", Json.String algorithm);
+          ("n", Json.Int n);
+          ("max_color_calls", opt_int max_color_calls);
+          ("max_work", opt_int max_work);
+          ("deadline", opt_float deadline);
+        ] )
+  | Game_verdict { adversary; algorithm; n; outcome; guaranteed; color_calls; work } ->
+      ( "game_verdict",
+        [
+          ("adversary", Json.String adversary);
+          ("algorithm", Json.String algorithm);
+          ("n", Json.Int n);
+          ("outcome", Json.String outcome);
+          ("guaranteed", Json.Bool guaranteed);
+          ("color_calls", Json.Int color_calls);
+          ("work", Json.Int work);
+        ] )
+  | Step { executor; step; target; revealed; max_view } ->
+      ( "step",
+        [
+          ("executor", Json.String executor);
+          ("step", Json.Int step);
+          ("target", Json.Int target);
+          ("revealed", Json.Int revealed);
+          ("max_view", Json.Int max_view);
+        ] )
+  | Reveal { executor; step; fresh; revealed } ->
+      ( "reveal",
+        [
+          ("executor", Json.String executor);
+          ("step", Json.Int step);
+          ("fresh", Json.Int fresh);
+          ("revealed", Json.Int revealed);
+        ] )
+  | Color_call { calls; work } ->
+      ("color_call", [ ("calls", Json.Int calls); ("work", Json.Int work) ])
+  | Audit { executor; ok; detail } ->
+      ( "audit",
+        [
+          ("executor", Json.String executor);
+          ("ok", Json.Bool ok);
+          ("detail", Json.String detail);
+        ] )
+  | Fault_injected { tag; call } ->
+      ("fault_injected", [ ("tag", Json.String tag); ("call", Json.Int call) ])
+  | Misbehavior { label; detail } ->
+      ("misbehavior", [ ("label", Json.String label); ("detail", Json.String detail) ])
+
+let record_to_json r =
+  let tag, fields = event_fields r.ev in
+  Json.Obj
+    (("i", Json.Int r.i)
+    :: ("w", Json.Int r.w)
+    :: ("ts", Json.Float r.ts)
+    :: ("ev", Json.String tag)
+    :: fields)
+
+let record_to_string r = Json.to_string (record_to_json r)
+
+let decode_error msg = raise (Json.Parse_error msg)
+
+let req_int j k =
+  match Json.to_int_opt (Option.value (Json.member k j) ~default:Json.Null) with
+  | Some n -> n
+  | None -> decode_error ("trace record: missing int field " ^ k)
+
+let req_float j k =
+  match Json.to_float_opt (Option.value (Json.member k j) ~default:Json.Null) with
+  | Some f -> f
+  | None -> decode_error ("trace record: missing float field " ^ k)
+
+let req_string j k =
+  match Json.to_string_opt (Option.value (Json.member k j) ~default:Json.Null) with
+  | Some s -> s
+  | None -> decode_error ("trace record: missing string field " ^ k)
+
+let req_bool j k =
+  match Json.to_bool_opt (Option.value (Json.member k j) ~default:Json.Null) with
+  | Some b -> b
+  | None -> decode_error ("trace record: missing bool field " ^ k)
+
+let opt_int_of j k =
+  match Json.member k j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some n -> Some n
+      | None -> decode_error ("trace record: field " ^ k ^ " is not an int"))
+
+let opt_float_of j k =
+  match Json.member k j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Some f
+      | None -> decode_error ("trace record: field " ^ k ^ " is not a number"))
+
+let event_of_json j =
+  match req_string j "ev" with
+  | "trace_header" ->
+      let v = req_int j "version" in
+      if v > version then
+        decode_error
+          (Printf.sprintf
+             "trace format version %d is newer than this reader (max %d)" v version);
+      Trace_header { version = v; program = req_string j "program" }
+  | "cell_start" -> Cell_start { key = req_string j "key" }
+  | "cell_finish" ->
+      Cell_finish { key = req_string j "key"; status = req_string j "status" }
+  | "checkpoint_flush" ->
+      Checkpoint_flush { key = req_string j "key"; bytes = req_int j "bytes" }
+  | "worker_start" -> Worker_start { index = req_int j "index" }
+  | "worker_stop" -> Worker_stop { index = req_int j "index"; tasks = req_int j "tasks" }
+  | "game_start" ->
+      Game_start
+        {
+          adversary = req_string j "adversary";
+          algorithm = req_string j "algorithm";
+          n = req_int j "n";
+          max_color_calls = opt_int_of j "max_color_calls";
+          max_work = opt_int_of j "max_work";
+          deadline = opt_float_of j "deadline";
+        }
+  | "game_verdict" ->
+      Game_verdict
+        {
+          adversary = req_string j "adversary";
+          algorithm = req_string j "algorithm";
+          n = req_int j "n";
+          outcome = req_string j "outcome";
+          guaranteed = req_bool j "guaranteed";
+          color_calls = req_int j "color_calls";
+          work = req_int j "work";
+        }
+  | "step" ->
+      Step
+        {
+          executor = req_string j "executor";
+          step = req_int j "step";
+          target = req_int j "target";
+          revealed = req_int j "revealed";
+          max_view = req_int j "max_view";
+        }
+  | "reveal" ->
+      Reveal
+        {
+          executor = req_string j "executor";
+          step = req_int j "step";
+          fresh = req_int j "fresh";
+          revealed = req_int j "revealed";
+        }
+  | "color_call" -> Color_call { calls = req_int j "calls"; work = req_int j "work" }
+  | "audit" ->
+      Audit
+        {
+          executor = req_string j "executor";
+          ok = req_bool j "ok";
+          detail = req_string j "detail";
+        }
+  | "fault_injected" ->
+      Fault_injected { tag = req_string j "tag"; call = req_int j "call" }
+  | "misbehavior" ->
+      Misbehavior { label = req_string j "label"; detail = req_string j "detail" }
+  | other -> decode_error ("trace record: unknown event " ^ other)
+
+let record_of_json j =
+  {
+    i = req_int j "i";
+    w = req_int j "w";
+    ts = req_float j "ts";
+    ev = event_of_json j;
+  }
+
+let read_file path =
+  let lines =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_lines ic)
+  in
+  List.mapi
+    (fun idx line ->
+      match record_of_json (Json.of_string line) with
+      | r -> r
+      | exception Json.Parse_error msg ->
+          raise (Json.Parse_error (Printf.sprintf "%s:%d: %s" path (idx + 1) msg)))
+    lines
+
+(* ------------------------------- sink ------------------------------- *)
+
+type sink = { oc : out_channel; mutex : Mutex.t; mutable seq : int; t0 : float }
+
+let sink : sink option Atomic.t = Atomic.make None
+
+let on () = Atomic.get sink <> None
+
+let write s ev =
+  (* Whole lines under the mutex: a parallel sweep's workers interleave
+     at record granularity, never inside one. *)
+  Mutex.protect s.mutex (fun () ->
+      let r =
+        {
+          i = s.seq;
+          w = (Domain.self () :> int);
+          ts = Unix.gettimeofday () -. s.t0;
+          ev;
+        }
+      in
+      s.seq <- s.seq + 1;
+      output_string s.oc (record_to_string r);
+      output_char s.oc '\n')
+
+let emit ev = match Atomic.get sink with None -> () | Some s -> write s ev
+
+let with_sink ?(program = Filename.basename Sys.executable_name) ~path f =
+  let oc = open_out_bin path in
+  let s = { oc; mutex = Mutex.create (); seq = 0; t0 = Unix.gettimeofday () } in
+  if not (Atomic.compare_and_set sink None (Some s)) then begin
+    close_out_noerr oc;
+    invalid_arg "Trace.with_sink: a sink is already installed"
+  end;
+  write s (Trace_header { version; program });
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set sink None;
+      close_out_noerr oc)
+    f
+
+let with_sink_opt ?program path f =
+  match path with None -> f () | Some path -> with_sink ?program ~path f

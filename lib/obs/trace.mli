@@ -1,0 +1,121 @@
+(** Typed, low-overhead event tracing for the guarded game engine.
+
+    A trace is a stream of newline-delimited JSON records written to one
+    {e sink}.  Each record wraps one {!event} in an envelope:
+
+    {v {"i":12,"w":0,"ts":0.00153,"ev":"step", ...event fields...} v}
+
+    where [i] is a global emission index (total order over the whole
+    trace — records are written to the file in [i] order), [w] is the
+    id of the domain that emitted the event (so a reader can demultiplex
+    per-worker streams: events with equal [w] are causally ordered), and
+    [ts] is seconds since the sink was opened.
+
+    {2 Overhead contract}
+
+    With no sink installed, {!on} is a single atomic load and {!emit} is
+    a no-op.  Instrumentation sites must guard event {e construction}
+    behind {!on} — [if Trace.on () then Trace.emit (Step {...})] — so a
+    disabled trace allocates nothing.  The [harness_overhead] bench pins
+    this (BENCH_trace_overhead.json).
+
+    {2 Concurrency}
+
+    One sink serves every domain: records are appended under a mutex,
+    whole lines at a time, so a trace written by a parallel sweep is
+    still one valid NDJSON stream.  Event {e interleaving} across
+    domains follows completion order and is not deterministic; determinism
+    lives in {!Metrics}, whose merged totals are jobs-count-invariant.
+
+    The first record of every trace is a {!Trace_header} carrying the
+    format version ({!version}) and the emitting program's name. *)
+
+val version : int
+(** Trace format version, [1].  Readers must reject newer versions
+    rather than misparse them. *)
+
+type event =
+  | Trace_header of { version : int; program : string }
+  | Cell_start of { key : string }  (** a sweep cell began executing *)
+  | Cell_finish of { key : string; status : string }
+      (** [status] is ["ok"], ["error"], or ["replayed"] (resumed from a
+          checkpoint without re-running) *)
+  | Checkpoint_flush of { key : string; bytes : int }
+      (** one record appended and flushed to the checkpoint file *)
+  | Worker_start of { index : int }  (** pool worker domain spawned *)
+  | Worker_stop of { index : int; tasks : int }
+      (** pool worker finished, having run [tasks] tasks *)
+  | Game_start of {
+      adversary : string;
+      algorithm : string;
+      n : int;
+      max_color_calls : int option;
+      max_work : int option;
+      deadline : float option;
+    }  (** a guarded game began, with its guard limits *)
+  | Game_verdict of {
+      adversary : string;
+      algorithm : string;
+      n : int;
+      outcome : string;  (** [Game.outcome_label] *)
+      guaranteed : bool;
+      color_calls : int;  (** guard meter at verdict *)
+      work : int;  (** guard meter at verdict *)
+    }
+  | Step of {
+      executor : string;
+      step : int;
+      target : int;
+      revealed : int;
+      max_view : int;
+    }  (** one presentation step, with cumulative run counters *)
+  | Reveal of { executor : string; step : int; fresh : int; revealed : int }
+      (** the ball revealed at a step: [fresh] new nodes, [revealed]
+          total *)
+  | Color_call of { calls : int; work : int }
+      (** guard-meter snapshot at a color call *)
+  | Audit of { executor : string; ok : bool; detail : string }
+      (** transcript audit result (end-of-run violation scan, or a
+          [--validate]/[--paranoid] replay check) *)
+  | Fault_injected of { tag : string; call : int }
+      (** a [Harness.Faults] combinator actually fired *)
+  | Misbehavior of { label : string; detail : string }
+      (** a guard recorded its first misbehavior certificate *)
+
+type record = { i : int; w : int; ts : float; ev : event }
+
+(** {2 Emission} *)
+
+val on : unit -> bool
+(** Whether a sink is installed — the cheap gate every instrumentation
+    site checks before constructing an event. *)
+
+val emit : event -> unit
+(** Append one record to the installed sink (no-op without one).  Safe
+    from any domain. *)
+
+val with_sink : ?program:string -> path:string -> (unit -> 'a) -> 'a
+(** Open [path], write the {!Trace_header}, install the sink for the
+    duration of the callback, then flush, close and uninstall — also on
+    exception.  Nesting is not supported: a sink installed while another
+    is active raises [Invalid_argument]. *)
+
+val with_sink_opt : ?program:string -> string option -> (unit -> 'a) -> 'a
+(** [with_sink_opt None f] is [f ()]; [with_sink_opt (Some path) f] is
+    [with_sink ~path f] — the shape every [--trace FILE] flag needs. *)
+
+(** {2 Codec} *)
+
+val record_to_json : record -> Json.t
+val record_to_string : record -> string
+(** One canonical NDJSON line, without the trailing newline. *)
+
+val record_of_json : Json.t -> record
+(** @raise Json.Parse_error on envelopes or events this version does not
+    understand (including a [Trace_header] with a newer [version]). *)
+
+val read_file : string -> record list
+(** Parse a whole trace, strictly: any malformed line raises
+    [Json.Parse_error] naming the line number.  The header is a record
+    like any other; {!record_of_json} has already rejected incompatible
+    versions. *)

@@ -1,5 +1,7 @@
 module G = Harness.Guard
 module M = Harness.Misbehavior
+module Tr = Harness.Trace
+module Mx = Harness.Metrics
 
 type outcome =
   | Defeated
@@ -29,6 +31,14 @@ let outcome_label = function
   | Algorithm_fault m -> "ALGORITHM-FAULT (" ^ M.label m ^ ")"
   | Adversary_fault m -> "ADVERSARY-FAULT (" ^ M.label m ^ ")"
 
+(* Metric-name-safe outcome tag (no parentheses, no per-certificate
+   cardinality, so totals merge across fault variants). *)
+let outcome_tag = function
+  | Defeated -> "defeated"
+  | Survived -> "survived"
+  | Algorithm_fault _ -> "algorithm-fault"
+  | Adversary_fault _ -> "adversary-fault"
+
 let pp_verdict ppf v =
   Format.fprintf ppf "@[<v>%s vs %s (n=%d): %s%s@,%s@]" v.adversary v.algorithm v.n
     (outcome_label v.outcome)
@@ -47,6 +57,17 @@ let of_violation = function
            { message = Printf.sprintf "node %d presented twice" v })
 
 let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm play =
+  if Tr.on () then
+    Tr.emit
+      (Tr.Game_start
+         {
+           adversary;
+           algorithm = algorithm.Models.Algorithm.name;
+           n;
+           max_color_calls = limits.G.max_color_calls;
+           max_work = limits.G.max_work;
+           deadline = limits.G.deadline;
+         });
   let guard = G.create ~limits () in
   let guarded = G.algorithm guard algorithm in
   let result = G.capture guard (fun () -> play guarded) in
@@ -64,6 +85,26 @@ let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm pla
     | None, Ok (`Survived, detail) -> (Survived, detail)
     | None, Ok (`Defeated v, detail) -> (of_violation v, detail)
   in
+  if Tr.on () then
+    Tr.emit
+      (Tr.Game_verdict
+         {
+           adversary;
+           algorithm = algorithm.Models.Algorithm.name;
+           n;
+           outcome = outcome_label outcome;
+           guaranteed;
+           color_calls = G.color_calls guard;
+           work = G.work guard;
+         });
+  if Mx.on () then begin
+    Mx.incr ("game.outcome." ^ outcome_tag outcome);
+    Mx.incr ("game.played." ^ adversary);
+    (* Guard-meter totals accumulate here, once per game — never in
+       [Guard.tick], which is far too hot to meter. *)
+    Mx.add "guard.color_calls" (G.color_calls guard);
+    Mx.add "guard.work" (G.work guard)
+  end;
   {
     adversary;
     algorithm = algorithm.Models.Algorithm.name;

@@ -148,6 +148,32 @@ let present t f ~row ~col =
   in
   Hashtbl.replace t.presented target ();
   t.targets <- target :: t.targets;
+  if Obs.Trace.on () then begin
+    Obs.Trace.emit
+      (Obs.Trace.Reveal
+         {
+           executor = "virtual_grid";
+           step = t.steps;
+           fresh = List.length new_nodes;
+           revealed = Grid_graph.Dyn_graph.n t.region;
+         });
+    Obs.Trace.emit
+      (Obs.Trace.Step
+         {
+           executor = "virtual_grid";
+           step = t.steps;
+           target;
+           revealed = Grid_graph.Dyn_graph.n t.region;
+           (* the virtual grid has one growing region, so the revealed
+              count is also the largest view so far *)
+           max_view = Grid_graph.Dyn_graph.n t.region;
+         })
+  end;
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "virtual_grid.presented";
+    Obs.Metrics.add "virtual_grid.revealed" (List.length new_nodes);
+    Obs.Metrics.gauge_max "virtual_grid.max_view" (Grid_graph.Dyn_graph.n t.region)
+  end;
   let color =
     match (Lazy.force !(t.instance)) (make_view t ~target ~new_nodes) with
     | c -> c
@@ -256,7 +282,7 @@ let scan_monochromatic t =
    with Exit -> ());
   !found
 
-let validate t =
+let validate_placement t =
   let count = Grid_graph.Dyn_graph.n t.region in
   (* Absolute coordinates: surviving frames are placed far apart. *)
   let (_, (glo, ghi)) =
@@ -321,6 +347,18 @@ let validate t =
               "validate: node %d revealed at step %d but first containing ball is step %d"
               h t.revealed_step.(h) !first))
   done
+
+let validate t =
+  match validate_placement t with
+  | () ->
+      if Obs.Trace.on () then
+        Obs.Trace.emit
+          (Obs.Trace.Audit { executor = "virtual_grid"; ok = true; detail = "" })
+  | exception (Models.Run_stats.Dishonest_transcript msg as e) ->
+      if Obs.Trace.on () then
+        Obs.Trace.emit
+          (Obs.Trace.Audit { executor = "virtual_grid"; ok = false; detail = msg });
+      raise e
 
 let bipartition_oracle t =
   let query _view handles =

@@ -298,11 +298,12 @@ let test_sweep_resume_byte_identical () =
       let log = ref [] in
       let full = render (counted_cells log) ~checkpoint:path () in
       check_int "three cells ran" 3 (List.length !log);
-      (* Drop the last checkpoint line: simulate a kill between cells. *)
+      (* Drop the last checkpoint line: simulate a kill between cells
+         (line 0 is the version header). *)
       let lines =
         String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
       in
-      let kept = List.filteri (fun i _ -> i < 2) lines in
+      let kept = List.filteri (fun i _ -> i < 3) lines in
       Out_channel.with_open_text path (fun oc ->
           List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
       log := [];
@@ -369,6 +370,42 @@ let test_sweep_interrupt_preserves_checkpoint () =
       Alcotest.(check (list string)) "only unfinished cells ran" [ "third"; "second" ] !log;
       check_string "full output" "done first\ndone second\ndone third\n" out)
 
+(* Pinned renderings: Misbehavior.pp feeds verdict details, trace
+   Misbehavior events and the fault-matrix table — its exact text is a
+   compatibility surface, so change it deliberately. *)
+let test_misbehavior_pp_pinned () =
+  let render m = Format.asprintf "%a" M.pp m in
+  check_string "raised without backtrace" "raised: Failure(\"boom\")"
+    (render (M.Raised { message = "Failure(\"boom\")"; backtrace = "" }));
+  check_string "raised with backtrace"
+    "raised: Failure(\"boom\") [backtrace recorded]"
+    (render (M.Raised { message = "Failure(\"boom\")"; backtrace = "Raised at ..." }));
+  check_string "out of palette" "out-of-palette color 17"
+    (render (M.Out_of_palette { color = 17 }));
+  check_string "budget" "budget exhausted (1001 > 1000)"
+    (render (M.Budget_exhausted { used = 1001; budget = 1000 }));
+  check_string "deadline" "deadline exceeded (2.500s > 1.000s)"
+    (render (M.Deadline_exceeded { elapsed = 2.5; deadline = 1.0 }));
+  check_string "dishonest" "dishonest transcript: replay diverged"
+    (render (M.Dishonest_transcript { message = "replay diverged" }));
+  (* label stays in lockstep with pp: both name every variant *)
+  Alcotest.(check (list string)) "labels"
+    [
+      "raised";
+      "out-of-palette";
+      "budget-exhausted";
+      "deadline-exceeded";
+      "dishonest-transcript";
+    ]
+    (List.map M.label
+       [
+         M.Raised { message = ""; backtrace = "" };
+         M.Out_of_palette { color = 0 };
+         M.Budget_exhausted { used = 0; budget = 0 };
+         M.Deadline_exceeded { elapsed = 0.; deadline = 0. };
+         M.Dishonest_transcript { message = "" };
+       ])
+
 let test_sweep_break_mid_cell_not_recorded () =
   (* What SIGINT now does: Sys.Break out of the deepest containment
      layer.  capture must re-raise it as fatal, the sweep must surface
@@ -393,7 +430,8 @@ let test_sweep_break_mid_cell_not_recorded () =
          Alcotest.fail "expected Interrupted"
        with Harness.Sweep.Interrupted -> ());
       let saved = In_channel.with_open_text path In_channel.input_all in
-      check_string "only the completed cell is checkpointed" "first\tdone first\n" saved)
+      check_string "only the completed cell is checkpointed"
+        "#sweep-checkpoint v1\nfirst\tdone first\n" saved)
 
 let test_sweep_torn_record_reruns () =
   with_temp_checkpoint (fun path ->
@@ -645,6 +683,8 @@ let () =
           Alcotest.test_case "paranoid thm1" `Quick test_paranoid_thm1_stays_defeated;
         ] );
       ("matrix", [ Alcotest.test_case "fault matrix pinned" `Slow test_fault_matrix ]);
+      ( "misbehavior",
+        [ Alcotest.test_case "pp pinned" `Quick test_misbehavior_pp_pinned ] );
       ( "sweep",
         [
           Alcotest.test_case "resume byte-identical" `Quick test_sweep_resume_byte_identical;

@@ -323,6 +323,43 @@ let test_orders () =
   check_int "permutation" 6 (List.length (List.sort_uniq compare shuffled));
   Alcotest.(check (list int)) "deterministic" shuffled (FH.orders ~all:host (`Random 3))
 
+(* Pinned renderings: pp_violation/pp_outcome feed trace Audit events,
+   checkpointed sweep cells and EXPERIMENTS.md tables, so their exact
+   text is a compatibility surface — change it deliberately. *)
+let test_pp_violation_pinned () =
+  let render v = Format.asprintf "%a" RS.pp_violation v in
+  Alcotest.(check string) "monochromatic edge" "monochromatic edge 3 -- 7"
+    (render (RS.Monochromatic_edge (3, 7)));
+  Alcotest.(check string) "palette overflow" "node 2 got out-of-palette color 9"
+    (render (RS.Palette_overflow { node = 2; color = 9 }));
+  Alcotest.(check string) "repeated presentation" "node 5 presented twice"
+    (render (RS.Repeated_presentation 5));
+  Alcotest.(check string) "failure without backtrace"
+    "algorithm raised on node 1: Failure(\"boom\")"
+    (render
+       (RS.Algorithm_failure
+          { node = 1; message = "Failure(\"boom\")"; backtrace = "" }));
+  Alcotest.(check string) "failure with backtrace"
+    "algorithm raised on node 1: Failure(\"boom\") [backtrace recorded]"
+    (render
+       (RS.Algorithm_failure
+          { node = 1; message = "Failure(\"boom\")"; backtrace = "Raised at ..." }))
+
+let test_pp_outcome_pinned () =
+  let host = Graph.path_graph 3 in
+  let ok =
+    FH.run ~host ~palette:3 ~algorithm:A.greedy_first_fit ~order:[ 0; 1; 2 ] ()
+  in
+  Alcotest.(check string) "clean run" "steps=3 revealed=3 max_view=3 colored=3/3 ok"
+    (Format.asprintf "%a" RS.pp_outcome ok);
+  let bad =
+    let c = A.stateless ~name:"c0" ~locality:(fun ~n:_ -> 1) (fun _ -> 0) in
+    FH.run ~host ~palette:3 ~algorithm:c ~order:[ 0; 1; 2 ] ()
+  in
+  Alcotest.(check string) "violating run"
+    "steps=3 revealed=3 max_view=3 colored=3/3 VIOLATION: monochromatic edge 0 -- 1"
+    (Format.asprintf "%a" RS.pp_outcome bad)
+
 let () =
   Alcotest.run "models"
     [
@@ -366,5 +403,10 @@ let () =
         [
           Alcotest.test_case "greedy" `Quick test_slocal_greedy;
           Alcotest.test_case "to_online matches" `Quick test_slocal_to_online_matches;
+        ] );
+      ( "run-stats",
+        [
+          Alcotest.test_case "pp_violation pinned" `Quick test_pp_violation_pinned;
+          Alcotest.test_case "pp_outcome pinned" `Quick test_pp_outcome_pinned;
         ] );
     ]
