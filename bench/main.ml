@@ -448,11 +448,121 @@ let trace_overhead () =
   write_bench_record "BENCH_trace_overhead.json"
     (bench_record ~bench:"trace_overhead" ~jobs_axis:[ 1 ] ~results)
 
+(* ------------------ fuzz-harness throughput (E10) ----------------- *)
+
+(* Cases/second of [Proptest.Fuzz_run.run_target] on the parallel-safe
+   differential targets, at 1 domain and at the pool default.  The same
+   fixed (seed, cases) runs at both jobs counts; every target must pass
+   (a counterexample would make the timing meaningless), and the
+   per-target status lines are asserted identical across jobs — the
+   same byte-identity contract bin/fuzz.exe ships under. *)
+
+let fuzz_throughput () =
+  let targets = [ "proper-vs-brute"; "bvalue-cancel"; "thm3-game" ] in
+  let cases = 150 in
+  let config =
+    { Proptest.Runner.default_config with Proptest.Runner.seed = 0xBE7; cases }
+  in
+  (* On a 1-core box default_jobs is 1; floor the second point at 2 so
+     the pool path (and its determinism) is always on the axis. *)
+  let jobs_axis = [ 1; max 2 (Harness.Pool.default_jobs ()) ] in
+  Format.printf "== E10: fuzz harness throughput (%d cases/target, seed %d) ==@.@."
+    cases config.Proptest.Runner.seed;
+  let describe report =
+    match report.Proptest.Fuzz_run.status with
+    | Proptest.Fuzz_run.Passed { cases } -> Printf.sprintf "PASS %d" cases
+    | Proptest.Fuzz_run.Failed cex ->
+        failwith
+          (Printf.sprintf "BENCH fuzz_throughput: unexpected counterexample (%s)"
+             cex.Proptest.Runner.replay)
+    | Proptest.Fuzz_run.Skipped reason ->
+        failwith ("BENCH fuzz_throughput: target skipped: " ^ reason)
+  in
+  let run jobs =
+    List.map
+      (fun name ->
+        let target =
+          match Proptest.Fuzz_targets.find name with
+          | Some t -> t
+          | None -> failwith ("BENCH fuzz_throughput: unknown target " ^ name)
+        in
+        let t0 = Unix.gettimeofday () in
+        let report = Proptest.Fuzz_run.run_target ~jobs ~config target in
+        let dt = Unix.gettimeofday () -. t0 in
+        (name, describe report, dt))
+      targets
+  in
+  (* Warm-up pass outside the measurements. *)
+  ignore (run 1);
+  let rows =
+    List.map
+      (fun jobs ->
+        let measured = run jobs in
+        let statuses = List.map (fun (n, s, _) -> (n, s)) measured in
+        (jobs, statuses, measured))
+      jobs_axis
+  in
+  (match rows with
+  | (_, base, _) :: rest ->
+      List.iter
+        (fun (jobs, statuses, _) ->
+          if statuses <> base then
+            failwith
+              (Printf.sprintf
+                 "BENCH fuzz_throughput: report at --jobs %d differs from \
+                  --jobs 1 — determinism contract broken"
+                 jobs))
+        rest
+  | [] -> ());
+  Format.printf "%-8s %-18s %-12s %s@." "jobs" "target" "seconds" "cases/s";
+  List.iter
+    (fun (jobs, _, measured) ->
+      List.iter
+        (fun (name, _, dt) ->
+          Format.printf "%-8d %-18s %-12.3f %.0f@." jobs name dt
+            (float_of_int cases /. dt))
+        measured)
+    rows;
+  let results =
+    Obs.Json.Obj
+      [
+        ("targets", Obs.Json.List (List.map (fun n -> Obs.Json.String n) targets));
+        ("cases_per_target", Obs.Json.Int cases);
+        ("seed", Obs.Json.Int config.Proptest.Runner.seed);
+        ("identical_reports", Obs.Json.Bool true);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (jobs, _, measured) ->
+                 Obs.Json.Obj
+                   [
+                     ("jobs", Obs.Json.Int jobs);
+                     ( "per_target",
+                       Obs.Json.List
+                         (List.map
+                            (fun (name, _, dt) ->
+                              Obs.Json.Obj
+                                [
+                                  ("target", Obs.Json.String name);
+                                  ("seconds", Obs.Json.Float dt);
+                                  ( "cases_per_sec",
+                                    Obs.Json.Float (float_of_int cases /. dt) );
+                                ])
+                            measured) );
+                   ])
+               rows) );
+      ]
+  in
+  write_bench_record "BENCH_fuzz_throughput.json"
+    (bench_record ~bench:"fuzz_throughput" ~jobs_axis ~results)
+
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
   else if Array.exists (String.equal "--trace-overhead") Sys.argv then
     trace_overhead ()
+  else if Array.exists (String.equal "--fuzz-throughput") Sys.argv then
+    fuzz_throughput ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();

@@ -1,0 +1,185 @@
+(* Differential fuzz harness over the whole engine: colorings, b-values,
+   adversary games (faults included), sweep checkpointing and the
+   metrics registry.
+
+   Each target pairs a seeded generator with a property whose failure is
+   a genuine bug; failures shrink to a minimal counterexample and print
+   a replay token that re-runs exactly that case:
+
+     dune exec bin/fuzz.exe -- --seed 7 --cases 500 --jobs 4
+     dune exec bin/fuzz.exe -- --targets thm1-game,bvalue-cancel
+     dune exec bin/fuzz.exe -- --replay 'demo-bug:24301:3:12'
+
+   Stdout is byte-identical for a fixed (seed, cases, targets) whatever
+   --jobs is and however often it is re-run; shrunk repro files land in
+   the corpus directory.  Exit 1 when any target fails. *)
+
+open Cmdliner
+module FT = Proptest.Fuzz_targets
+module FR = Proptest.Fuzz_run
+module Runner = Proptest.Runner
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  if dir <> "" then go dir
+
+let status_line (r : FR.report) =
+  match r.status with
+  | FR.Passed { cases } -> Printf.sprintf "%s: PASS (%d cases)" r.target.FT.name cases
+  | FR.Skipped reason -> Printf.sprintf "%s: SKIP (%s)" r.target.FT.name reason
+  | FR.Failed c ->
+      Printf.sprintf "%s: FAIL (case %d, size %d, %d shrinks)" r.target.FT.name
+        c.Runner.case c.Runner.size c.Runner.shrink_steps
+
+let print_report ppf (r : FR.report) =
+  Format.fprintf ppf "%s@." (status_line r);
+  match r.status with
+  | FR.Failed c ->
+      Format.fprintf ppf "  %a@." Runner.pp_counterexample c;
+      Format.fprintf ppf "  replay: dune exec bin/fuzz.exe -- --replay '%s'@."
+        c.Runner.replay
+  | _ -> ()
+
+let write_corpus ~corpus reports =
+  mkdir_p corpus;
+  let summary = Buffer.create 256 in
+  List.iter
+    (fun (r : FR.report) ->
+      Buffer.add_string summary (status_line r);
+      Buffer.add_char summary '\n';
+      match r.status with
+      | FR.Failed c ->
+          let path = Filename.concat corpus (r.target.FT.name ^ ".repro") in
+          Out_channel.with_open_bin path (fun oc ->
+              Printf.fprintf oc "%s\n"
+                (Format.asprintf "%a" Runner.pp_counterexample c);
+              Printf.fprintf oc "replay: dune exec bin/fuzz.exe -- --replay '%s'\n"
+                c.Runner.replay)
+      | _ -> ())
+    reports;
+  Out_channel.with_open_bin
+    (Filename.concat corpus "SUMMARY.txt")
+    (fun oc -> Out_channel.output_string oc (Buffer.contents summary))
+
+let resolve_targets = function
+  | None -> Ok (List.filter_map FT.find FT.default_names)
+  | Some spec ->
+      let names = String.split_on_char ',' spec |> List.map String.trim in
+      let missing = List.filter (fun n -> FT.find n = None) names in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "unknown fuzz target(s): %s (try --list)"
+             (String.concat ", " missing))
+      else Ok (List.filter_map FT.find names)
+
+let list_targets () =
+  List.iter
+    (fun (t : FT.t) ->
+      Printf.printf "%-16s %s%s\n" t.FT.name t.FT.doc
+        (if t.FT.serial then " [serial]" else ""))
+    FT.all;
+  0
+
+let run_replay token =
+  match FR.replay token with
+  | Error msg ->
+      Format.eprintf "fuzz: %s@." msg;
+      2
+  | Ok r ->
+      print_report Format.std_formatter r;
+      (match r.FR.status with FR.Failed _ -> 1 | _ -> 0)
+
+let run seed cases targets jobs corpus list replay trace metrics =
+  if list then list_targets ()
+  else
+    match replay with
+    | Some token -> run_replay token
+    | None -> (
+        match resolve_targets targets with
+        | Error msg ->
+            Format.eprintf "fuzz: %s@." msg;
+            2
+        | Ok targets ->
+            Obs_cli.with_observability ~program:"fuzz" ~trace ~metrics @@ fun () ->
+            let config = { Runner.default_config with Runner.seed; cases } in
+            Format.printf "fuzz seed=%d cases=%d targets=%d@." seed cases
+              (List.length targets);
+            let reports =
+              List.map
+                (fun t ->
+                  let r = FR.run_target ~jobs ~config t in
+                  print_report Format.std_formatter r;
+                  r)
+                targets
+            in
+            write_corpus ~corpus reports;
+            let failed =
+              List.exists
+                (fun r -> match r.FR.status with FR.Failed _ -> true | _ -> false)
+                reports
+            in
+            if failed then 1 else 0)
+
+let seed =
+  Arg.(
+    value
+    & opt int Runner.default_config.Runner.seed
+    & info [ "seed" ] ~docv:"INT"
+        ~doc:"Stream seed. Every case $(i,i) runs on the independent stream \
+              derived from (seed, i).")
+
+let cases =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "cases" ] ~docv:"N"
+        ~doc:"Cases per target (targets may cap this lower; see --list).")
+
+let targets =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "targets" ] ~docv:"a,b,c"
+        ~doc:"Comma-separated target names (default: all except demo-bug).")
+
+let jobs =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains (default: available cores, capped at 8). Output is \
+           byte-identical at every jobs count; serial targets ignore it.")
+
+let corpus =
+  Arg.(
+    value
+    & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Directory for SUMMARY.txt and shrunk <target>.repro files.")
+
+let list =
+  Arg.(value & flag & info [ "list" ] ~doc:"List all fuzz targets and exit.")
+
+let replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"TOKEN"
+        ~doc:
+          "Re-run exactly the case a failure report named \
+           (target:seed:case:size), shrinking again on failure.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Differential fuzz harness over games, colorings and sweeps")
+    Term.(
+      const run $ seed $ cases $ targets $ jobs $ corpus $ list $ replay
+      $ Obs_cli.trace $ Obs_cli.metrics)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,102 @@
+open Grid_graph
+
+let small_graph : Graph.t Gen.t =
+  Gen.sized (fun size ->
+      let n_max = max 1 (min 24 ((size / 3) + 2)) in
+      Gen.bind (Gen.int_range 1 n_max) (fun n ->
+          let endpoint = Gen.int_range 0 (n - 1) in
+          Gen.map
+            (fun pairs ->
+              Graph.create ~n ~edges:(List.filter (fun (u, v) -> u <> v) pairs))
+            (Gen.list ~max_len:(2 * n) (Gen.pair endpoint endpoint))))
+
+let print_graph g =
+  Printf.sprintf "graph n=%d edges=[%s]" (Graph.n g)
+    (String.concat "; "
+       (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) (Graph.edges g)))
+
+let grid : Topology.Grid2d.t Gen.t =
+  Gen.map3
+    (fun wrap rows cols -> Topology.Grid2d.create wrap ~rows ~cols)
+    (Gen.oneof_const
+       [ Topology.Grid2d.Simple; Topology.Grid2d.Cylindrical; Topology.Grid2d.Toroidal ])
+    (Gen.int_range 3 7) (Gen.int_range 3 7)
+
+let simple_grid ~rows:(rlo, rhi) ~cols:(clo, chi) =
+  Gen.map2
+    (fun rows cols -> Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols)
+    (Gen.int_range rlo rhi) (Gen.int_range clo chi)
+
+let tri_grid ~side:(lo, hi) =
+  Gen.map (fun side -> Topology.Tri_grid.create ~side) (Gen.int_range lo hi)
+
+let order g = Gen.permutation (List.init (Graph.n g) (fun v -> v))
+
+(* Frontier expansion, as the hand-rolled sampler in the oracle tests
+   did — now drawing from the engine's one seeded source. *)
+let connected_fragment g ~size:frag_size =
+  Gen.of_rng_fun (fun ~size:_ rng ->
+      let start = Rng.int rng (Graph.n g) in
+      let visited = Hashtbl.create 16 in
+      Hashtbl.replace visited start ();
+      let frontier = ref [ start ] in
+      for _ = 2 to frag_size do
+        let candidates =
+          List.concat_map
+            (fun v ->
+              Array.to_list (Graph.neighbors g v)
+              |> List.filter (fun w -> not (Hashtbl.mem visited w)))
+            !frontier
+        in
+        match candidates with
+        | [] -> ()
+        | cs ->
+            let pick = List.nth cs (Rng.int rng (List.length cs)) in
+            Hashtbl.replace visited pick ();
+            frontier := pick :: !frontier
+      done;
+      List.sort compare !frontier)
+
+let proper_coloring g ~colors =
+  Gen.of_rng_fun (fun ~size:_ rng ->
+      let pin_node = Rng.int rng (max 1 (Graph.n g)) in
+      let pin_color = Rng.int rng colors in
+      let pinned = Colorings.Coloring.create (Graph.n g) in
+      if Graph.n g > 0 then Colorings.Coloring.set pinned pin_node pin_color;
+      let attempt = Colorings.Brute.find_coloring ~partial:pinned g ~colors in
+      match attempt with
+      | Some c -> c
+      | None -> (
+          (* The pin may be what killed it (e.g. a forced partition);
+             the unpinned instance is the real existence question. *)
+          match Colorings.Brute.find_coloring g ~colors with
+          | Some c -> c
+          | None ->
+              invalid_arg "Domain_gen.proper_coloring: graph admits no such coloring"))
+
+let rectangle grid2d =
+  let rows = Topology.Grid2d.rows grid2d and cols = Topology.Grid2d.cols grid2d in
+  Gen.bind (Gen.pair (Gen.int_range 0 (rows - 2)) (Gen.int_range 0 (cols - 2)))
+    (fun (top, left) ->
+      Gen.map2
+        (fun bottom right -> (top, bottom, left, right))
+        (Gen.int_range (top + 1) (rows - 1))
+        (Gen.int_range (left + 1) (cols - 1)))
+
+let grid_algorithm : (string * Models.Algorithm.t) Gen.t =
+  Gen.bind (Gen.int_range 0 3) (fun pick ->
+      match pick with
+      | 0 -> Gen.return ("greedy", Online_local.Portfolio.greedy ())
+      | 1 -> Gen.return ("parity", Online_local.Portfolio.hint_parity ())
+      | 2 -> Gen.return ("stripes", Online_local.Portfolio.stripes3 ())
+      | _ ->
+          Gen.map
+            (fun t -> (Printf.sprintf "ael-t%d" t, Online_local.Portfolio.ael ~t ()))
+            (Gen.int_range 1 3))
+
+let fault_plan =
+  Gen.frequency
+    [
+      (4, Gen.return None);
+      (4, Gen.map (fun f -> Some f) (Gen.oneof_const Harness.Faults.algorithm_faults));
+    ]

@@ -1,0 +1,62 @@
+(** Generators over the repository's own domain: graphs, grids,
+    presentation orders, colorings, fragments, portfolio algorithms and
+    fault plans.
+
+    These are the inputs the theorems quantify over ("all algorithms,
+    all presentation orders") made samplable, with shrinking where the
+    structure allows it: a failing graph shrinks by dropping edges and
+    nodes, a failing order shrinks back towards the identity
+    permutation, a failing parameter vector shrinks towards its
+    smallest legal instance. *)
+
+val small_graph : Grid_graph.Graph.t Gen.t
+(** A random graph: [1..size/3+2] nodes (capped at 24), up to [2n]
+    random edges (self-loops filtered, duplicates deduplicated by
+    [Graph.create]).  Shrinks by removing edges, pulling endpoints
+    towards node 0, and re-generating at smaller node counts. *)
+
+val print_graph : Grid_graph.Graph.t -> string
+(** [graph n=4 edges=[(0,1); (2,3)]] — the counterexample printer the
+    graph-valued properties share. *)
+
+val grid : Topology.Grid2d.t Gen.t
+(** Any wrap kind, each dimension 3..7 (so wrapped dimensions are
+    always legal).  Shrinks towards a [Simple] 3x3 grid. *)
+
+val simple_grid : rows:int * int -> cols:int * int -> Topology.Grid2d.t Gen.t
+(** A [Simple] grid with each dimension uniform in its inclusive
+    range. *)
+
+val tri_grid : side:int * int -> Topology.Tri_grid.t Gen.t
+
+val order : Grid_graph.Graph.t -> Grid_graph.Graph.node list Gen.t
+(** A uniform presentation order (permutation of all nodes); shrinks
+    towards the sequential order. *)
+
+val connected_fragment :
+  Grid_graph.Graph.t -> size:int -> Grid_graph.Graph.node list Gen.t
+(** A connected set of up to [size] nodes grown by seeded frontier
+    expansion from a random start (sorted; no shrinking).  The sampler
+    behind the Definition 1.4 tests. *)
+
+val proper_coloring : Grid_graph.Graph.t -> colors:int -> int array Gen.t
+(** A proper total [colors]-coloring, varied across cases by pinning a
+    random node to a random color before handing the instance to
+    {!Colorings.Brute.find_coloring} (no shrinking).
+    @raise Invalid_argument when the graph admits no such coloring. *)
+
+val rectangle : Topology.Grid2d.t -> (int * int * int * int) Gen.t
+(** [(top, bottom, left, right)] with [top < bottom] and
+    [left < right], in range for the grid — the input shape of
+    {!Colorings.Bvalue.rectangle_cycle}.  Shrinks towards the unit
+    square at the origin. *)
+
+val grid_algorithm : (string * Models.Algorithm.t) Gen.t
+(** A fresh algorithm from the grid portfolio: greedy, hint-parity,
+    stripes3, or AEL at locality 1..3.  Shrinks towards greedy. *)
+
+val fault_plan :
+  (string * (Models.Algorithm.t -> Models.Algorithm.t)) option Gen.t
+(** [None] (an honest run, ~half the cases) or one labeled
+    fault-injection combinator from {!Harness.Faults.algorithm_faults}.
+    Shrinks towards honesty. *)

@@ -1,0 +1,417 @@
+module Graph = Grid_graph.Graph
+module Grid2d = Topology.Grid2d
+module Coloring = Colorings.Coloring
+module Brute = Colorings.Brute
+module Bvalue = Colorings.Bvalue
+module Game = Online_local.Game
+
+type packed =
+  | Packed : {
+      gen : 'a Gen.t;
+      print : 'a -> string;
+      prop : 'a -> bool;
+    }
+      -> packed
+
+type t = {
+  name : string;
+  doc : string;
+  serial : bool;
+  max_cases : int option;
+  available : unit -> (unit, string) result;
+  packed : packed;
+}
+
+let always_available () = Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* proper-vs-brute                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustive enumeration appears on both sides of the differential, so
+   instances stay tiny: [count_colorings] at 3 colors on 7 nodes is at
+   most 3^7 = 2187 leaves. *)
+let tiny_graph : Graph.t Gen.t =
+  Gen.bind (Gen.int_range 1 7) (fun n ->
+      let endpoint = Gen.int_range 0 (n - 1) in
+      Gen.map
+        (fun pairs ->
+          Graph.create ~n ~edges:(List.filter (fun (u, v) -> u <> v) pairs))
+        (Gen.list ~max_len:(2 * n) (Gen.pair endpoint endpoint)))
+
+let proper_vs_brute =
+  let gen = Gen.pair tiny_graph (Gen.int_range 2 3) in
+  let print (g, colors) =
+    Printf.sprintf "%s colors=%d" (Domain_gen.print_graph g) colors
+  in
+  let prop (g, colors) =
+    let count = Brute.count_colorings g ~colors in
+    let exists = Brute.exists_coloring g ~colors in
+    let chromatic = Brute.chromatic_number g in
+    match Brute.find_coloring g ~colors with
+    | Some c ->
+        Coloring.is_proper_total g (Coloring.of_array c) ~colors
+        && exists && count > 0 && chromatic <= colors
+    | None -> (not exists) && count = 0 && chromatic > colors
+  in
+  {
+    name = "proper-vs-brute";
+    doc =
+      "Brute.find_coloring against the independent propriety checker and its \
+       own existence/counting/chromatic faces, on all graphs up to 7 nodes";
+    serial = false;
+    max_cases = None;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* bvalue-cancel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bvalue_cancel =
+  let gen =
+    Gen.bind (Domain_gen.simple_grid ~rows:(2, 5) ~cols:(2, 5)) (fun grid ->
+        Gen.map2
+          (fun coloring rect -> (grid, coloring, rect))
+          (Domain_gen.proper_coloring (Grid2d.graph grid) ~colors:3)
+          (Domain_gen.rectangle grid))
+  in
+  let print (grid, coloring, (top, bottom, left, right)) =
+    Printf.sprintf "grid %dx%d rect=(t%d,b%d,l%d,r%d) coloring=[%s]"
+      (Grid2d.rows grid) (Grid2d.cols grid) top bottom left right
+      (String.concat ";" (Array.to_list (Array.map string_of_int coloring)))
+  in
+  let prop (grid, coloring, (top, bottom, left, right)) =
+    let g = Grid2d.graph grid in
+    let cyc = Bvalue.rectangle_cycle grid ~top ~bottom ~left ~right in
+    (* Lemma 3.4: any rectangle cycle of a properly colored grid has
+       b = 0; Lemma 3.5 gives its parity and the parity of any row
+       segment. *)
+    Bvalue.grid_cycle_b_is_zero grid coloring cyc
+    && Bvalue.check_parity_cycle coloring cyc
+    && Bvalue.check_parity_path coloring
+         (Grid2d.row_segment grid ~row:top ~col_lo:left ~col_hi:right)
+    (* Lemma 3.3 on every unit cell inside the rectangle. *)
+    && (let ok = ref true in
+        for r = top to bottom - 1 do
+          for c = left to right - 1 do
+            let cell =
+              Bvalue.rectangle_cycle grid ~top:r ~bottom:(r + 1) ~left:c
+                ~right:(c + 1)
+            in
+            if not (Bvalue.check_cell_cancellation g coloring cell) then
+              ok := false
+          done
+        done;
+        !ok)
+  in
+  {
+    name = "bvalue-cancel";
+    doc =
+      "Lemmas 3.3-3.5 (cell cancellation, rectangle b = 0, parity) on random \
+       proper 3-colorings of random simple grids and random rectangles";
+    serial = false;
+    max_cases = None;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* thm{1,2,3}-game                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Faults.spin burns its whole work budget on every case it fires in,
+   so the default 50M-tick budget would make spin cases dominate the
+   wall clock.  2M ticks keeps a spin case under a few milliseconds and
+   changes no verdict: budget exhaustion is Algorithm_fault however
+   small the budget. *)
+let fuzz_limits =
+  {
+    Harness.Guard.max_color_calls = Some 200_000;
+    max_work = Some 2_000_000;
+    deadline = Some 10.0;
+  }
+
+let hard_fault = function
+  | "out-of-palette" | "raise" | "spin" -> true
+  | _ -> false
+
+type game_case = {
+  alg_name : string;
+  algorithm : Models.Algorithm.t;
+  fault : (string * (Models.Algorithm.t -> Models.Algorithm.t)) option;
+  n : int;
+}
+
+let game_case_gen ~n_range:(lo, hi) : game_case Gen.t =
+  Gen.map3
+    (fun (alg_name, algorithm) fault n -> { alg_name; algorithm; fault; n })
+    Domain_gen.grid_algorithm Domain_gen.fault_plan (Gen.int_range lo hi)
+
+let print_game_case game c =
+  Printf.sprintf "game=%s alg=%s fault=%s n=%d" game.Game.name c.alg_name
+    (match c.fault with None -> "none" | Some (f, _) -> f)
+    c.n
+
+(* The verdict invariants every adversary must satisfy, fault injection
+   or not:
+   - the [defeated] flag is exactly [outcome = Defeated];
+   - an honest adversary never produces [Adversary_fault];
+   - a theory-guaranteed honest game never ends [Survived] (an honest
+     algorithm may still fault, e.g. AEL raising on a non-bipartite
+     host — that is not a survival);
+   - a first-call out-of-palette/raise/spin always lands as
+     [Algorithm_fault] (the E7 fault matrix, quantified over random
+     victims and sizes). *)
+let game_prop game c =
+  let algorithm =
+    match c.fault with
+    | None -> c.algorithm
+    | Some (_, inject) -> inject c.algorithm
+  in
+  let v = game.Game.play ~limits:fuzz_limits ~n:c.n algorithm in
+  let flag_consistent =
+    v.Game.defeated = (match v.Game.outcome with Game.Defeated -> true | _ -> false)
+  in
+  let honest_adversary =
+    match v.Game.outcome with Game.Adversary_fault _ -> false | _ -> true
+  in
+  let guaranteed_defeat =
+    match (c.fault, v.Game.guaranteed, v.Game.outcome) with
+    | None, true, Game.Survived -> false
+    | _ -> true
+  in
+  let faults_classified =
+    match c.fault with
+    | Some (name, _) when hard_fault name -> (
+        match v.Game.outcome with Game.Algorithm_fault _ -> true | _ -> false)
+    | _ -> true
+  in
+  flag_consistent && honest_adversary && guaranteed_defeat && faults_classified
+
+let game_target ?(serial = false) ~name ~doc ~n_range pick_game =
+  let gen =
+    Gen.bind (game_case_gen ~n_range) (fun c ->
+        Gen.map (fun game -> (game, c)) pick_game)
+  in
+  {
+    name;
+    doc;
+    serial;
+    max_cases = None;
+    available = always_available;
+    packed =
+      Packed
+        {
+          gen;
+          print = (fun (game, c) -> print_game_case game c);
+          prop = (fun (game, c) -> game_prop game c);
+        };
+  }
+
+let thm1_game =
+  game_target ~name:"thm1-game"
+    ~doc:
+      "Theorem 1 verdict invariants over random portfolio algorithms, fault \
+       plans and grid sides"
+    ~n_range:(8, 40)
+    (Gen.return Game.thm1)
+
+let thm2_game =
+  game_target ~name:"thm2-game"
+    ~doc:
+      "Theorem 2 (torus and cylinder) verdict invariants over random \
+       algorithms, fault plans and sides"
+    ~n_range:(7, 15)
+    (Gen.oneof_const [ Game.thm2_torus; Game.thm2_cylinder ])
+
+let thm3_game =
+  game_target ~name:"thm3-game"
+    ~doc:
+      "Theorem 3 verdict invariants over random algorithms, fault plans and \
+       gadget counts"
+    ~n_range:(3, 10)
+    (Gen.return Game.thm3)
+
+(* ------------------------------------------------------------------ *)
+(* sweep-resume                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "fuzz_sweep" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let render ?resume ?checkpoint ?jobs cells =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Sweep.run ?resume ?checkpoint ?jobs ~ppf cells;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let sweep_cells specs =
+  List.mapi
+    (fun i (payload, fail) ->
+      {
+        Harness.Sweep.key = Printf.sprintf "cell-%d" i;
+        run =
+          (fun () ->
+            if fail then failwith (Printf.sprintf "injected failure %d" payload)
+            else Printf.sprintf "payload=%d" payload);
+      })
+    specs
+
+let sweep_resume =
+  let gen =
+    Gen.pair
+      (Gen.list ~min_len:1 ~max_len:6
+         (Gen.pair (Gen.int_range 0 99) Gen.bool))
+      (Gen.int_range 0 100)
+  in
+  let print (specs, cut_pct) =
+    Printf.sprintf "cells=[%s] cut=%d%%"
+      (String.concat "; "
+         (List.map
+            (fun (p, f) -> Printf.sprintf "%d%s" p (if f then "!" else ""))
+            specs))
+      cut_pct
+  in
+  let prop (specs, cut_pct) =
+    let baseline = render (sweep_cells specs) in
+    with_temp_file (fun ckpt ->
+        let first = render ~checkpoint:ckpt (sweep_cells specs) in
+        let contents =
+          In_channel.with_open_bin ckpt In_channel.input_all
+        in
+        (* Cut the checkpoint anywhere after the header — mid-record
+           tears included — and resume: the output must still be
+           byte-identical (a torn record re-runs its cell). *)
+        let header_end =
+          match String.index_opt contents '\n' with
+          | Some i -> i + 1
+          | None -> String.length contents
+        in
+        let cut =
+          header_end
+          + (String.length contents - header_end) * cut_pct / 100
+        in
+        Out_channel.with_open_bin ckpt (fun oc ->
+            Out_channel.output_string oc (String.sub contents 0 cut));
+        let resumed = render ~resume:true ~checkpoint:ckpt (sweep_cells specs) in
+        String.equal baseline first && String.equal baseline resumed)
+  in
+  {
+    name = "sweep-resume";
+    doc =
+      "Sweep checkpoint/resume byte-identity under random cell sets, injected \
+       cell failures and random checkpoint truncation (torn records included)";
+    serial = true (* global SIGINT handler + temp checkpoint files *);
+    max_cases = Some 60;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* metrics-jobs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_jobs =
+  let gen = Gen.list ~min_len:1 ~max_len:8 (Gen.int_range 0 50) in
+  let print ws =
+    Printf.sprintf "workloads=[%s]"
+      (String.concat ";" (List.map string_of_int ws))
+  in
+  let run_once ~jobs workloads =
+    Harness.Metrics.enable ();
+    Harness.Metrics.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Harness.Metrics.disable ();
+        Harness.Metrics.reset ())
+      (fun () ->
+        let cells =
+          List.mapi
+            (fun i w ->
+              {
+                Harness.Sweep.key = Printf.sprintf "w-%d" i;
+                run =
+                  (fun () ->
+                    Harness.Metrics.incr "fuzz.cells";
+                    Harness.Metrics.add "fuzz.work" w;
+                    Harness.Metrics.observe "fuzz.load" w;
+                    Printf.sprintf "w=%d" w);
+              })
+            workloads
+        in
+        let out = render ~jobs cells in
+        let snap = Harness.Metrics.drain () in
+        (out, Format.asprintf "%a" Harness.Metrics.pp snap))
+  in
+  let prop workloads =
+    let out1, snap1 = run_once ~jobs:1 workloads in
+    let out2, snap2 = run_once ~jobs:2 workloads in
+    String.equal out1 out2 && String.equal snap1 snap2
+  in
+  {
+    name = "metrics-jobs";
+    doc =
+      "Sweep output and drained metrics registry byte-identical at --jobs 1 \
+       vs --jobs 2";
+    serial = true (* owns the process-global metrics registry *);
+    max_cases = Some 40;
+    available =
+      (fun () ->
+        if Harness.Metrics.on () then
+          Error
+            "metrics registry already enabled (run without --metrics to fuzz \
+             this target)"
+        else Ok ());
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* demo-bug                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let demo_bug =
+  let gen = Gen.list ~max_len:20 (Gen.int_range 0 1000) in
+  let print xs =
+    Printf.sprintf "[%s]" (String.concat ";" (List.map string_of_int xs))
+  in
+  let prop xs = List.fold_left ( + ) 0 xs < 100 in
+  {
+    name = "demo-bug";
+    doc =
+      "Deliberately broken property (list sums stay below 100); shrinks to \
+       [100].  Armed only when FUZZ_DEMO_BUG=1 — the CI probe that shrinking \
+       and replay work end-to-end";
+    serial = false;
+    max_cases = None;
+    available =
+      (fun () ->
+        match Sys.getenv_opt "FUZZ_DEMO_BUG" with
+        | Some "1" -> Ok ()
+        | _ -> Error "set FUZZ_DEMO_BUG=1 to arm this deliberately broken target");
+    packed = Packed { gen; print; prop };
+  }
+
+let all =
+  [
+    proper_vs_brute;
+    bvalue_cancel;
+    thm1_game;
+    thm2_game;
+    thm3_game;
+    sweep_resume;
+    metrics_jobs;
+    demo_bug;
+  ]
+
+let default_names =
+  List.filter_map
+    (fun t -> if String.equal t.name "demo-bug" then None else Some t.name)
+    all
+
+let find name = List.find_opt (fun t -> String.equal t.name name) all

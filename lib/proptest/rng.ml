@@ -1,0 +1,66 @@
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The SplitMix64 finalizer: an invertible avalanche over 64 bits. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount x =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+  done;
+  !c
+
+(* Gammas must be odd, and weak gammas (too few 01/10 bit transitions)
+   are perturbed, per the SplitMix64 paper. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  if popcount (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+    Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
+let next t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let of_seed seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let of_seed_case ~seed ~case =
+  let s = Int64.of_int seed and c = Int64.of_int case in
+  {
+    state = mix64 (Int64.add (Int64.mul s golden_gamma) (mix64 c));
+    gamma = mix_gamma (mix64 (Int64.logxor s (Int64.mul c golden_gamma)));
+  }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let split t =
+  let s = next t in
+  let g = next t in
+  { state = mix64 s; gamma = mix_gamma g }
+
+let bits64 = next
+
+(* A nonnegative 62-bit draw: OCaml's int is 63-bit, so shift out two. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits62 t mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int x /. 9007199254740992.0 (* 2^53 *)
+
+let to_random_state t =
+  Random.State.make [| bits62 t; bits62 t; bits62 t; bits62 t |]

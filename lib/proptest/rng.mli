@@ -1,0 +1,63 @@
+(** A splittable pseudo-random generator (SplitMix64).
+
+    The property engine needs two things an ad-hoc [Random.State] does
+    not give cleanly:
+
+    {ul
+    {- {e splitting} — a generator can fork an independent stream, so a
+       compound generator can hand each sub-generator its own stream and
+       re-run any of them in isolation (the mechanism behind integrated
+       shrinking's deterministic re-generation);}
+    {- {e O(1) per-case streams} — {!of_seed_case} derives the stream of
+       case [i] directly from [(seed, i)], so a replay token can jump to
+       the failing case without replaying the [i-1] cases before it, and
+       a parallel fuzzer can run cases on any domain in any order and
+       still produce byte-identical results.}}
+
+    The implementation is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014):
+    a 64-bit counter advanced by an odd [gamma] and finalized by a
+    bit-mixing function.  Streams obtained by {!split} or
+    {!of_seed_case} use freshly mixed state {e and} gamma, so sibling
+    streams are statistically independent for testing purposes. *)
+
+type t
+(** A mutable generator.  Not domain-safe: never share one value across
+    domains — derive per-domain streams with {!split} or
+    {!of_seed_case} instead. *)
+
+val of_seed : int -> t
+(** A deterministic generator from an integer seed. *)
+
+val of_seed_case : seed:int -> case:int -> t
+(** The stream of case number [case] under [seed]: deterministic,
+    O(1), and independent across distinct [(seed, case)] pairs. *)
+
+val copy : t -> t
+(** Snapshot the current state: the copy replays exactly the draws the
+    original would have made from this point. *)
+
+val split : t -> t
+(** Fork an independent stream.  Advances [t] (by two draws) and returns
+    a fresh generator; the two never produce correlated output. *)
+
+val bits64 : t -> int64
+(** The next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].  Uses a 62-bit draw
+    modulo [bound]; the modulo bias is below [2^-40] for any bound a
+    test generator would use.
+    @raise Invalid_argument on [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [[lo, hi]] inclusive.
+    @raise Invalid_argument when [lo > hi]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [[0, 1)], 53 bits of precision. *)
+
+val to_random_state : t -> Random.State.t
+(** A stdlib [Random.State.t] seeded from this stream (consumes four
+    draws).  The bridge for existing code that takes a [Random.State]:
+    route it through the one seeded source instead of making its own. *)

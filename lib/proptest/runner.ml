@@ -1,0 +1,155 @@
+type config = {
+  cases : int;
+  seed : int;
+  max_shrinks : int;
+  size_min : int;
+  size_max : int;
+}
+
+let default_seed () =
+  match Sys.getenv_opt "PROPTEST_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0x5EED)
+  | None -> 0x5EED
+
+let default_config =
+  { cases = 100; seed = default_seed (); max_shrinks = 1000; size_min = 5; size_max = 50 }
+
+type counterexample = {
+  name : string;
+  seed : int;
+  case : int;
+  size : int;
+  shrink_steps : int;
+  printed : string;
+  message : string;
+  replay : string;
+}
+
+type result = Passed of { cases : int } | Failed of counterexample
+
+let replay_token ~name ~seed ~case ~size =
+  Printf.sprintf "%s:%d:%d:%d" name seed case size
+
+let parse_replay_token token =
+  (* name:seed:case:size, splitting from the right so names may contain
+     colons. *)
+  match String.rindex_opt token ':' with
+  | None -> None
+  | Some i3 -> (
+      let size = String.sub token (i3 + 1) (String.length token - i3 - 1) in
+      let rest = String.sub token 0 i3 in
+      match String.rindex_opt rest ':' with
+      | None -> None
+      | Some i2 -> (
+          let case = String.sub rest (i2 + 1) (String.length rest - i2 - 1) in
+          let rest = String.sub rest 0 i2 in
+          match String.rindex_opt rest ':' with
+          | None -> None
+          | Some i1 -> (
+              let seed = String.sub rest (i1 + 1) (String.length rest - i1 - 1) in
+              let name = String.sub rest 0 i1 in
+              match
+                (int_of_string_opt seed, int_of_string_opt case, int_of_string_opt size)
+              with
+              | Some seed, Some case, Some size when name <> "" ->
+                  Some (name, seed, case, size)
+              | _ -> None)))
+
+let size_for config i =
+  if config.cases <= 1 then config.size_max
+  else
+    config.size_min
+    + (config.size_max - config.size_min) * i / (config.cases - 1)
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf
+    "@[<v>property %S failed (case %d of seed %d, size %d)@,\
+     counterexample (after %d shrink steps): %s@,\
+     reason: %s@,\
+     replay: PROPTEST_REPLAY='%s' re-runs exactly this case@]"
+    c.name c.case c.seed c.size c.shrink_steps c.printed c.message c.replay
+
+type 'a case_outcome =
+  | Case_pass
+  | Case_fail of { tree : 'a Gen.tree; message : string }
+
+let is_fatal = function
+  | Stack_overflow | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let eval prop x =
+  match prop x with
+  | true -> None
+  | false -> Some "property returned false"
+  | exception e when not (is_fatal e) -> Some ("raised " ^ Printexc.to_string e)
+
+let run_case gen prop ~seed ~case ~size =
+  let rng = Rng.of_seed_case ~seed ~case in
+  let tree = gen ~size rng in
+  match eval prop (Gen.root tree) with
+  | None -> Case_pass
+  | Some message -> Case_fail { tree; message }
+
+let shrink ~max_shrinks prop tree ~message =
+  let rec descend tree steps message =
+    if steps >= max_shrinks then (Gen.root tree, steps, message)
+    else
+      let failing =
+        Seq.find_map
+          (fun c ->
+            match eval prop (Gen.root c) with
+            | Some m -> Some (c, m)
+            | None -> None)
+          (Gen.children tree)
+      in
+      match failing with
+      | Some (c, m) -> descend c (steps + 1) m
+      | None -> (Gen.root tree, steps, message)
+  in
+  descend tree 0 message
+
+let counterexample_of ~config ~name ~print ~case ~size prop tree message =
+  let minimal, steps, message = shrink ~max_shrinks:config.max_shrinks prop tree ~message in
+  {
+    name;
+    seed = config.seed;
+    case;
+    size;
+    shrink_steps = steps;
+    printed = print minimal;
+    message;
+    replay = replay_token ~name ~seed:config.seed ~case ~size;
+  }
+
+let replay_request name =
+  match Sys.getenv_opt "PROPTEST_REPLAY" with
+  | None -> None
+  | Some token -> (
+      match parse_replay_token token with
+      | Some (n, seed, case, size) when String.equal n name -> Some (seed, case, size)
+      | _ -> None)
+
+let check ?(config = default_config) ~name ~print gen prop =
+  match replay_request name with
+  | Some (seed, case, size) -> (
+      let config = { config with seed } in
+      match run_case gen prop ~seed ~case ~size with
+      | Case_pass -> Passed { cases = 1 }
+      | Case_fail { tree; message } ->
+          Failed (counterexample_of ~config ~name ~print ~case ~size prop tree message))
+  | None ->
+      let rec go case =
+        if case >= config.cases then Passed { cases = config.cases }
+        else
+          let size = size_for config case in
+          match run_case gen prop ~seed:config.seed ~case ~size with
+          | Case_pass -> go (case + 1)
+          | Case_fail { tree; message } ->
+              Failed (counterexample_of ~config ~name ~print ~case ~size prop tree message)
+      in
+      go 0
+
+let check_exn ?config ~name ~print gen prop =
+  match check ?config ~name ~print gen prop with
+  | Passed _ -> ()
+  | Failed c -> failwith (Format.asprintf "%a" pp_counterexample c)

@@ -122,14 +122,20 @@ let test_subgraph_dedup () =
   check_int "deduplicated" 2 (Graph.n emb.Subgraph.graph);
   check_int "edge kept" 1 (Graph.m emb.Subgraph.graph)
 
-let grid_gen =
-  QCheck2.Gen.(
-    map2
-      (fun rows cols -> Topology.Grid2d.create Topology.Grid2d.Simple ~rows ~cols)
-      (int_range 2 8) (int_range 2 8))
+let grid_gen = Proptest.Domain_gen.simple_grid ~rows:(2, 8) ~cols:(2, 8)
+
+let print_grid grid =
+  Printf.sprintf "simple grid %dx%d" (Topology.Grid2d.rows grid)
+    (Topology.Grid2d.cols grid)
+
+let config = { Proptest.Runner.default_config with seed = 0xBF5; cases = 50 }
+
+let prop name p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn ~config ~name ~print:print_grid grid_gen p)
 
 let prop_grid_distance_is_l1 =
-  QCheck2.Test.make ~name:"simple grid distance = L1" ~count:50 grid_gen (fun grid ->
+  prop "simple grid distance = L1" (fun grid ->
       let g = Topology.Grid2d.graph grid in
       let v0 = 0 in
       let d = Bfs.distances_from g [ v0 ] in
@@ -138,12 +144,10 @@ let prop_grid_distance_is_l1 =
           acc && d.(v) = r + c))
 
 let prop_ball_monotone =
-  QCheck2.Test.make ~name:"balls grow with radius" ~count:50 grid_gen (fun grid ->
+  prop "balls grow with radius" (fun grid ->
       let g = Topology.Grid2d.graph grid in
       let b1 = Bfs.ball g [ 0 ] 1 and b2 = Bfs.ball g [ 0 ] 2 in
       List.for_all (fun v -> List.mem v b2) b1)
-
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
   Alcotest.run "bfs-and-structure"
@@ -175,5 +179,5 @@ let () =
           Alcotest.test_case "induced" `Quick test_subgraph_induced;
           Alcotest.test_case "dedup" `Quick test_subgraph_dedup;
         ] );
-      ("bfs-properties", qsuite [ prop_grid_distance_is_l1; prop_ball_monotone ]);
+      ("bfs-properties", [ prop_grid_distance_is_l1; prop_ball_monotone ]);
     ]

@@ -85,25 +85,33 @@ let test_is_clique () =
   check_bool "edge is clique" true (Graph.is_clique g [ 0; 3 ]);
   check_bool "singleton" true (Graph.is_clique g [ 2 ])
 
-(* Random graph generator for property tests. *)
-let random_graph_gen =
-  QCheck2.Gen.(
-    bind (int_range 1 40) (fun n ->
-        bind (int_range 0 (n * 3)) (fun m ->
-            let edge = pair (int_range 0 (n - 1)) (int_range 0 (n - 1)) in
-            map
-              (fun pairs ->
-                let edges = List.filter (fun (u, v) -> u <> v) pairs in
-                Graph.create ~n ~edges)
-              (list_size (return m) edge))))
+(* Random graph generator for property tests; a failing graph shrinks
+   by dropping edges and regenerating at smaller node counts. *)
+let random_graph_gen : Graph.t Proptest.Gen.t =
+  let open Proptest.Gen in
+  bind (int_range 1 40) (fun n ->
+      bind (int_range 0 (n * 3)) (fun m ->
+          let endpoint = int_range 0 (n - 1) in
+          map
+            (fun pairs ->
+              let edges = List.filter (fun (u, v) -> u <> v) pairs in
+              Graph.create ~n ~edges)
+            (list_size m (pair endpoint endpoint))))
+
+let config = { Proptest.Runner.default_config with seed = 0x9AF; cases = 200 }
+
+let prop name p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn ~config ~name
+        ~print:Proptest.Domain_gen.print_graph random_graph_gen p)
 
 let prop_degree_sum =
-  QCheck2.Test.make ~name:"sum of degrees = 2m" ~count:200 random_graph_gen (fun g ->
+  prop "sum of degrees = 2m" (fun g ->
       let sum = Graph.fold_nodes g ~init:0 ~f:(fun acc v -> acc + Graph.degree g v) in
       sum = 2 * Graph.m g)
 
 let prop_mem_edge_symmetric =
-  QCheck2.Test.make ~name:"mem_edge symmetric" ~count:200 random_graph_gen (fun g ->
+  prop "mem_edge symmetric" (fun g ->
       Graph.fold_nodes g ~init:true ~f:(fun acc u ->
           acc
           && Array.for_all
@@ -111,11 +119,11 @@ let prop_mem_edge_symmetric =
                (Graph.neighbors g u)))
 
 let prop_edges_roundtrip =
-  QCheck2.Test.make ~name:"create (edges g) = g" ~count:200 random_graph_gen (fun g ->
+  prop "create (edges g) = g" (fun g ->
       Graph.equal g (Graph.create ~n:(Graph.n g) ~edges:(Graph.edges g)))
 
 let prop_max_degree =
-  QCheck2.Test.make ~name:"max_degree is the max" ~count:200 random_graph_gen (fun g ->
+  prop "max_degree is the max" (fun g ->
       let manual = Graph.fold_nodes g ~init:0 ~f:(fun acc v -> max acc (Graph.degree g v)) in
       manual = Graph.max_degree g)
 
@@ -169,8 +177,6 @@ let test_dyn_graph_growth () =
   check_int "n" 100 (Dyn_graph.n d);
   check_int "snapshot m" 99 (Graph.m (Dyn_graph.snapshot d))
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
-
 let () =
   Alcotest.run "grid_graph"
     [
@@ -191,7 +197,7 @@ let () =
           Alcotest.test_case "is_clique" `Quick test_is_clique;
         ] );
       ( "graph-properties",
-        qsuite [ prop_degree_sum; prop_mem_edge_symmetric; prop_edges_roundtrip; prop_max_degree ] );
+        [ prop_degree_sum; prop_mem_edge_symmetric; prop_edges_roundtrip; prop_max_degree ] );
       ( "union-find",
         [
           Alcotest.test_case "union find" `Quick test_union_find;

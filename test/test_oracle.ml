@@ -86,28 +86,14 @@ let liuc_check graph ~ell ~parts fragment =
       | Some w -> if w <> restricted then ok := false);
   (!witness <> None, !ok)
 
+(* The frontier-expansion sampler now lives in Proptest.Domain_gen
+   (seeded by the engine's one splittable source); [seed] keeps the
+   per-iteration independence the old ad-hoc Random.State gave. *)
 let random_connected_fragment graph ~seed ~size =
-  let state = Random.State.make [| seed |] in
-  let start = Random.State.int state (Graph.n graph) in
-  let visited = Hashtbl.create 16 in
-  Hashtbl.replace visited start ();
-  let frontier = ref [ start ] in
-  for _ = 2 to size do
-    let candidates =
-      List.concat_map
-        (fun v ->
-          Array.to_list (Graph.neighbors graph v)
-          |> List.filter (fun w -> not (Hashtbl.mem visited w)))
-        !frontier
-    in
-    match candidates with
-    | [] -> ()
-    | cs ->
-        let pick = List.nth cs (Random.State.int state (List.length cs)) in
-        Hashtbl.replace visited pick ();
-        frontier := pick :: !frontier
-  done;
-  List.sort compare !frontier
+  Proptest.Gen.generate
+    (Proptest.Domain_gen.connected_fragment graph ~size)
+    ~size:0
+    (Proptest.Rng.of_seed seed)
 
 let test_liuc_triangular_grid () =
   let t = Topology.Tri_grid.create ~side:5 in

@@ -1,0 +1,94 @@
+(* Golden-output tests for Topology.Render on tiny grids. *)
+
+module Grid2d = Topology.Grid2d
+module Render = Topology.Render
+
+let check_string = Alcotest.(check string)
+
+let grid = Grid2d.create Grid2d.Simple ~rows:3 ~cols:4
+
+let test_grid_coloring_total () =
+  (* (row + col) mod 3 stripes. *)
+  let color_of v =
+    let r, c = Grid2d.coords grid v in
+    Some ((r + c) mod 3)
+  in
+  check_string "stripes"
+    "0120\n1201\n2012"
+    (Render.grid_coloring grid color_of)
+
+let test_grid_coloring_partial () =
+  (* Only the middle row colored; everything else renders '.'. *)
+  let color_of v =
+    let r, c = Grid2d.coords grid v in
+    if r = 1 then Some c else None
+  in
+  check_string "partial"
+    "....\n0123\n...."
+    (Render.grid_coloring grid color_of)
+
+let test_grid_coloring_glyphs_and_overflow () =
+  (* Custom glyphs; a color past the glyph table renders '?'. *)
+  let color_of v =
+    let r, c = Grid2d.coords grid v in
+    if r = 0 then Some c else None
+  in
+  check_string "glyphs"
+    "ab??\n....\n...."
+    (Render.grid_coloring ~glyphs:"ab" grid color_of)
+
+let test_grid_coloring_canonical () =
+  (* The canonical 3-coloring of a simple grid renders properly: no two
+     horizontally or vertically adjacent glyphs equal. *)
+  let coloring = Grid2d.canonical_3_coloring grid in
+  let s = Render.grid_coloring grid (fun v -> Some coloring.(v)) in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "3 lines" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      String.iteri
+        (fun i ch -> if i > 0 then Alcotest.(check bool) "row-adjacent differ" true (ch <> line.[i - 1]))
+        line)
+    lines;
+  List.iteri
+    (fun r line ->
+      if r > 0 then
+        let prev = List.nth lines (r - 1) in
+        String.iteri
+          (fun c ch -> Alcotest.(check bool) "col-adjacent differ" true (ch <> prev.[c]))
+          line)
+    lines
+
+let test_region () =
+  (* A window over negative coordinates mixing all three cell states. *)
+  let probe r c =
+    if r = 0 && c = 0 then `Colored 7
+    else if r = c then `Seen
+    else if r < c then `Colored ((r + c) mod 3 |> abs)
+    else `Unseen
+  in
+  check_string "window"
+    "o10\n 71\n  o"
+    (Render.region ~rows:(-1, 1) ~cols:(-1, 1) probe)
+
+let test_region_overflow_glyph () =
+  check_string "two-digit color" "?" (Render.region ~rows:(0, 0) ~cols:(0, 0) (fun _ _ -> `Colored 12))
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "grid_coloring",
+        [
+          Alcotest.test_case "total stripes" `Quick test_grid_coloring_total;
+          Alcotest.test_case "partial" `Quick test_grid_coloring_partial;
+          Alcotest.test_case "glyphs and overflow" `Quick
+            test_grid_coloring_glyphs_and_overflow;
+          Alcotest.test_case "canonical 3-coloring proper" `Quick
+            test_grid_coloring_canonical;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "window" `Quick test_region;
+          Alcotest.test_case "overflow glyph" `Quick test_region_overflow_glyph;
+        ] );
+    ]

@@ -178,7 +178,7 @@ let test_bipartition_oracle_parity () =
    random frames, merges at legal gaps, reflections) always produces a
    transcript that the replay validator accepts. *)
 let honest_random_adversary seed =
-  let state = Random.State.make [| seed |] in
+  let state = Proptest.Rng.to_random_state (Proptest.Rng.of_seed seed) in
   let radius = 1 + Random.State.int state 3 in
   let vg = fresh ~radius () in
   (* Each live frame tracks the row-0 interval it has presented, so gaps
@@ -224,11 +224,15 @@ let honest_random_adversary seed =
   Vg.validate vg
 
 let prop_random_honest_adversary_validates =
-  QCheck2.Test.make ~name:"random honest adversary passes replay validation"
-    ~count:30 QCheck2.Gen.(int_range 0 100_000)
-    (fun seed ->
-      honest_random_adversary seed;
-      true)
+  let name = "random honest adversary passes replay validation" in
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn
+        ~config:{ Proptest.Runner.default_config with seed = 0x76D; cases = 30 }
+        ~name ~print:string_of_int
+        (Proptest.Gen.int_range 0 100_000)
+        (fun seed ->
+          honest_random_adversary seed;
+          true))
 
 let test_reflected_merge_then_connect () =
   (* Merge with reflection, then connect through the gap and re-validate;
@@ -277,6 +281,6 @@ let () =
           Alcotest.test_case "hints follow merges" `Quick test_hints_follow_merges;
           Alcotest.test_case "bipartition oracle" `Quick test_bipartition_oracle_parity;
           Alcotest.test_case "reflected merge then connect" `Quick test_reflected_merge_then_connect;
-          QCheck_alcotest.to_alcotest ~long:false prop_random_honest_adversary_validates;
+          prop_random_honest_adversary_validates;
         ] );
     ]

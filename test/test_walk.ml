@@ -48,35 +48,37 @@ let test_concat () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Walk.concat: endpoints differ")
     (fun () -> ignore (Walk.concat [ 0; 1 ] [ 2; 3 ]))
 
-let walk_gen =
-  (* Random walks on the 6-cycle. *)
-  QCheck2.Gen.(
-    bind (int_range 0 5) (fun start ->
-        bind (int_range 0 12) (fun len ->
-            map
-              (fun steps ->
-                let rec go cur acc = function
-                  | [] -> List.rev acc
-                  | s :: rest ->
-                      let next = (cur + if s then 1 else 5) mod 6 in
-                      go next (next :: acc) rest
-                in
-                go start [ start ] steps)
-              (list_size (return len) bool))))
+let walk_gen : Walk.t Proptest.Gen.t =
+  (* Random walks on the 6-cycle; shrinking a step list yields a
+     shorter walk from the same start. *)
+  let open Proptest.Gen in
+  bind (int_range 0 5) (fun start ->
+      bind (int_range 0 12) (fun len ->
+          map
+            (fun steps ->
+              let rec go cur acc = function
+                | [] -> List.rev acc
+                | s :: rest ->
+                    let next = (cur + if s then 1 else 5) mod 6 in
+                    go next (next :: acc) rest
+              in
+              go start [ start ] steps)
+            (list_size len bool)))
+
+let print_walk w = "[" ^ String.concat ";" (List.map string_of_int w) ^ "]"
+let config = { Proptest.Runner.default_config with seed = 0xA1C; cases = 200 }
+
+let prop name p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn ~config ~name ~print:print_walk walk_gen p)
 
 let prop_arcs_count =
-  QCheck2.Test.make ~name:"|arcs| = length" ~count:200 walk_gen (fun w ->
-      List.length (Walk.arcs w) = Walk.length w)
+  prop "|arcs| = length" (fun w -> List.length (Walk.arcs w) = Walk.length w)
 
 let prop_reverse_involutive =
-  QCheck2.Test.make ~name:"reverse involutive" ~count:200 walk_gen (fun w ->
-      Walk.reverse (Walk.reverse w) = w)
+  prop "reverse involutive" (fun w -> Walk.reverse (Walk.reverse w) = w)
 
-let prop_walks_valid =
-  QCheck2.Test.make ~name:"generator yields walks" ~count:200 walk_gen (fun w ->
-      Walk.is_walk g w)
-
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+let prop_walks_valid = prop "generator yields walks" (fun w -> Walk.is_walk g w)
 
 let () =
   Alcotest.run "walk"
@@ -91,5 +93,5 @@ let () =
           Alcotest.test_case "reverse" `Quick test_reverse;
           Alcotest.test_case "concat" `Quick test_concat;
         ] );
-      ("walk-properties", qsuite [ prop_arcs_count; prop_reverse_involutive; prop_walks_valid ]);
+      ("walk-properties", [ prop_arcs_count; prop_reverse_involutive; prop_walks_valid ]);
     ]
