@@ -9,7 +9,11 @@
                                                    BENCH_sweep_parallel.json)
    dune exec bench/main.exe -- --trace-overhead -- only the E9 overhead
                                                    run (writes
-                                                   BENCH_trace_overhead.json) *)
+                                                   BENCH_trace_overhead.json)
+   dune exec bench/main.exe -- --isolation-overhead
+                                                -- only the E11 fork/pipe
+                                                   overhead run (writes
+                                                   BENCH_isolation_overhead.json) *)
 
 open Bechamel
 open Toolkit
@@ -556,6 +560,114 @@ let fuzz_throughput () =
   write_bench_record "BENCH_fuzz_throughput.json"
     (bench_record ~bench:"fuzz_throughput" ~jobs_axis ~results)
 
+(* --------------- process-isolation overhead (E11) ---------------- *)
+
+(* What one fork/pipe/waitpid round trip costs per sweep cell: the same
+   fixed thm1 cell grid runs under `In_domain and under `Process (at
+   jobs 1 and at the pool default), output byte-identity across all
+   three is asserted (the Sweep isolation contract), and the per-cell
+   premium of `Process over `In_domain at jobs 1 is reported.  Cells
+   are deliberately light (~ms) so the premium is visible rather than
+   drowned in cell cost — this is the worst case for --isolate proc. *)
+
+let isolation_overhead () =
+  let cells () =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun seed ->
+            {
+              Harness.Sweep.key = Printf.sprintf "k=%d seed=%d" k seed;
+              run =
+                (fun () ->
+                  let r =
+                    Thm1_adversary.run ~n_side:(200 + seed) ~k
+                      ~algorithm:(Portfolio.greedy ()) ()
+                  in
+                  Format.asprintf "%a" Thm1_adversary.pp_report r);
+            })
+          [ 0; 1; 2; 3; 4; 5 ])
+      [ 5; 6; 7; 8 ]
+  in
+  let n_cells = List.length (cells ()) in
+  let jobs_axis = [ 1; max 2 (Harness.Pool.default_jobs ()) ] in
+  Format.printf
+    "== E11: process-isolation overhead (thm1 grid, %d light cells) ==@.@."
+    n_cells;
+  let render ~isolation jobs =
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    let t0 = Unix.gettimeofday () in
+    Harness.Sweep.run ~jobs ~isolation ~ppf (cells ());
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Buffer.contents buf)
+  in
+  let runs =
+    [
+      ("in_domain", `In_domain, 1);
+      ("process", `Process, 1);
+      ("process", `Process, List.nth jobs_axis 1);
+    ]
+  in
+  (* Warm-up both backends outside the measurements. *)
+  ignore (render ~isolation:`In_domain 1);
+  ignore (render ~isolation:`Process 1);
+  let measured =
+    List.map
+      (fun (name, isolation, jobs) ->
+        let dt, out = render ~isolation jobs in
+        (name, jobs, dt, out))
+      runs
+  in
+  let base_out =
+    match measured with (_, _, _, out) :: _ -> out | [] -> assert false
+  in
+  List.iter
+    (fun (name, jobs, _, out) ->
+      if not (String.equal out base_out) then
+        failwith
+          (Printf.sprintf
+             "BENCH isolation_overhead: output of %s --jobs %d differs from \
+              in_domain — isolation contract broken"
+             name jobs))
+    measured;
+  let seconds name jobs =
+    let _, _, dt, _ =
+      List.find (fun (n, j, _, _) -> n = name && j = jobs) measured
+    in
+    dt
+  in
+  let dom1 = seconds "in_domain" 1 and proc1 = seconds "process" 1 in
+  let per_cell_us = (proc1 -. dom1) /. float_of_int n_cells *. 1e6 in
+  Format.printf "%-12s %-8s %-12s@." "isolation" "jobs" "seconds";
+  List.iter
+    (fun (name, jobs, dt, _) -> Format.printf "%-12s %-8d %-12.3f@." name jobs dt)
+    measured;
+  Format.printf "@.per-cell fork/pipe premium at jobs 1: %+.0f us@." per_cell_us;
+  let results =
+    Obs.Json.Obj
+      [
+        ( "grid",
+          Obs.Json.String "thm1 k=5..8 side=200..205 algo=greedy, light cells" );
+        ("cells", Obs.Json.Int n_cells);
+        ("identical_output", Obs.Json.Bool true);
+        ("per_cell_premium_us", Obs.Json.Float per_cell_us);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (name, jobs, dt, _) ->
+                 Obs.Json.Obj
+                   [
+                     ("isolation", Obs.Json.String name);
+                     ("jobs", Obs.Json.Int jobs);
+                     ("seconds", Obs.Json.Float dt);
+                   ])
+               measured) );
+      ]
+  in
+  write_bench_record "BENCH_isolation_overhead.json"
+    (bench_record ~bench:"isolation_overhead" ~jobs_axis ~results)
+
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
@@ -563,6 +675,8 @@ let () =
     trace_overhead ()
   else if Array.exists (String.equal "--fuzz-throughput") Sys.argv then
     fuzz_throughput ()
+  else if Array.exists (String.equal "--isolation-overhead") Sys.argv then
+    isolation_overhead ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();

@@ -9,10 +9,19 @@
      dune exec bin/fuzz.exe -- --seed 7 --cases 500 --jobs 4
      dune exec bin/fuzz.exe -- --targets thm1-game,bvalue-cancel
      dune exec bin/fuzz.exe -- --replay 'demo-bug:24301:3:12'
+     dune exec bin/fuzz.exe -- --isolate proc --retries 1
 
    Stdout is byte-identical for a fixed (seed, cases, targets) whatever
-   --jobs is and however often it is re-run; shrunk repro files land in
-   the corpus directory.  Exit 1 when any target fails. *)
+   --jobs or --isolate is and however often it is re-run; shrunk repro
+   files land in the corpus directory.  Exit 1 when any target fails.
+
+   With --isolate proc each target runs inside a supervised child
+   process (Harness.Supervisor): a target that segfaults, OOMs or hangs
+   is killed and retried instead of taking the whole harness down, and
+   is reported as "<target>: ERROR (...)" once quarantined.  Targets
+   then parallelize across processes (--jobs), cases within one target
+   run serially — even "serial" targets are safe to run concurrently in
+   this mode because each owns its process-global state. *)
 
 open Cmdliner
 module FT = Proptest.Fuzz_targets
@@ -36,32 +45,51 @@ let status_line (r : FR.report) =
       Printf.sprintf "%s: FAIL (case %d, size %d, %d shrinks)" r.target.FT.name
         c.Runner.case c.Runner.size c.Runner.shrink_steps
 
-let print_report ppf (r : FR.report) =
-  Format.fprintf ppf "%s@." (status_line r);
+(* Everything the parent needs from a finished target, reduced to plain
+   strings/bools so a supervised child can Marshal it over the result
+   pipe (a full FR.report holds the target record, hence closures). *)
+type rendered = {
+  line : string;  (** the one-line status *)
+  extra : string;  (** counterexample + replay hint after the line, or "" *)
+  repro : string option;  (** contents for corpus/<target>.repro *)
+  failed : bool;
+}
+
+let render_report (r : FR.report) =
+  let line = status_line r in
   match r.status with
   | FR.Failed c ->
-      Format.fprintf ppf "  %a@." Runner.pp_counterexample c;
-      Format.fprintf ppf "  replay: dune exec bin/fuzz.exe -- --replay '%s'@."
-        c.Runner.replay
-  | _ -> ()
+      let pp = Format.asprintf "%a" Runner.pp_counterexample c in
+      let replay =
+        Printf.sprintf "replay: dune exec bin/fuzz.exe -- --replay '%s'"
+          c.Runner.replay
+      in
+      {
+        line;
+        extra = Printf.sprintf "  %s\n  %s\n" pp replay;
+        repro = Some (Printf.sprintf "%s\n%s\n" pp replay);
+        failed = true;
+      }
+  | _ -> { line; extra = ""; repro = None; failed = false }
 
-let write_corpus ~corpus reports =
+let print_rendered ppf r =
+  Format.fprintf ppf "%s@." r.line;
+  if r.extra <> "" then Format.fprintf ppf "%s@?" r.extra
+
+let write_corpus ~corpus rendered =
   mkdir_p corpus;
   let summary = Buffer.create 256 in
   List.iter
-    (fun (r : FR.report) ->
-      Buffer.add_string summary (status_line r);
+    (fun (name, r) ->
+      Buffer.add_string summary r.line;
       Buffer.add_char summary '\n';
-      match r.status with
-      | FR.Failed c ->
-          let path = Filename.concat corpus (r.target.FT.name ^ ".repro") in
-          Out_channel.with_open_bin path (fun oc ->
-              Printf.fprintf oc "%s\n"
-                (Format.asprintf "%a" Runner.pp_counterexample c);
-              Printf.fprintf oc "replay: dune exec bin/fuzz.exe -- --replay '%s'\n"
-                c.Runner.replay)
-      | _ -> ())
-    reports;
+      match r.repro with
+      | Some contents ->
+          Out_channel.with_open_bin
+            (Filename.concat corpus (name ^ ".repro"))
+            (fun oc -> Out_channel.output_string oc contents)
+      | None -> ())
+    rendered;
   Out_channel.with_open_bin
     (Filename.concat corpus "SUMMARY.txt")
     (fun oc -> Out_channel.output_string oc (Buffer.contents summary))
@@ -91,10 +119,52 @@ let run_replay token =
       Format.eprintf "fuzz: %s@." msg;
       2
   | Ok r ->
-      print_report Format.std_formatter r;
+      print_rendered Format.std_formatter (render_report r);
       (match r.FR.status with FR.Failed _ -> 1 | _ -> 0)
 
-let run seed cases targets jobs corpus list replay trace metrics =
+(* --isolate proc: one supervised child per target.  Cases inside a
+   target run serially (jobs:1) — process-level parallelism across
+   targets replaces domain-level parallelism within one.  An abnormal
+   child death (crash, kill, hang) is retried by the supervisor and, once
+   quarantined, reported as a failing ERROR line rather than aborting the
+   harness. *)
+let run_supervised ~config ~(exec : Obs_cli.exec) targets =
+  let targets = Array.of_list targets in
+  let results = Array.make (Array.length targets) None in
+  Harness.Supervisor.run ~config:exec.Obs_cli.supervisor
+    ~jobs:exec.Obs_cli.jobs ~tasks:(Array.length targets)
+    ~key:(fun i -> targets.(i).FT.name)
+    ~work:(fun i ->
+      Marshal.to_string (render_report (FR.run_target ~jobs:1 ~config targets.(i))) [])
+    ~consume:(fun i outcome ->
+      let name = targets.(i).FT.name in
+      let r =
+        match outcome with
+        | Harness.Supervisor.Done s -> (Marshal.from_string s 0 : rendered)
+        | Harness.Supervisor.Failed msg ->
+            {
+              line = Printf.sprintf "%s: ERROR (%s)" name msg;
+              extra = "";
+              repro = None;
+              failed = true;
+            }
+        | Harness.Supervisor.Quarantined q ->
+            {
+              line =
+                Printf.sprintf "%s: ERROR (%s)" name
+                  (Harness.Supervisor.quarantine_to_string q);
+              extra = "";
+              repro = None;
+              failed = true;
+            }
+      in
+      print_rendered Format.std_formatter r;
+      results.(i) <- Some (name, r))
+    ();
+  Array.to_list results |> List.filter_map Fun.id
+
+let run seed cases targets (exec : Obs_cli.exec) corpus list replay trace metrics
+    =
   if list then list_targets ()
   else
     match replay with
@@ -109,21 +179,22 @@ let run seed cases targets jobs corpus list replay trace metrics =
             let config = { Runner.default_config with Runner.seed; cases } in
             Format.printf "fuzz seed=%d cases=%d targets=%d@." seed cases
               (List.length targets);
-            let reports =
-              List.map
-                (fun t ->
-                  let r = FR.run_target ~jobs ~config t in
-                  print_report Format.std_formatter r;
-                  r)
-                targets
+            let rendered =
+              match exec.Obs_cli.isolation with
+              | `In_domain ->
+                  List.map
+                    (fun t ->
+                      let r =
+                        render_report
+                          (FR.run_target ~jobs:exec.Obs_cli.jobs ~config t)
+                      in
+                      print_rendered Format.std_formatter r;
+                      (t.FT.name, r))
+                    targets
+              | `Process -> run_supervised ~config ~exec targets
             in
-            write_corpus ~corpus reports;
-            let failed =
-              List.exists
-                (fun r -> match r.FR.status with FR.Failed _ -> true | _ -> false)
-                reports
-            in
-            if failed then 1 else 0)
+            write_corpus ~corpus rendered;
+            if List.exists (fun (_, r) -> r.failed) rendered then 1 else 0)
 
 let seed =
   Arg.(
@@ -146,15 +217,6 @@ let targets =
     & opt (some string) None
     & info [ "targets" ] ~docv:"a,b,c"
         ~doc:"Comma-separated target names (default: all except demo-bug).")
-
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:
-          "Worker domains (default: available cores, capped at 8). Output is \
-           byte-identical at every jobs count; serial targets ignore it.")
 
 let corpus =
   Arg.(
@@ -179,7 +241,7 @@ let cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Differential fuzz harness over games, colorings and sweeps")
     Term.(
-      const run $ seed $ cases $ targets $ jobs $ corpus $ list $ replay
-      $ Obs_cli.trace $ Obs_cli.metrics)
+      const run $ seed $ cases $ targets $ Obs_cli.exec_term $ corpus $ list
+      $ replay $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

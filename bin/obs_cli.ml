@@ -1,9 +1,18 @@
-(* Shared --trace/--metrics plumbing for the sweep and repro binaries.
+(* Shared flag plumbing for the sweep, repro, and fuzz binaries.
 
-   Every binary in this directory exposes the same two flags:
+   Every binary in this directory exposes the same observability flags:
 
      --trace FILE   stream NDJSON trace events to FILE
      --metrics      print the merged metrics registry after the run
+
+   and the same execution-backend flags, parsed and validated here so
+   "--jobs 0" fails identically everywhere, naming the flag:
+
+     --jobs N             worker domains (in-domain) / children (proc)
+     --isolate MODE       domain (default) | proc
+     --retries N          proc mode: extra attempts per crashed cell
+     --kill-grace-ms MS   proc mode: SIGTERM -> SIGKILL escalation gap
+     --cell-timeout-ms MS proc mode: per-attempt wall-clock watchdog
 
    The metrics dump goes to stdout *after* the run's own output, so the
    CI determinism check can diff the whole stream (results + registry)
@@ -27,6 +36,96 @@ let metrics =
         ~doc:
           "Print the merged metrics registry on stdout after the run. \
            Totals are identical at every --jobs count.")
+
+(* ----------------------- execution-backend flags ----------------------- *)
+
+let int_at_least lo what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= lo -> Ok n
+    | Some n ->
+        Error
+          (`Msg (Printf.sprintf "expected %s, got %d" what n))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "expected %s, got %s" what (String.escaped s)))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_int = int_at_least 1 "a positive integer"
+let non_negative_int = int_at_least 0 "a non-negative integer"
+
+let jobs =
+  Arg.(
+    value
+    & opt positive_int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Workers: domains under --isolate domain, child processes under \
+           --isolate proc (default: available cores, capped at 8).  Output \
+           bytes never depend on $(docv).")
+
+let isolate =
+  Arg.(
+    value
+    & opt (enum [ ("domain", `In_domain); ("proc", `Process) ]) `In_domain
+    & info [ "isolate" ] ~docv:"MODE"
+        ~doc:
+          "Cell isolation: $(b,domain) runs cells on worker domains in this \
+           process; $(b,proc) forks each cell into a supervised child \
+           process that survives kills, retries crashed cells with seeded \
+           backoff, and quarantines crash-looping ones.")
+
+let retries =
+  Arg.(
+    value
+    & opt non_negative_int Harness.Supervisor.default_config.Harness.Supervisor.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "With --isolate proc: extra attempts after a cell's worker dies \
+           abnormally, before the cell is quarantined.  0 disables \
+           retrying.")
+
+let kill_grace_ms =
+  Arg.(
+    value
+    & opt positive_int 500
+    & info [ "kill-grace-ms" ] ~docv:"MS"
+        ~doc:
+          "With --isolate proc: how long a timed-out child gets between \
+           SIGTERM and the SIGKILL escalation.")
+
+let cell_timeout_ms =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "cell-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "With --isolate proc: per-attempt wall-clock watchdog; a cell \
+           exceeding it is killed and certified unresponsive.  Unset: no \
+           watchdog.")
+
+type exec = {
+  jobs : int;
+  isolation : Harness.Sweep.isolation;
+  supervisor : Harness.Supervisor.config;
+}
+
+let exec_term =
+  let make jobs isolation retries kill_grace_ms cell_timeout_ms =
+    {
+      jobs;
+      isolation;
+      supervisor =
+        {
+          Harness.Supervisor.default_config with
+          Harness.Supervisor.retries;
+          kill_grace = float_of_int kill_grace_ms /. 1000.;
+          timeout = Option.map (fun ms -> float_of_int ms /. 1000.) cell_timeout_ms;
+        };
+    }
+  in
+  Term.(const make $ jobs $ isolate $ retries $ kill_grace_ms $ cell_timeout_ms)
 
 let with_observability ~program ~trace:trace_path ~metrics:want_metrics f =
   if want_metrics then Harness.Metrics.enable ();

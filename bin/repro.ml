@@ -5,9 +5,11 @@
    dune exec bin/repro.exe -- --jobs 4   -- render drivers on 4 domains
                                          (output is byte-identical) *)
 
-let run quick jobs trace metrics =
+let run quick exec trace metrics =
   Obs_cli.with_observability ~program:"repro" ~trace ~metrics @@ fun () ->
-  Experiments.run_all ~quick ~jobs Format.std_formatter;
+  Experiments.run_all ~quick ~jobs:exec.Obs_cli.jobs
+    ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+    Format.std_formatter;
   Format.printf "@.";
   0
 
@@ -16,18 +18,9 @@ open Cmdliner
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shrink parameter ranges to bench sizes.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:
-          "Worker domains to render experiment drivers on (default: available \
-           cores, capped at 8).  Output does not depend on this.")
-
 let cmd =
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce all experiments of the paper")
-    Term.(const run $ quick $ jobs $ Obs_cli.trace $ Obs_cli.metrics)
+    Term.(const run $ quick $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

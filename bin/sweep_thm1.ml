@@ -36,7 +36,7 @@ let cell ~t ~k ~side ~algo_name ~validate =
           (Thm1_adversary.recommended_k ~n_side:side ~t));
   }
 
-let run ts ks sides algos validate checkpoint resume jobs trace metrics =
+let run ts ks sides algos validate checkpoint resume exec trace metrics =
   let cells =
     List.concat_map
       (fun t ->
@@ -52,7 +52,11 @@ let run ts ks sides algos validate checkpoint resume jobs trace metrics =
       (Harness.Sweep.int_axis ~flag:"-t" ts)
   in
   Obs_cli.with_observability ~program:"sweep_thm1" ~trace ~metrics @@ fun () ->
-  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
+  match
+    Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
+      ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+      ~ppf:Format.std_formatter cells
+  with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -82,18 +86,11 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:"Worker domains (default: available cores, capped at 8).")
-
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
     Term.(
-      const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume $ jobs
-      $ Obs_cli.trace $ Obs_cli.metrics)
+      const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume
+      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,7 +22,7 @@ let cell ~side ~wrap_name ~algo_label ~algorithm =
           Thm2_adversary.pp_report r);
   }
 
-let run sides wraps checkpoint resume jobs trace metrics =
+let run sides wraps checkpoint resume exec trace metrics =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
   in
@@ -38,7 +38,11 @@ let run sides wraps checkpoint resume jobs trace metrics =
       (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
   in
   Obs_cli.with_observability ~program:"sweep_thm2" ~trace ~metrics @@ fun () ->
-  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
+  match
+    Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
+      ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+      ~ppf:Format.std_formatter cells
+  with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -59,18 +63,11 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:"Worker domains (default: available cores, capped at 8).")
-
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep")
     Term.(
-      const run $ sides $ wraps $ checkpoint $ resume $ jobs
+      const run $ sides $ wraps $ checkpoint $ resume $ Obs_cli.exec_term
       $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

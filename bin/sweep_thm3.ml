@@ -16,7 +16,7 @@ let cell ~k ~gadgets ~algo_label ~algorithm =
           (gadgets * k * k) algo_label Thm3_adversary.pp_report r);
   }
 
-let run ks gadget_counts checkpoint resume jobs trace metrics =
+let run ks gadget_counts checkpoint resume exec trace metrics =
   let algorithms =
     [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
   in
@@ -32,7 +32,11 @@ let run ks gadget_counts checkpoint resume jobs trace metrics =
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
   Obs_cli.with_observability ~program:"sweep_thm3" ~trace ~metrics @@ fun () ->
-  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
+  match
+    Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
+      ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+      ~ppf:Format.std_formatter cells
+  with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -52,18 +56,11 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:"Worker domains (default: available cores, capped at 8).")
-
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
     Term.(
-      const run $ ks $ gadget_counts $ checkpoint $ resume $ jobs
+      const run $ ks $ gadget_counts $ checkpoint $ resume $ Obs_cli.exec_term
       $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

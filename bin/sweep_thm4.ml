@@ -47,7 +47,7 @@ let cell host_name ~size ~seeds =
   in
   { Harness.Sweep.key; run }
 
-let run host_name sides ns seeds checkpoint resume jobs trace metrics =
+let run host_name sides ns seeds checkpoint resume exec trace metrics =
   let seeds = List.init seeds (fun i -> i + 1) in
   (* grid/tri scale by side, ktree by node count. *)
   let sizes =
@@ -56,7 +56,11 @@ let run host_name sides ns seeds checkpoint resume jobs trace metrics =
   in
   let cells = List.map (fun size -> cell host_name ~size ~seeds) sizes in
   Obs_cli.with_observability ~program:"sweep_thm4" ~trace ~metrics @@ fun () ->
-  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
+  match
+    Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
+      ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+      ~ppf:Format.std_formatter cells
+  with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -79,18 +83,11 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:"Worker domains (default: available cores, capped at 8).")
-
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm4" ~doc:"Theorem 4 locality scaling sweep")
     Term.(
-      const run $ host $ sides $ ns $ seeds $ checkpoint $ resume $ jobs
-      $ Obs_cli.trace $ Obs_cli.metrics)
+      const run $ host $ sides $ ns $ seeds $ checkpoint $ resume
+      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

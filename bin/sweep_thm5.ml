@@ -31,7 +31,7 @@ let cell ~k ~base_side ~t =
           (Models.Run_stats.succeeded outcome ~colors:(k + 1) ~host));
   }
 
-let run ks base_sides ts checkpoint resume jobs trace metrics =
+let run ks base_sides ts checkpoint resume exec trace metrics =
   let cells =
     List.concat_map
       (fun k ->
@@ -44,7 +44,11 @@ let run ks base_sides ts checkpoint resume jobs trace metrics =
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
   Obs_cli.with_observability ~program:"sweep_thm5" ~trace ~metrics @@ fun () ->
-  match Harness.Sweep.run ~resume ?checkpoint ~jobs ~ppf:Format.std_formatter cells with
+  match
+    Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
+      ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
+      ~ppf:Format.std_formatter cells
+  with
   | () -> 0
   | exception Harness.Sweep.Interrupted ->
       Format.eprintf "interrupted; finished cells are checkpointed@.";
@@ -66,18 +70,11 @@ let checkpoint =
 let resume =
   Arg.(value & flag & info [ "resume" ] ~doc:"Replay cells already in the checkpoint.")
 
-let jobs =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs" ]
-        ~doc:"Worker domains (default: available cores, capped at 8).")
-
 let cmd =
   Cmd.v
     (Cmd.info "sweep_thm5" ~doc:"Theorem 5 reduction sweep")
     Term.(
-      const run $ ks $ base_sides $ ts $ checkpoint $ resume $ jobs
+      const run $ ks $ base_sides $ ts $ checkpoint $ resume $ Obs_cli.exec_term
       $ Obs_cli.trace $ Obs_cli.metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -122,6 +122,14 @@ let report path =
   let ckpt_flushes = ref 0 in
   let ckpt_bytes = ref 0 in
   let color_calls = ref 0 in
+  let child_spawns = ref 0 in
+  let child_heartbeats = ref 0 in
+  let child_cpu_user = ref 0. in
+  let child_cpu_sys = ref 0. in
+  let exit_statuses = Hashtbl.create 4 in  (* "exit:0"/"signal:SIGKILL" -> count *)
+  let kill_signals = Hashtbl.create 4 in  (* "sigterm"/"sigkill" -> count *)
+  let retries = Hashtbl.create 4 in  (* cell key -> retry count *)
+  let quarantined = ref [] in  (* (key, attempts, reason), reverse order *)
   List.iter
     (fun r ->
       let w = worker r.T.w in
@@ -192,7 +200,17 @@ let report path =
       | T.Audit { executor; ok; _ } ->
           count (if ok then audit_ok else audit_fail) executor 1
       | T.Fault_injected { tag; _ } -> count fault_tags tag 1
-      | T.Misbehavior { label; _ } -> count misbehaviors label 1)
+      | T.Misbehavior { label; _ } -> count misbehaviors label 1
+      | T.Child_spawn _ -> incr child_spawns
+      | T.Child_heartbeat _ -> incr child_heartbeats
+      | T.Child_kill { signal; _ } -> count kill_signals signal 1
+      | T.Child_exit { status; cpu_user; cpu_sys; _ } ->
+          count exit_statuses status 1;
+          child_cpu_user := !child_cpu_user +. cpu_user;
+          child_cpu_sys := !child_cpu_sys +. cpu_sys
+      | T.Cell_retry { key; _ } -> count retries key 1
+      | T.Cell_quarantined { key; attempts; reason } ->
+          quarantined := (key, attempts, reason) :: !quarantined)
     records;
   let ppf = Format.std_formatter in
   Format.fprintf ppf "trace %s: program %s, format v%d@." path program version;
@@ -213,6 +231,34 @@ let report path =
     |> List.sort compare
     |> List.iter (fun (w, st) ->
            Format.fprintf ppf "  w%-3d %3d cells, busy %.3fs@." w st.cells st.busy)
+  end;
+  if !child_spawns > 0 then begin
+    Format.fprintf ppf "@.supervisor (process isolation)@.";
+    Format.fprintf ppf "  children spawned   %d@." !child_spawns;
+    List.iter
+      (fun (status, n) -> Format.fprintf ppf "  reaped %-12s %d@." status n)
+      (sorted_counts exit_statuses);
+    List.iter
+      (fun (signal, n) -> Format.fprintf ppf "  watchdog %-10s %d@." signal n)
+      (sorted_counts kill_signals);
+    let total_retries =
+      Hashtbl.fold (fun _ r acc -> acc + !r) retries 0
+    in
+    if total_retries > 0 then begin
+      Format.fprintf ppf "  retries            %d@." total_retries;
+      List.iter
+        (fun (key, n) -> Format.fprintf ppf "    %-40s %d@." key n)
+        (sorted_counts retries)
+    end;
+    List.iter
+      (fun (key, attempts, reason) ->
+        Format.fprintf ppf "  quarantined %s after %d attempts (%s)@." key
+          attempts reason)
+      (List.rev !quarantined);
+    if !child_heartbeats > 0 then
+      Format.fprintf ppf "  heartbeats         %d@." !child_heartbeats;
+    Format.fprintf ppf "  child cpu          %.3fs user, %.3fs sys@."
+      !child_cpu_user !child_cpu_sys
   end;
   if Hashtbl.length adversaries > 0 then begin
     Format.fprintf ppf "@.games by adversary@.";

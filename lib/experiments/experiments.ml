@@ -450,24 +450,56 @@ let drivers : (?quick:bool -> Format.formatter -> unit) list =
     e7_fault_matrix;
   ]
 
-let run_all ?(quick = false) ?(jobs = 1) ppf =
-  if jobs <= 1 then
-    List.iter
-      (fun (driver : ?quick:bool -> Format.formatter -> unit) ->
-        driver ~quick ppf)
-      drivers
-  else begin
-    (* Each driver renders into its own buffer on a pool worker; buffers
-       are concatenated in driver order, so the output is byte-identical
-       to the sequential run at any jobs count. *)
-    let drivers = Array.of_list drivers in
-    Harness.Pool.run ~jobs ~tasks:(Array.length drivers)
-      ~work:(fun i ->
-        let buf = Buffer.create 4096 in
-        let bppf = Format.formatter_of_buffer buf in
-        drivers.(i) ~quick bppf;
-        Format.pp_print_flush bppf ();
-        Buffer.contents buf)
-      ~consume:(fun _ rendered -> Format.pp_print_string ppf rendered);
-    Format.pp_print_flush ppf ()
-  end
+let driver_names =
+  [ "e6-lemmas"; "e1-grid"; "e2-torus"; "e3-gadget"; "e4-upper"; "e5-reduction";
+    "e7-faults" ]
+
+let run_all ?(quick = false) ?(jobs = 1) ?(isolation = `In_domain) ?supervisor
+    ppf =
+  let render_driver (driver : ?quick:bool -> Format.formatter -> unit) =
+    let buf = Buffer.create 4096 in
+    let bppf = Format.formatter_of_buffer buf in
+    driver ~quick bppf;
+    Format.pp_print_flush bppf ();
+    Buffer.contents buf
+  in
+  match isolation with
+  | `Process ->
+      (* Each driver renders in a supervised child; like the in-domain
+         parallel path below, buffers are delivered in driver order so the
+         output is byte-identical at any jobs count.  A driver that raises
+         or is quarantined aborts the repro — tables must be whole. *)
+      let drivers = Array.of_list drivers in
+      let names = Array.of_list driver_names in
+      Harness.Supervisor.run ?config:supervisor ~jobs
+        ~tasks:(Array.length drivers)
+        ~key:(fun i -> names.(i))
+        ~work:(fun i -> render_driver drivers.(i))
+        ~consume:(fun i outcome ->
+          match outcome with
+          | Harness.Supervisor.Done rendered ->
+              Format.pp_print_string ppf rendered
+          | Harness.Supervisor.Failed msg ->
+              failwith (Printf.sprintf "driver %s failed: %s" names.(i) msg)
+          | Harness.Supervisor.Quarantined q ->
+              failwith
+                (Printf.sprintf "driver %s: %s" names.(i)
+                   (Harness.Supervisor.quarantine_to_string q)))
+        ();
+      Format.pp_print_flush ppf ()
+  | `In_domain ->
+      if jobs <= 1 then
+        List.iter
+          (fun (driver : ?quick:bool -> Format.formatter -> unit) ->
+            driver ~quick ppf)
+          drivers
+      else begin
+        (* Each driver renders into its own buffer on a pool worker; buffers
+           are concatenated in driver order, so the output is byte-identical
+           to the sequential run at any jobs count. *)
+        let drivers = Array.of_list drivers in
+        Harness.Pool.run ~jobs ~tasks:(Array.length drivers)
+          ~work:(fun i -> render_driver drivers.(i))
+          ~consume:(fun _ rendered -> Format.pp_print_string ppf rendered);
+        Format.pp_print_flush ppf ()
+      end

@@ -52,11 +52,23 @@ val e7_fault_matrix : ?quick:bool -> Format.formatter -> unit
     Theorem 4 algorithm).  No fault class aborts the sweep: every cell
     degrades to a typed verdict. *)
 
-val run_all : ?quick:bool -> ?jobs:int -> Format.formatter -> unit
+val run_all :
+  ?quick:bool ->
+  ?jobs:int ->
+  ?isolation:Harness.Sweep.isolation ->
+  ?supervisor:Harness.Supervisor.config ->
+  Format.formatter ->
+  unit
 (** All of the above, in order.  With [jobs > 1] the drivers render
     concurrently on a {!Harness.Pool} (each into a private buffer) and
     the buffers are printed in driver order — output is byte-identical
-    to the sequential run.  One caveat: E7's 10-second wall-clock
-    deadline is measured per game, so extreme oversubscription could in
-    principle push a game past it; the E7 games finish in milliseconds,
-    leaving orders of magnitude of slack. *)
+    to the sequential run.  With [~isolation:`Process] each driver
+    instead renders inside a supervised child process
+    ({!Harness.Supervisor}, tuned by [?supervisor]); output is still
+    byte-identical, and a driver whose child dies abnormally is retried,
+    then — unlike a sweep cell — aborts the repro with [Failure]
+    (partial experiment tables are worse than no tables).  One caveat:
+    E7's 10-second wall-clock deadline is measured per game, so extreme
+    oversubscription could in principle push a game past it; the E7
+    games finish in milliseconds, leaving orders of magnitude of
+    slack. *)

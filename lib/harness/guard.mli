@@ -24,6 +24,19 @@
     reach the sweep checkpointer).  Everything else becomes a
     {!Misbehavior.Raised} with its backtrace.
 
+    {b Blocking thunks — a known limitation.}  The deadline is {e
+    polled}: it is only checked at color calls and every 256th {!tick}.
+    A guarded thunk that blocks without ever ticking — a non-cooperative
+    [while true do () done], a blocking syscall, a foreign call — never
+    reaches a poll point, so its deadline silently never fires and the
+    sweep stalls.  In-process containment cannot close this gap: there
+    is no safe way to asynchronously interrupt an OCaml domain.  Run the
+    sweep under process isolation ([Sweep.run ~isolation:`Process], or
+    [--isolate proc]) to cover it: the {!Supervisor}'s wall-clock
+    watchdog kills the whole worker process from outside and records a
+    typed {!Misbehavior.Unresponsive} certificate, which is exactly the
+    case this guard cannot catch.
+
     Domain safety: a guard's meters are mutated only by the domain
     running its guarded calls, and the {e ambient} guard that {!tick}
     consults is domain-local — parallel {!Sweep} workers each meter

@@ -4,6 +4,7 @@ type t =
   | Budget_exhausted of { used : int; budget : int }
   | Deadline_exceeded of { elapsed : float; deadline : float }
   | Dishonest_transcript of { message : string }
+  | Unresponsive of { elapsed : float; limit : float }
 
 let label = function
   | Raised _ -> "raised"
@@ -11,6 +12,7 @@ let label = function
   | Budget_exhausted _ -> "budget-exhausted"
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Dishonest_transcript _ -> "dishonest-transcript"
+  | Unresponsive _ -> "unresponsive"
 
 let pp ppf = function
   | Raised { message; backtrace } ->
@@ -23,5 +25,8 @@ let pp ppf = function
       Format.fprintf ppf "deadline exceeded (%.3fs > %.3fs)" elapsed deadline
   | Dishonest_transcript { message } ->
       Format.fprintf ppf "dishonest transcript: %s" message
+  | Unresponsive { elapsed; limit } ->
+      Format.fprintf ppf "unresponsive: killed by supervisor after %.3fs (limit %.3fs)"
+        elapsed limit
 
 let to_string t = Format.asprintf "%a" pp t

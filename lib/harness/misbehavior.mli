@@ -22,6 +22,13 @@ type t =
       (** the adversary's transcript failed an honesty audit (e.g.
           {!Online_local.Virtual_grid.validate} under [~paranoid], or a
           node presented twice) *)
+  | Unresponsive of { elapsed : float; limit : float }
+      (** the cell stopped responding entirely — it blocked without
+          ticking, so the in-process {!Guard} deadline poll never fired,
+          and the {!Supervisor} watchdog had to kill the worker process
+          after [elapsed] seconds (per-attempt limit [limit]).  Only
+          process isolation can produce this certificate; see the
+          "Blocking thunks" note in [guard.mli]. *)
 
 val label : t -> string
 (** Short stable tag ("raised", "out-of-palette", ...) for tables. *)

@@ -1,0 +1,500 @@
+type config = {
+  retries : int;
+  timeout : float option;
+  kill_grace : float;
+  heartbeat_interval : int;
+  backoff_base : float;
+  backoff_max : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    retries = 2;
+    timeout = None;
+    kill_grace = 0.5;
+    heartbeat_interval = 1;
+    backoff_base = 0.05;
+    backoff_max = 2.0;
+    seed = 0x5EED;
+  }
+
+let validate_config c =
+  if c.retries < 0 then
+    invalid_arg "Supervisor: retries must be >= 0";
+  (match c.timeout with
+  | Some t when t <= 0. -> invalid_arg "Supervisor: timeout must be positive"
+  | _ -> ());
+  if c.kill_grace <= 0. then
+    invalid_arg "Supervisor: kill_grace must be positive";
+  if c.heartbeat_interval < 0 then
+    invalid_arg "Supervisor: heartbeat_interval must be >= 0";
+  if c.backoff_base < 0. then
+    invalid_arg "Supervisor: backoff_base must be >= 0";
+  if c.backoff_max < c.backoff_base then
+    invalid_arg "Supervisor: backoff_max must be >= backoff_base"
+
+type failure =
+  | Exited of int
+  | Signaled of int
+  | Unresponsive of { elapsed : float; limit : float; forced : bool }
+  | Protocol of string
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigalrm then "SIGALRM"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sighup then "SIGHUP"
+  else if s = Sys.sigquit then "SIGQUIT"
+  else "signal#" ^ string_of_int s
+
+let pp_failure ppf = function
+  | Exited n -> Format.fprintf ppf "exited %d" n
+  | Signaled s -> Format.fprintf ppf "killed by %s" (signal_name s)
+  | Unresponsive { elapsed; limit; forced } ->
+      Format.fprintf ppf "unresponsive after %.3fs (limit %.3fs%s)" elapsed limit
+        (if forced then ", forced SIGKILL" else "")
+  | Protocol msg -> Format.fprintf ppf "protocol error: %s" msg
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+let to_misbehavior = function
+  | Unresponsive { elapsed; limit; forced = _ } ->
+      Some (Misbehavior.Unresponsive { elapsed; limit })
+  | Exited _ | Signaled _ | Protocol _ -> None
+
+type quarantine = { key : string; attempts : int; failures : failure list }
+
+let quarantine_to_string q =
+  Printf.sprintf "QUARANTINED after %d attempts: %s" q.attempts
+    (String.concat "; " (List.map failure_to_string q.failures))
+
+type outcome = Done of string | Failed of string | Quarantined of quarantine
+
+(* ------------------------- deterministic backoff ------------------------- *)
+
+(* SplitMix64 finalizer: the jitter for (seed, key, attempt) is a pure
+   function of those three values, so a retry schedule replays exactly. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let backoff_delay config key attempt =
+  (* exponential: base * 2^(attempt-1), capped, with [0,1)x jitter *)
+  let expo =
+    config.backoff_base *. (2. ** float_of_int (max 0 (attempt - 1)))
+  in
+  let expo = Float.min expo config.backoff_max in
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int config.seed) 0x9E3779B97F4A7C15L)
+         (Int64.of_int ((Hashtbl.hash key * 8191) + attempt)))
+  in
+  let unit_float =
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+  in
+  expo *. (1. +. unit_float)
+
+(* ------------------------------ child side ------------------------------ *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+  end
+
+let heartbeat_byte = Bytes.of_string "H"
+
+(* Runs [work], speaks the reply protocol on [w], and never returns.
+   [Unix._exit] (not [exit]) so inherited channel buffers — the parent's
+   trace sink, the parent's stdout — are not flushed a second time. *)
+let child_main ~config ~work ~idx w =
+  Trace.detach_in_child ();
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  if config.heartbeat_interval > 0 then begin
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+           (try write_all w heartbeat_byte 0 1
+            with Unix.Unix_error _ -> ());
+           ignore (Unix.alarm config.heartbeat_interval)));
+    ignore (Unix.alarm config.heartbeat_interval)
+  end;
+  let reply tag payload =
+    (* Disarm heartbeats first so no 'H' can interleave the frame. *)
+    ignore (Unix.alarm 0);
+    if config.heartbeat_interval > 0 then
+      Sys.set_signal Sys.sigalrm Sys.Signal_ignore;
+    let n = String.length payload in
+    let frame = Bytes.create (5 + n) in
+    Bytes.set frame 0 tag;
+    Bytes.set_int32_be frame 1 (Int32.of_int n);
+    Bytes.blit_string payload 0 frame 5 n;
+    (try write_all w frame 0 (5 + n) with Unix.Unix_error _ -> ())
+  in
+  let code =
+    match work idx with
+    | s ->
+        reply 'R' s;
+        0
+    | exception Sys.Break -> 130
+    | exception exn ->
+        (* Even in-process-fatal conditions (Stack_overflow, Out_of_memory)
+           are contained here: the whole point of process isolation is that
+           no cell, however pathological, takes the run down with it. *)
+        reply 'E' (Printexc.to_string exn);
+        0
+  in
+  Unix._exit code
+
+(* ------------------------------ parent side ------------------------------ *)
+
+type slot = {
+  pid : int;
+  idx : int;
+  skey : string;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  start : float;
+  mutable reply : (char * string) option;
+  mutable bad : string option;
+  mutable term_at : float option;
+  mutable killed : bool;
+  mutable timed_out : bool;
+}
+
+let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
+    ~tasks ~key ?(inline = fun _ -> None) ~work
+    ?(complete = fun _ _ -> ()) ~consume () =
+  validate_config config;
+  if jobs < 1 then invalid_arg "Supervisor.run: jobs must be >= 1";
+  if tasks < 0 then invalid_arg "Supervisor.run: tasks must be >= 0";
+  let outcomes : outcome option array = Array.make (max tasks 1) None in
+  let next_consume = ref 0 in
+  let deliver idx outcome =
+    complete idx outcome;
+    outcomes.(idx) <- Some outcome;
+    while
+      !next_consume < tasks && outcomes.(!next_consume) <> None
+    do
+      (match outcomes.(!next_consume) with
+      | Some o -> consume !next_consume o
+      | None -> assert false);
+      incr next_consume
+    done
+  in
+  let next_fresh = ref 0 in
+  (* (due-time, idx, attempt), kept sorted by due-time *)
+  let retry_queue = ref [] in
+  let failures_of : (int, failure list) Hashtbl.t = Hashtbl.create 16 in
+  let active = ref [] in
+  let interrupted = ref false in
+  let interrupt_term_at = ref None in
+  let prev_cutime = ref (Unix.times ()).Unix.tms_cutime in
+  let prev_cstime = ref (Unix.times ()).Unix.tms_cstime in
+  let spawn idx attempt =
+    let skey = key idx in
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        child_main ~config ~work ~idx w
+    | pid ->
+        Unix.close w;
+        if Trace.on () then
+          Trace.emit (Trace.Child_spawn { key = skey; pid; attempt });
+        if Metrics.on () then Metrics.incr "supervisor.spawns";
+        active :=
+          {
+            pid;
+            idx;
+            skey;
+            fd = r;
+            buf = Buffer.create 256;
+            start = Unix.gettimeofday ();
+            reply = None;
+            bad = None;
+            term_at = None;
+            killed = false;
+            timed_out = false;
+          }
+          :: !active
+  in
+  let fill () =
+    let continue = ref true in
+    while !continue do
+      if !interrupted || List.length !active >= jobs then continue := false
+      else begin
+        let now = Unix.gettimeofday () in
+        match !retry_queue with
+        | (due, idx, attempt) :: rest when due <= now ->
+            retry_queue := rest;
+            spawn idx attempt
+        | _ ->
+            if !next_fresh < tasks then begin
+              let idx = !next_fresh in
+              incr next_fresh;
+              match inline idx with
+              | Some s -> deliver idx (Done s)
+              | None -> spawn idx 0
+            end
+            else continue := false
+      end
+    done
+  in
+  let parse slot =
+    let again = ref true in
+    while !again do
+      again := false;
+      let len = Buffer.length slot.buf in
+      if len > 0 && slot.reply = None && slot.bad = None then begin
+        match Buffer.nth slot.buf 0 with
+        | 'H' ->
+            let rest = Buffer.sub slot.buf 1 (len - 1) in
+            Buffer.clear slot.buf;
+            Buffer.add_string slot.buf rest;
+            if Trace.on () then
+              Trace.emit
+                (Trace.Child_heartbeat { key = slot.skey; pid = slot.pid });
+            if Metrics.on () then Metrics.incr "supervisor.heartbeats";
+            again := true
+        | ('R' | 'E') as tag ->
+            if len >= 5 then begin
+              let hdr = Bytes.of_string (Buffer.sub slot.buf 0 5) in
+              let n = Int32.to_int (Bytes.get_int32_be hdr 1) in
+              if n < 0 then slot.bad <- Some "negative frame length"
+              else if len >= 5 + n then
+                slot.reply <- Some (tag, Buffer.sub slot.buf 5 n)
+            end
+        | c -> slot.bad <- Some (Printf.sprintf "unexpected byte %C" c)
+      end
+    done
+  in
+  let kill_pid pid signal name =
+    match Unix.kill pid signal with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ignore name
+  in
+  let send_kill slot signal name now =
+    kill_pid slot.pid signal name;
+    if Trace.on () then
+      Trace.emit
+        (Trace.Child_kill
+           {
+             key = slot.skey;
+             pid = slot.pid;
+             signal = name;
+             elapsed = now -. slot.start;
+           })
+  in
+  let rec waitpid_retry pid =
+    match Unix.waitpid [] pid with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  in
+  let reap slot =
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    let _, status = waitpid_retry slot.pid in
+    let tm = Unix.times () in
+    let cpu_user = tm.Unix.tms_cutime -. !prev_cutime in
+    let cpu_sys = tm.Unix.tms_cstime -. !prev_cstime in
+    prev_cutime := tm.Unix.tms_cutime;
+    prev_cstime := tm.Unix.tms_cstime;
+    let status_str =
+      match status with
+      | Unix.WEXITED n -> "exit:" ^ string_of_int n
+      | Unix.WSIGNALED s -> "signal:" ^ signal_name s
+      | Unix.WSTOPPED s -> "stopped:" ^ signal_name s
+    in
+    if Trace.on () then
+      Trace.emit
+        (Trace.Child_exit
+           { key = slot.skey; pid = slot.pid; status = status_str; cpu_user; cpu_sys });
+    active := List.filter (fun s -> s != slot) !active;
+    match slot.reply with
+    | Some ('R', payload) -> deliver slot.idx (Done payload)
+    | Some ('E', payload) -> deliver slot.idx (Failed payload)
+    | Some _ -> assert false
+    | None ->
+        (* Abnormal death.  Under interruption the children died because
+           we (or the terminal's process group) killed them: abandon the
+           task so a resume reruns it, charging no retry. *)
+        if not !interrupted then begin
+          let failure =
+            if slot.timed_out then
+              Unresponsive
+                {
+                  elapsed = Unix.gettimeofday () -. slot.start;
+                  limit = Option.value config.timeout ~default:0.;
+                  forced = slot.killed;
+                }
+            else
+              match slot.bad with
+              | Some msg -> Protocol msg
+              | None -> (
+                  match status with
+                  | Unix.WEXITED 0 -> Protocol "no reply before exit"
+                  | Unix.WEXITED n -> Exited n
+                  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Signaled s)
+          in
+          (match to_misbehavior failure with
+          | Some m ->
+              if Trace.on () then
+                Trace.emit
+                  (Trace.Misbehavior
+                     { label = Misbehavior.label m; detail = Misbehavior.to_string m })
+          | None -> ());
+          let fails =
+            failure
+            :: (try Hashtbl.find failures_of slot.idx with Not_found -> [])
+          in
+          Hashtbl.replace failures_of slot.idx fails;
+          let nfails = List.length fails in
+          if nfails > config.retries then begin
+            let q =
+              { key = slot.skey; attempts = nfails; failures = List.rev fails }
+            in
+            if Trace.on () then
+              Trace.emit
+                (Trace.Cell_quarantined
+                   {
+                     key = slot.skey;
+                     attempts = nfails;
+                     reason = failure_to_string failure;
+                   });
+            if Metrics.on () then Metrics.incr "supervisor.quarantines";
+            deliver slot.idx (Quarantined q)
+          end
+          else begin
+            let attempt = nfails in
+            let delay = backoff_delay config slot.skey attempt in
+            if Trace.on () then
+              Trace.emit (Trace.Cell_retry { key = slot.skey; attempt; delay });
+            if Metrics.on () then Metrics.incr "supervisor.retries";
+            let due = Unix.gettimeofday () +. delay in
+            let rec insert = function
+              | [] -> [ (due, slot.idx, attempt) ]
+              | (d, _, _) :: _ as l when due < d -> (due, slot.idx, attempt) :: l
+              | x :: rest -> x :: insert rest
+            in
+            retry_queue := insert !retry_queue
+          end
+        end
+  in
+  let check_watchdog now =
+    List.iter
+      (fun slot ->
+        if slot.reply = None then begin
+          (match config.timeout with
+          | Some limit when slot.term_at = None && now -. slot.start > limit ->
+              slot.timed_out <- true;
+              slot.term_at <- Some now;
+              send_kill slot Sys.sigterm "sigterm" now;
+              if Metrics.on () then Metrics.incr "supervisor.kills.term"
+          | _ -> ());
+          match slot.term_at with
+          | Some t when (not slot.killed) && now -. t > config.kill_grace ->
+              slot.killed <- true;
+              send_kill slot Sys.sigkill "sigkill" now;
+              if Metrics.on () then Metrics.incr "supervisor.kills.kill"
+          | _ -> ()
+        end)
+      !active
+  in
+  let select_timeout now =
+    let t = ref 0.25 in
+    let consider due = t := Float.max 0. (Float.min !t (due -. now)) in
+    List.iter
+      (fun slot ->
+        if slot.reply = None then begin
+          (match (config.timeout, slot.term_at) with
+          | Some limit, None -> consider (slot.start +. limit)
+          | _ -> ());
+          match slot.term_at with
+          | Some at when not slot.killed -> consider (at +. config.kill_grace)
+          | _ -> ()
+        end)
+      !active;
+    (match !retry_queue with (due, _, _) :: _ -> consider due | [] -> ());
+    (match !interrupt_term_at with
+    | Some at -> consider (at +. config.kill_grace)
+    | None -> ());
+    !t
+  in
+  let chunk = Bytes.create 4096 in
+  let handle_ready fd =
+    match List.find_opt (fun s -> s.fd = fd) !active with
+    | None -> ()
+    | Some slot -> (
+        match Unix.read slot.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> reap slot
+        | n ->
+            Buffer.add_subbytes slot.buf chunk 0 n;
+            parse slot
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  in
+  let finally () =
+    (* Never leak children: on any exit path, kill and reap what's left. *)
+    List.iter (fun s -> kill_pid s.pid Sys.sigkill "sigkill") !active;
+    List.iter
+      (fun s ->
+        (try Unix.close s.fd with Unix.Unix_error _ -> ());
+        ignore (waitpid_retry s.pid))
+      !active;
+    active := []
+  in
+  Fun.protect ~finally (fun () ->
+      while
+        !active <> []
+        || ((not !interrupted) && (!retry_queue <> [] || !next_fresh < tasks))
+      do
+        if (not !interrupted) && should_stop () then begin
+          interrupted := true;
+          retry_queue := [];
+          let now = Unix.gettimeofday () in
+          interrupt_term_at := Some now;
+          List.iter
+            (fun slot ->
+              if slot.reply = None then send_kill slot Sys.sigterm "sigterm" now)
+            !active
+        end;
+        (match !interrupt_term_at with
+        | Some at when Unix.gettimeofday () -. at > config.kill_grace ->
+            let now = Unix.gettimeofday () in
+            List.iter
+              (fun slot ->
+                if not slot.killed then begin
+                  slot.killed <- true;
+                  send_kill slot Sys.sigkill "sigkill" now
+                end)
+              !active
+        | _ -> ());
+        fill ();
+        let now = Unix.gettimeofday () in
+        check_watchdog now;
+        let fds = List.map (fun s -> s.fd) !active in
+        if fds = [] then begin
+          (* Nothing in flight: we are waiting out a retry backoff. *)
+          match !retry_queue with
+          | (due, _, _) :: _ ->
+              let d = due -. now in
+              if d > 0. then Unix.sleepf (Float.min d 0.25)
+          | [] -> ()
+        end
+        else begin
+          match Unix.select fds [] [] (select_timeout now) with
+          | ready, _, _ -> List.iter handle_ready ready
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        end
+      done)

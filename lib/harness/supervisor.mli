@@ -1,0 +1,170 @@
+(** Process-isolated supervised execution: the OS-boundary containment
+    layer under [Sweep.run ~isolation:`Process].
+
+    Every in-process containment layer has a blind spot: {!Guard}
+    deadlines are only polled at ticks (a blocking, non-ticking thunk
+    evades them — see guard.mli), and nothing in-process survives an
+    OOM-kill or a stray [SIGKILL] aimed at a worker.  The supervisor
+    closes both gaps by forking each task into a {e child process} that
+    speaks a tiny length-prefixed protocol over a pipe:
+
+    {v
+      parent (single domain: fork/select/waitpid loop)
+        ├─ child[pid] ── pipe ──▶  'H'            heartbeat (SIGALRM-driven)
+        │                          'R' len bytes  result payload
+        │                          'E' len bytes  contained exception text
+        └─ child[pid] ...          (then Unix._exit — no buffer flushing)
+    v}
+
+    The parent is {e single-domain by construction}: in OCaml 5, forking
+    from a [Domain.spawn]ed worker is unsafe (the child inherits stopped
+    GC machinery), so process isolation replaces {!Pool} rather than
+    layering on it — [jobs] children run concurrently under one
+    [Unix.select] loop.
+
+    {2 Failure handling}
+
+    A child that returns sends ['R'] and its result is delivered as
+    {!Done}.  A child whose thunk raises catches the exception {e
+    inside the child} and sends ['E'] — delivered as {!Failed}, never
+    retried (the raise is deterministic; retrying would break
+    byte-equivalence with the in-domain path).  Everything else is an
+    {e abnormal} death — nonzero exit, a signal, a watchdog kill, or
+    protocol garbage — and goes through the retry machinery: the task is
+    rescheduled with seeded exponential backoff + jitter (deterministic
+    given [config.seed], the task key, and the attempt number) until the
+    retry budget is spent, at which point it degrades to a typed
+    {!Quarantined} record instead of stalling the run.
+
+    The wall-clock watchdog (per-attempt [config.timeout]) escalates
+    [SIGTERM] → [config.kill_grace] → [SIGKILL]; a task killed this way
+    records a {!Misbehavior.Unresponsive} certificate — exactly the
+    case the in-process guard cannot catch.  Heartbeats are traced and
+    metered for observability but play no role in kill decisions (the
+    watchdog is pure wall-clock, so a heartbeating-but-stuck cell still
+    dies).
+
+    {2 Observability}
+
+    Child lifecycle is emitted through {!Obs.Trace} ([Child_spawn],
+    [Child_heartbeat], [Child_kill], [Child_exit] with exit status and
+    CPU rusage from [Unix.times], [Cell_retry], [Cell_quarantined]) and
+    {!Obs.Metrics} ([supervisor.spawns], [supervisor.heartbeats],
+    [supervisor.kills.term], [supervisor.kills.kill],
+    [supervisor.retries], [supervisor.quarantines]).  Unlike the sweep
+    metrics, [supervisor.heartbeats] is timing-dependent and therefore
+    {e not} jobs-count-invariant; the others are invariant on a run with
+    no kills.  Children detach the trace sink first thing after the fork
+    ({!Obs.Trace.detach_in_child}), so game-level events from inside a
+    cell are not traced under process isolation — the cost of the
+    stronger containment. *)
+
+type config = {
+  retries : int;
+      (** extra attempts after the first (so [retries = 2] means at most
+          3 spawns per task); [0] disables retrying.  Default [2]. *)
+  timeout : float option;
+      (** per-{e attempt} wall-clock limit in seconds; [None] (default)
+          disables the watchdog. *)
+  kill_grace : float;
+      (** seconds between the watchdog's [SIGTERM] and its [SIGKILL]
+          escalation.  Default [0.5]. *)
+  heartbeat_interval : int;
+      (** seconds between child heartbeat bytes; [0] disables them.
+          Default [1]. *)
+  backoff_base : float;  (** first retry delay, seconds.  Default [0.05]. *)
+  backoff_max : float;  (** retry delay cap, seconds.  Default [2.0]. *)
+  seed : int;
+      (** seed for the backoff jitter stream — the same seed, task key
+          and attempt number always produce the same delay.  Default
+          [0x5EED]. *)
+}
+
+val default_config : config
+
+val validate_config : config -> unit
+(** @raise Invalid_argument naming the offending field if [retries < 0],
+    [timeout <= 0], [kill_grace <= 0], [heartbeat_interval < 0],
+    [backoff_base < 0], or [backoff_max < backoff_base]. *)
+
+type failure =
+  | Exited of int  (** abnormal child exit with this nonzero code *)
+  | Signaled of int
+      (** child killed by this signal (OCaml signal number — e.g. an
+          external [kill -9], an OOM kill) *)
+  | Unresponsive of { elapsed : float; limit : float; forced : bool }
+      (** the watchdog killed the attempt after [elapsed] seconds
+          (per-attempt limit [limit]); [forced] means [SIGTERM] was
+          ignored and the [SIGKILL] escalation fired *)
+  | Protocol of string
+      (** the child closed its pipe without a complete reply frame (or
+          wrote garbage) yet exited 0 *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+val to_misbehavior : failure -> Misbehavior.t option
+(** [Unresponsive] maps to {!Misbehavior.Unresponsive} — the typed
+    certificate for the guard's blocking-thunk blind spot; other
+    failures carry no per-participant certificate (a [SIGKILL] from
+    outside says nothing about the algorithm). *)
+
+type quarantine = {
+  key : string;
+  attempts : int;  (** total attempts made, all failed *)
+  failures : failure list;  (** one per attempt, in attempt order *)
+}
+
+val quarantine_to_string : quarantine -> string
+(** ["QUARANTINED after N attempts: <failure>; <failure>; ..."] — the
+    string a sweep records (and checkpoints) for a quarantined cell. *)
+
+type outcome =
+  | Done of string  (** the child's thunk returned this string *)
+  | Failed of string
+      (** the child's thunk raised; payload is [Printexc.to_string] of
+          the exception, caught {e in the child} (deterministic raises
+          are results, not retryable crashes) *)
+  | Quarantined of quarantine  (** retry budget exhausted *)
+
+val run :
+  ?config:config ->
+  ?should_stop:(unit -> bool) ->
+  jobs:int ->
+  tasks:int ->
+  key:(int -> string) ->
+  ?inline:(int -> string option) ->
+  work:(int -> string) ->
+  ?complete:(int -> outcome -> unit) ->
+  consume:(int -> outcome -> unit) ->
+  unit ->
+  unit
+(** [run ~jobs ~tasks ~key ~work ~consume ()] executes tasks
+    [0 .. tasks-1], at most [jobs] child processes at a time.
+
+    {ul
+    {- [key i] names task [i] for traces, backoff seeding and
+       quarantine records;}
+    {- [inline i] (parent-side, called once when task [i] is first
+       dispatched) may short-circuit the fork by returning the result
+       directly — this is how a resumed sweep replays checkpointed
+       cells without paying a fork;}
+    {- [work i] runs {e in the forked child} and its string return is
+       the task's payload;}
+    {- [complete i outcome] fires in {e completion} order, as each task
+       settles — the hook for prompt checkpointing;}
+    {- [consume i outcome] fires in {e strict index order} (buffered
+       like {!Pool.run}'s), so output bytes never depend on [jobs] or
+       on retry timing.}}
+
+    [should_stop] is polled once per supervision-loop iteration; when it
+    first returns [true] the supervisor stops dispatching, sends every
+    live child [SIGTERM] (escalating to [SIGKILL] after
+    [config.kill_grace]), reaps them, delivers any replies that did
+    complete, and returns — abandoned tasks are neither retried nor
+    quarantined, so an interrupted sweep resumes them cleanly.
+
+    Always reaps its children, also on exception.
+
+    @raise Invalid_argument on [jobs < 1], [tasks < 0], or an invalid
+    [config] (see {!validate_config}). *)

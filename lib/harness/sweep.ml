@@ -105,7 +105,11 @@ let ends_without_newline path =
                input_char ic <> '\n'
              end)
 
-let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
+type isolation = [ `In_domain | `Process ]
+
+let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
+    ?supervisor ~ppf cells =
+  if jobs < 1 then invalid_arg "Sweep.run: jobs must be >= 1";
   let keys = Hashtbl.create (List.length cells * 2 + 1) in
   List.iter
     (fun c ->
@@ -149,6 +153,19 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
      granularity and a kill can tear at most the final record — the same
      torn-record semantics [load] already repairs. *)
   let ckpt_mutex = Mutex.create () in
+  let append_ckpt key r =
+    Option.iter
+      (fun oc ->
+        Mutex.protect ckpt_mutex (fun () ->
+            let record = escape key ^ "\t" ^ escape r ^ "\n" in
+            output_string oc record;
+            flush oc;
+            if Trace.on () then
+              Trace.emit
+                (Trace.Checkpoint_flush { key; bytes = String.length record });
+            if Metrics.on () then Metrics.incr "sweep.checkpoint_flushes"))
+      out
+  in
   let sigint = Atomic.make false in
   (* Trap SIGINT.  Sequentially (jobs <= 1) it raises [Sys.Break] — the
      one interrupt every containment layer (Guard.guarded_call,
@@ -160,10 +177,14 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
      of a cell; the handler just records the request, every worker stops
      before claiming its next cell, in-flight cells drain, and the
      boundary below still surfaces {!Interrupted} after the checkpoint
-     is flushed and closed. *)
+     is flushed and closed.  Process isolation records the flag even at
+     [jobs = 1]: raising mid-supervision would unwind the parent loop
+     and leak children, so the supervisor polls it via [should_stop]
+     and drains cleanly. *)
   let previous_sigint =
     let handler =
-      if parallel then Sys.Signal_handle (fun _ -> Atomic.set sigint true)
+      if parallel || isolation = `Process then
+        Sys.Signal_handle (fun _ -> Atomic.set sigint true)
       else Sys.Signal_handle (fun _ -> raise Sys.Break)
     in
     try Some (Sys.signal Sys.sigint handler)
@@ -197,30 +218,81 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ~ppf cells =
               if Metrics.on () then Metrics.incr "sweep.cell_errors";
               "ERROR: " ^ Printexc.to_string exn
         in
-        Option.iter
-          (fun oc ->
-            Mutex.protect ckpt_mutex (fun () ->
-                let record = escape c.key ^ "\t" ^ escape r ^ "\n" in
-                output_string oc record;
-                flush oc;
-                if Trace.on () then
-                  Trace.emit
-                    (Trace.Checkpoint_flush
-                       { key = c.key; bytes = String.length record });
-                if Metrics.on () then Metrics.incr "sweep.checkpoint_flushes"))
-          out;
+        append_ckpt c.key r;
         if Trace.on () then
           Trace.emit (Trace.Cell_finish { key = c.key; status = !status });
         r
   in
   let consume _i result = Format.fprintf ppf "%s@." result in
+  let run_cells () =
+    match isolation with
+    | `In_domain ->
+        Pool.run ~jobs ~tasks:(Array.length cells_arr) ~work ~consume
+    | `Process ->
+        let n = Array.length cells_arr in
+        let replayed = Array.make (max n 1) false in
+        let inline i =
+          let c = cells_arr.(i) in
+          match Hashtbl.find_opt completed c.key with
+          | Some r ->
+              (* replayed verbatim, parent-side: no fork, no re-run *)
+              replayed.(i) <- true;
+              if Trace.on () then begin
+                Trace.emit (Trace.Cell_start { key = c.key });
+                Trace.emit
+                  (Trace.Cell_finish { key = c.key; status = "replayed" })
+              end;
+              if Metrics.on () then Metrics.incr "sweep.cells_replayed";
+              Some r
+          | None ->
+              if Trace.on () then Trace.emit (Trace.Cell_start { key = c.key });
+              if Metrics.on () then Metrics.incr "sweep.cells_run";
+              None
+        in
+        (* The child returns exactly the string the in-domain path would
+           have produced, and the ERROR mapping below uses the identical
+           format — well-behaved and deterministically-raising cells
+           print the same bytes under both isolation modes. *)
+        let result_of = function
+          | Supervisor.Done r -> r
+          | Supervisor.Failed msg -> "ERROR: " ^ msg
+          | Supervisor.Quarantined q -> Supervisor.quarantine_to_string q
+        in
+        let complete i outcome =
+          if not replayed.(i) then begin
+            let c = cells_arr.(i) in
+            let status =
+              match outcome with
+              | Supervisor.Done _ -> "ok"
+              | Supervisor.Failed _ ->
+                  if Metrics.on () then Metrics.incr "sweep.cell_errors";
+                  "error"
+              | Supervisor.Quarantined _ ->
+                  if Metrics.on () then Metrics.incr "sweep.cells_quarantined";
+                  "quarantined"
+            in
+            append_ckpt c.key (result_of outcome);
+            if Trace.on () then
+              Trace.emit (Trace.Cell_finish { key = c.key; status })
+          end
+        in
+        Supervisor.run ?config:supervisor
+          ~should_stop:(fun () -> Atomic.get sigint)
+          ~jobs ~tasks:n
+          ~key:(fun i -> cells_arr.(i).key)
+          ~inline
+          ~work:(fun i -> (cells_arr.(i)).run ())
+          ~complete
+          ~consume:(fun i o -> consume i (result_of o))
+          ()
+  in
   match
     Fun.protect
       ~finally:(fun () ->
         Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
         Option.iter close_out_noerr out)
       (fun () ->
-        Pool.run ~jobs ~tasks:(Array.length cells_arr) ~work ~consume;
+        run_cells ();
         Format.pp_print_flush ppf ();
         if Atomic.get sigint then raise Sys.Break)
   with

@@ -42,6 +42,33 @@
 
 type cell = { key : string; run : unit -> string }
 
+type isolation = [ `In_domain | `Process ]
+(** Where cell thunks execute.
+
+    [`In_domain] (the default): on worker domains of a {!Pool} inside
+    this process — the PR 2 behavior.
+
+    [`Process]: each cell forks into a child process under
+    {!Supervisor.run}; [jobs] bounds concurrent children and {!Pool} is
+    not used (forking from spawned domains is unsafe in OCaml 5).  The
+    observable contract is preserved — output in cell order,
+    byte-identical to the in-domain mode for every cell that returns or
+    raises deterministically, same checkpoint format, [--resume]
+    equivalence across modes and jobs counts — and three behaviors are
+    {e gained}: a cell killed from outside (OOM, stray SIGKILL) is
+    retried with seeded backoff and then degrades to one
+    ["QUARANTINED ..."] result line instead of destroying the sweep; a
+    cell that blocks without ticking is killed by the wall-clock
+    watchdog ({!Misbehavior.Unresponsive} — see the guard's documented
+    blind spot); and in-process-fatal conditions ([Stack_overflow],
+    [Out_of_memory]) inside a cell degrade to ["ERROR: ..."] for that
+    cell instead of aborting the run.  Quarantined cells are
+    checkpointed like any result, so a resume replays the quarantine
+    verbatim (delete its line to rerun the cell).  Game-level trace
+    events from inside cells are not emitted in this mode (children
+    detach the sink); the supervisor's child-lifecycle events take
+    their place. *)
+
 exception Interrupted
 (** Raised at the sweep boundary after a SIGINT (and honored if a cell
     thunk raises it directly): the sweep stopped cleanly, completed
@@ -51,6 +78,8 @@ val run :
   ?resume:bool ->
   ?checkpoint:string ->
   ?jobs:int ->
+  ?isolation:isolation ->
+  ?supervisor:Supervisor.config ->
   ppf:Format.formatter ->
   cell list ->
   unit
@@ -61,7 +90,14 @@ val run :
     state with each other; everything the harness itself provides
     ({!Guard}'s ambient state, {!Faults} combinators) is already
     domain-safe per cell.
-    @raise Invalid_argument on duplicate cell keys. *)
+
+    [?isolation] selects the execution backend (see {!isolation});
+    [?supervisor] tunes the [`Process] backend's retry/watchdog knobs
+    (ignored under [`In_domain]) — defaults to
+    {!Supervisor.default_config}.
+
+    @raise Invalid_argument on duplicate cell keys, [jobs < 1], or an
+    invalid supervisor config. *)
 
 val int_axis : ?flag:string -> string -> int list
 (** Parse a comma-separated parameter axis: ["1,2,8"] -> [[1; 2; 8]].

@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -36,6 +36,18 @@ type event =
   | Audit of { executor : string; ok : bool; detail : string }
   | Fault_injected of { tag : string; call : int }
   | Misbehavior of { label : string; detail : string }
+  | Child_spawn of { key : string; pid : int; attempt : int }
+  | Child_heartbeat of { key : string; pid : int }
+  | Child_kill of { key : string; pid : int; signal : string; elapsed : float }
+  | Child_exit of {
+      key : string;
+      pid : int;
+      status : string;
+      cpu_user : float;
+      cpu_sys : float;
+    }
+  | Cell_retry of { key : string; attempt : int; delay : float }
+  | Cell_quarantined of { key : string; attempts : int; reason : string }
 
 type record = { i : int; w : int; ts : float; ev : event }
 
@@ -106,6 +118,43 @@ let event_fields = function
       ("fault_injected", [ ("tag", Json.String tag); ("call", Json.Int call) ])
   | Misbehavior { label; detail } ->
       ("misbehavior", [ ("label", Json.String label); ("detail", Json.String detail) ])
+  | Child_spawn { key; pid; attempt } ->
+      ( "child_spawn",
+        [ ("key", Json.String key); ("pid", Json.Int pid); ("attempt", Json.Int attempt) ]
+      )
+  | Child_heartbeat { key; pid } ->
+      ("child_heartbeat", [ ("key", Json.String key); ("pid", Json.Int pid) ])
+  | Child_kill { key; pid; signal; elapsed } ->
+      ( "child_kill",
+        [
+          ("key", Json.String key);
+          ("pid", Json.Int pid);
+          ("signal", Json.String signal);
+          ("elapsed", Json.Float elapsed);
+        ] )
+  | Child_exit { key; pid; status; cpu_user; cpu_sys } ->
+      ( "child_exit",
+        [
+          ("key", Json.String key);
+          ("pid", Json.Int pid);
+          ("status", Json.String status);
+          ("cpu_user", Json.Float cpu_user);
+          ("cpu_sys", Json.Float cpu_sys);
+        ] )
+  | Cell_retry { key; attempt; delay } ->
+      ( "cell_retry",
+        [
+          ("key", Json.String key);
+          ("attempt", Json.Int attempt);
+          ("delay", Json.Float delay);
+        ] )
+  | Cell_quarantined { key; attempts; reason } ->
+      ( "cell_quarantined",
+        [
+          ("key", Json.String key);
+          ("attempts", Json.Int attempts);
+          ("reason", Json.String reason);
+        ] )
 
 let record_to_json r =
   let tag, fields = event_fields r.ev in
@@ -222,6 +271,42 @@ let event_of_json j =
       Fault_injected { tag = req_string j "tag"; call = req_int j "call" }
   | "misbehavior" ->
       Misbehavior { label = req_string j "label"; detail = req_string j "detail" }
+  | "child_spawn" ->
+      Child_spawn
+        { key = req_string j "key"; pid = req_int j "pid"; attempt = req_int j "attempt" }
+  | "child_heartbeat" ->
+      Child_heartbeat { key = req_string j "key"; pid = req_int j "pid" }
+  | "child_kill" ->
+      Child_kill
+        {
+          key = req_string j "key";
+          pid = req_int j "pid";
+          signal = req_string j "signal";
+          elapsed = req_float j "elapsed";
+        }
+  | "child_exit" ->
+      Child_exit
+        {
+          key = req_string j "key";
+          pid = req_int j "pid";
+          status = req_string j "status";
+          cpu_user = req_float j "cpu_user";
+          cpu_sys = req_float j "cpu_sys";
+        }
+  | "cell_retry" ->
+      Cell_retry
+        {
+          key = req_string j "key";
+          attempt = req_int j "attempt";
+          delay = req_float j "delay";
+        }
+  | "cell_quarantined" ->
+      Cell_quarantined
+        {
+          key = req_string j "key";
+          attempts = req_int j "attempts";
+          reason = req_string j "reason";
+        }
   | other -> decode_error ("trace record: unknown event " ^ other)
 
 let record_of_json j =
@@ -272,6 +357,8 @@ let write s ev =
       output_char s.oc '\n')
 
 let emit ev = match Atomic.get sink with None -> () | Some s -> write s ev
+
+let detach_in_child () = Atomic.set sink None
 
 let with_sink ?(program = Filename.basename Sys.executable_name) ~path f =
   let oc = open_out_bin path in

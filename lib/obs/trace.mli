@@ -31,8 +31,9 @@
     format version ({!version}) and the emitting program's name. *)
 
 val version : int
-(** Trace format version, [1].  Readers must reject newer versions
-    rather than misparse them. *)
+(** Trace format version, [2] (v2 added the supervisor child-lifecycle
+    events).  Readers must reject newer versions rather than misparse
+    them; v1 traces parse fine under a v2 reader. *)
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -81,6 +82,26 @@ type event =
       (** a [Harness.Faults] combinator actually fired *)
   | Misbehavior of { label : string; detail : string }
       (** a guard recorded its first misbehavior certificate *)
+  | Child_spawn of { key : string; pid : int; attempt : int }
+      (** the supervisor forked a worker process for a cell ([attempt]
+          is 0 for the first try) *)
+  | Child_heartbeat of { key : string; pid : int }
+      (** a liveness byte arrived from a worker process *)
+  | Child_kill of { key : string; pid : int; signal : string; elapsed : float }
+      (** the watchdog sent [signal] (["sigterm"] or ["sigkill"]) after
+          [elapsed] seconds of cell wall-clock *)
+  | Child_exit of {
+      key : string;
+      pid : int;
+      status : string;  (** ["exit:N"] or ["signal:NAME"] *)
+      cpu_user : float;  (** child user CPU seconds, from [Unix.times] *)
+      cpu_sys : float;  (** child system CPU seconds *)
+    }  (** a worker process was reaped *)
+  | Cell_retry of { key : string; attempt : int; delay : float }
+      (** a failed cell was rescheduled: [attempt] is the upcoming try
+          (1-based), [delay] the seeded backoff in seconds *)
+  | Cell_quarantined of { key : string; attempts : int; reason : string }
+      (** a cell exhausted its retry budget and was quarantined *)
 
 type record = { i : int; w : int; ts : float; ev : event }
 
@@ -93,6 +114,14 @@ val on : unit -> bool
 val emit : event -> unit
 (** Append one record to the installed sink (no-op without one).  Safe
     from any domain. *)
+
+val detach_in_child : unit -> unit
+(** Drop the installed sink {e in this process} without closing it.
+    Must be the first thing a forked child calls: the child inherits the
+    parent's buffered [out_channel], and any emission (or buffer flush
+    at exit) would corrupt the parent's NDJSON stream.  Children must
+    also terminate via [Unix._exit], which skips [at_exit] flushing of
+    inherited buffers. *)
 
 val with_sink : ?program:string -> path:string -> (unit -> 'a) -> 'a
 (** Open [path], write the {!Trace_header}, install the sink for the

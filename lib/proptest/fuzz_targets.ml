@@ -372,6 +372,94 @@ let metrics_jobs =
   }
 
 (* ------------------------------------------------------------------ *)
+(* sweep-kill                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A process-isolated sweep must survive a worker child dying mid-cell
+   at any point: the victim cell SIGKILLs its own worker process on the
+   first attempt (after a randomized amount of work, so the kill lands
+   at a random point of the parent's supervision loop), the supervisor
+   retries it, and the final output must be byte-identical to a run
+   with no kill at all. *)
+let sweep_kill =
+  let gen =
+    Gen.bind
+      (Gen.list ~min_len:2 ~max_len:5 (Gen.int_range 0 99))
+      (fun payloads ->
+        Gen.map3
+          (fun victim kill_work jobs -> (payloads, victim, kill_work, jobs))
+          (Gen.int_range 0 (List.length payloads - 1))
+          (Gen.int_range 0 500)
+          (Gen.int_range 1 2))
+  in
+  let print (payloads, victim, kill_work, jobs) =
+    Printf.sprintf "payloads=[%s] victim=%d kill_work=%d jobs=%d"
+      (String.concat ";" (List.map string_of_int payloads))
+      victim kill_work jobs
+  in
+  let plain_cells payloads =
+    List.mapi
+      (fun i payload ->
+        {
+          Harness.Sweep.key = Printf.sprintf "cell-%d" i;
+          run = (fun () -> Printf.sprintf "payload=%d" payload);
+        })
+      payloads
+  in
+  (* Retries are instant-ish here: the backoff only has to order events,
+     not protect anything, and fuzz throughput matters. *)
+  let fast_supervisor =
+    {
+      Harness.Supervisor.default_config with
+      Harness.Supervisor.heartbeat_interval = 0;
+      backoff_base = 0.001;
+      backoff_max = 0.01;
+    }
+  in
+  let prop (payloads, victim, kill_work, jobs) =
+    let baseline = render (plain_cells payloads) in
+    with_temp_file (fun marker ->
+        (try Sys.remove marker with Sys_error _ -> ());
+        let cells =
+          List.mapi
+            (fun i payload ->
+              {
+                Harness.Sweep.key = Printf.sprintf "cell-%d" i;
+                run =
+                  (fun () ->
+                    if i = victim && not (Sys.file_exists marker) then begin
+                      Out_channel.with_open_bin marker (fun _ -> ());
+                      (* burn a randomized amount of work so the SIGKILL
+                         lands at a random phase of the parent loop *)
+                      for _ = 1 to kill_work * 200 do
+                        ignore (Sys.opaque_identity ())
+                      done;
+                      Unix.kill (Unix.getpid ()) Sys.sigkill
+                    end;
+                    Printf.sprintf "payload=%d" payload);
+              })
+            payloads
+        in
+        let buf = Buffer.create 256 in
+        let ppf = Format.formatter_of_buffer buf in
+        Harness.Sweep.run ~jobs ~isolation:`Process ~supervisor:fast_supervisor
+          ~ppf cells;
+        Format.pp_print_flush ppf ();
+        String.equal baseline (Buffer.contents buf))
+  in
+  {
+    name = "sweep-kill";
+    doc =
+      "Process-isolated sweep survives a worker SIGKILLed at random timing \
+       mid-cell: one retry later the output is byte-identical to an unkilled \
+       run";
+    serial = true (* forks (unsafe from pool domains) + SIGINT handler *);
+    max_cases = Some 12;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* demo-bug                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -405,6 +493,7 @@ let all =
     thm2_game;
     thm3_game;
     sweep_resume;
+    sweep_kill;
     metrics_jobs;
     demo_bug;
   ]

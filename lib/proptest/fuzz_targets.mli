@@ -18,6 +18,10 @@
     {- [sweep-resume] — checkpoint/resume byte-identity of
        {!Harness.Sweep} under random cell sets, random failures and
        random checkpoint truncation;}
+    {- [sweep-kill] — a process-isolated sweep ([`Process] isolation)
+       whose victim cell SIGKILLs its own worker at randomized timing
+       must, after the supervisor's retry, print bytes identical to an
+       unkilled run;}
     {- [metrics-jobs] — {!Harness.Metrics} totals and sweep output
        byte-identical at [--jobs 1] vs [--jobs 2];}
     {- [demo-bug] — a deliberately broken property (list sums stay

@@ -97,7 +97,7 @@ let test_rectangle_cycle_shape () =
 let proper_path_coloring_gen =
   (* Encode a proper 3-coloring of a path as a start color plus a list of
      nonzero increments mod 3 — this bijects with proper path colorings. *)
-  QCheck2.Gen.(
+  Proptest.Gen.(
     bind (int_range 1 30) (fun len ->
         bind (int_range 0 2) (fun first ->
             map
@@ -105,11 +105,23 @@ let proper_path_coloring_gen =
                 let arr = Array.make (len + 1) first in
                 List.iteri (fun i m -> arr.(i + 1) <- (arr.(i) + m) mod 3) moves;
                 (len, arr))
-              (list_size (return len) (int_range 1 2)))))
+              (list_size len (int_range 1 2)))))
+
+let print_colors arr =
+  "[" ^ String.concat ";" (List.map string_of_int (Array.to_list arr)) ^ "]"
+
+let proptest name ~seed ~cases ~print gen p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn
+        ~config:{ Proptest.Runner.default_config with seed; cases }
+        ~name ~print gen p)
 
 let prop_lemma_3_5_paths =
-  QCheck2.Test.make ~name:"Lemma 3.5 parity on proper paths" ~count:500
-    proper_path_coloring_gen (fun (len, colors) ->
+  proptest "Lemma 3.5 parity on proper paths" ~seed:0xB7A1 ~cases:500
+    ~print:(fun (len, colors) ->
+      Printf.sprintf "len=%d colors=%s" len (print_colors colors))
+    proper_path_coloring_gen
+    (fun (len, colors) ->
       let path = List.init (len + 1) (fun i -> i) in
       Bv.check_parity_path colors path
       && (Bv.b_path colors path - Bv.path_parity colors path) mod 2 = 0)
@@ -130,36 +142,38 @@ let test_lemma_3_5_cycles_exhaustive () =
 
 (* b-value additivity under concatenation. *)
 let prop_b_concat =
-  QCheck2.Test.make ~name:"b additive under concat" ~count:300
-    QCheck2.Gen.(
+  proptest "b additive under concat" ~seed:0xB7A2 ~cases:300
+    ~print:(fun (l1, l2, colors) ->
+      Printf.sprintf "l1=%d l2=%d colors=%s" l1 l2 (print_colors colors))
+    Proptest.Gen.(
       bind (int_range 1 10) (fun l1 ->
           bind (int_range 1 10) (fun l2 ->
               map
                 (fun colors -> (l1, l2, Array.of_list colors))
-                (list_size (return (l1 + l2 + 1)) (int_range 0 2)))))
+                (list_size (l1 + l2 + 1) (int_range 0 2)))))
     (fun (l1, l2, colors) ->
       let p1 = List.init (l1 + 1) (fun i -> i) in
       let p2 = List.init (l2 + 1) (fun i -> i + l1) in
       let whole = List.init (l1 + l2 + 1) (fun i -> i) in
       Bv.b_path colors whole = Bv.b_path colors p1 + Bv.b_path colors p2)
 
+let random_colors_gen max_len =
+  Proptest.Gen.(
+    bind (int_range 0 max_len) (fun len ->
+        map (fun colors -> Array.of_list colors)
+          (list_size (len + 1) (int_range 0 2))))
+
 let prop_b_reverse_negates =
-  QCheck2.Test.make ~name:"b negates under reversal" ~count:300
-    QCheck2.Gen.(
-      bind (int_range 0 15) (fun len ->
-          map (fun colors -> Array.of_list colors)
-            (list_size (return (len + 1)) (int_range 0 2))))
+  proptest "b negates under reversal" ~seed:0xB7A3 ~cases:300
+    ~print:print_colors (random_colors_gen 15)
     (fun colors ->
       let path = List.init (Array.length colors) (fun i -> i) in
       Bv.b_path colors (Walk.reverse path) = -Bv.b_path colors path)
 
 (* b is bounded by the length. *)
 let prop_b_bounded =
-  QCheck2.Test.make ~name:"|b| <= length" ~count:300
-    QCheck2.Gen.(
-      bind (int_range 0 20) (fun len ->
-          map (fun colors -> Array.of_list colors)
-            (list_size (return (len + 1)) (int_range 0 2))))
+  proptest "|b| <= length" ~seed:0xB7A4 ~cases:300 ~print:print_colors
+    (random_colors_gen 20)
     (fun colors ->
       let path = List.init (Array.length colors) (fun i -> i) in
       abs (Bv.b_path colors path) <= Walk.length path)
@@ -186,8 +200,6 @@ let test_odd_row_b_odd () =
   B.iter_colorings g ~colors:3 (fun colors ->
       check_int "odd" 1 (abs (Bv.b_cycle colors (G2.row_nodes grid 0)) mod 2))
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
-
 let () =
   Alcotest.run "bvalue"
     [
@@ -210,10 +222,11 @@ let () =
           Alcotest.test_case "rectangle shape" `Quick test_rectangle_cycle_shape;
         ] );
       ( "lemma-3.5",
-        qsuite [ prop_lemma_3_5_paths ]
-        @ [ Alcotest.test_case "cycles exhaustive" `Quick test_lemma_3_5_cycles_exhaustive ] );
-      ( "b-algebra",
-        qsuite [ prop_b_concat; prop_b_reverse_negates; prop_b_bounded ] );
+        [
+          prop_lemma_3_5_paths;
+          Alcotest.test_case "cycles exhaustive" `Quick test_lemma_3_5_cycles_exhaustive;
+        ] );
+      ("b-algebra", [ prop_b_concat; prop_b_reverse_negates; prop_b_bounded ]);
       ( "equation-1",
         [
           Alcotest.test_case "cylinder cancellation" `Slow test_equation_1_cylinder;

@@ -388,6 +388,9 @@ let test_misbehavior_pp_pinned () =
     (render (M.Deadline_exceeded { elapsed = 2.5; deadline = 1.0 }));
   check_string "dishonest" "dishonest transcript: replay diverged"
     (render (M.Dishonest_transcript { message = "replay diverged" }));
+  check_string "unresponsive"
+    "unresponsive: killed by supervisor after 3.200s (limit 2.000s)"
+    (render (M.Unresponsive { elapsed = 3.2; limit = 2.0 }));
   (* label stays in lockstep with pp: both name every variant *)
   Alcotest.(check (list string)) "labels"
     [
@@ -396,6 +399,7 @@ let test_misbehavior_pp_pinned () =
       "budget-exhausted";
       "deadline-exceeded";
       "dishonest-transcript";
+      "unresponsive";
     ]
     (List.map M.label
        [
@@ -404,6 +408,7 @@ let test_misbehavior_pp_pinned () =
          M.Budget_exhausted { used = 0; budget = 0 };
          M.Deadline_exceeded { elapsed = 0.; deadline = 0. };
          M.Dishonest_transcript { message = "" };
+         M.Unresponsive { elapsed = 0.; limit = 0. };
        ])
 
 let test_sweep_break_mid_cell_not_recorded () =

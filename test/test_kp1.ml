@@ -178,12 +178,23 @@ let test_general_bipartite_host () =
       (RS.succeeded outcome ~colors:3 ~host)
   done
 
-(* Randomized end-to-end property: at the prescribed locality, kp1 never
-   fails on random small grids with random orders. *)
+(* Randomized end-to-end properties, on the in-repo shrinking engine. *)
+let proptest name ~seed ~cases ~print gen p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn
+        ~config:{ Proptest.Runner.default_config with seed; cases }
+        ~name ~print gen p)
+
+let triple_gen a b c = Proptest.Gen.map3 (fun x y z -> (x, y, z)) a b c
+
+(* At the prescribed locality, kp1 never fails on random small grids
+   with random orders. *)
 let prop_kp1_prescribed_always_wins =
-  QCheck2.Test.make ~name:"kp1 at prescribed locality always proper" ~count:25
-    QCheck2.Gen.(
-      triple (int_range 3 14) (int_range 3 14) (int_range 0 10_000))
+  proptest "kp1 at prescribed locality always proper" ~seed:0x2B51 ~cases:25
+    ~print:(fun (rows, cols, seed) ->
+      Printf.sprintf "rows=%d cols=%d seed=%d" rows cols seed)
+    Proptest.Gen.(
+      triple_gen (int_range 3 14) (int_range 3 14) (int_range 0 10_000))
     (fun (rows, cols, seed) ->
       let g = grid rows cols in
       let host = Topology.Grid2d.graph g in
@@ -199,9 +210,11 @@ let prop_ael_tight_locality_proper_or_caught =
   (* At arbitrary (possibly insufficient) localities, the outcome is
      always *audited*: either a proper coloring or an explicit violation
      certificate — never a silent bad state. *)
-  QCheck2.Test.make ~name:"every outcome is proper or certified" ~count:25
-    QCheck2.Gen.(
-      triple (int_range 4 16) (int_range 1 4) (int_range 0 10_000))
+  proptest "every outcome is proper or certified" ~seed:0x2B52 ~cases:25
+    ~print:(fun (side, t, seed) ->
+      Printf.sprintf "side=%d t=%d seed=%d" side t seed)
+    Proptest.Gen.(
+      triple_gen (int_range 4 16) (int_range 1 4) (int_range 0 10_000))
     (fun (side, t, seed) ->
       let g = grid side side in
       let host = Topology.Grid2d.graph g in
@@ -292,8 +305,7 @@ let () =
           Alcotest.test_case "hypercube host" `Quick test_general_bipartite_host;
         ] );
       ( "kp1-properties",
-        List.map (QCheck_alcotest.to_alcotest ~long:false)
-          [ prop_kp1_prescribed_always_wins; prop_ael_tight_locality_proper_or_caught ] );
+        [ prop_kp1_prescribed_always_wins; prop_ael_tight_locality_proper_or_caught ] );
       ( "ablation-and-validation",
         [
           Alcotest.test_case "flip larger" `Quick test_flip_larger_ablation;

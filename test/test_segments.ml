@@ -37,7 +37,7 @@ let test_empty_path () =
 (* The Section 3.1 identity: for properly colored paths,
    b(P) = plus - minus. *)
 let proper_path_gen =
-  QCheck2.Gen.(
+  Proptest.Gen.(
     bind (int_range 1 40) (fun len ->
         bind (int_range 0 2) (fun first ->
             map
@@ -45,16 +45,26 @@ let proper_path_gen =
                 let arr = Array.make (len + 1) first in
                 List.iteri (fun i m -> arr.(i + 1) <- (arr.(i) + m) mod 3) moves;
                 arr)
-              (list_size (return len) (int_range 1 2)))))
+              (list_size len (int_range 1 2)))))
+
+let print_colors arr =
+  "[" ^ String.concat ";" (List.map string_of_int (Array.to_list arr)) ^ "]"
+
+let proptest name ~seed ~cases gen p =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn
+        ~config:{ Proptest.Runner.default_config with seed; cases }
+        ~name ~print:print_colors gen p)
 
 let prop_identity =
-  QCheck2.Test.make ~name:"b = plus - minus on proper paths" ~count:500 proper_path_gen
+  proptest "b = plus - minus on proper paths" ~seed:0x5E61 ~cases:500
+    proper_path_gen
     (fun colors ->
       let path = List.init (Array.length colors) (fun i -> i) in
       Bv.b_path colors path = S.b_via_segments colors path)
 
 let prop_segment_structure =
-  QCheck2.Test.make ~name:"segments tile the non-special nodes" ~count:300
+  proptest "segments tile the non-special nodes" ~seed:0x5E62 ~cases:300
     proper_path_gen (fun colors ->
       let path = List.init (Array.length colors) (fun i -> i) in
       let segs = S.decompose colors path in
@@ -89,8 +99,6 @@ let test_regions_whole_graph () =
   let colors = [| 0; 1; 0; 1; 0 |] in
   check_int "one region" 1 (List.length (S.regions g colors))
 
-let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
-
 let () =
   Alcotest.run "segments"
     [
@@ -101,7 +109,7 @@ let () =
           Alcotest.test_case "all special" `Quick test_all_special;
           Alcotest.test_case "empty path" `Quick test_empty_path;
         ] );
-      ("identity", qsuite [ prop_identity; prop_segment_structure ]);
+      ("identity", [ prop_identity; prop_segment_structure ]);
       ( "regions",
         [
           Alcotest.test_case "cross-separated grid" `Quick test_regions_grid;

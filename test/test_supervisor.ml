@@ -1,0 +1,327 @@
+(* The process-isolation backend: Harness.Supervisor directly, and
+   Harness.Sweep.run ~isolation:`Process through it.
+
+   Everything here forks, so every test runs on the main domain (alcotest
+   executes cases sequentially in-process) and uses a fast supervisor
+   config — millisecond backoff, no heartbeats — to keep the suite
+   quick. *)
+
+module Sup = Harness.Supervisor
+module Sweep = Harness.Sweep
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fast =
+  {
+    Sup.default_config with
+    Sup.heartbeat_interval = 0;
+    backoff_base = 0.001;
+    backoff_max = 0.01;
+  }
+
+let with_temp_file f =
+  let path = Filename.temp_file "supervisor_test" ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let render ?resume ?checkpoint ?(jobs = 1) ?isolation ?supervisor cells =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Sweep.run ?resume ?checkpoint ~jobs ?isolation ?supervisor ~ppf cells;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* A mixed cell list: plain results, a multi-line result, a raising
+   cell.  Every thunk is deterministic, so the `Process output must be
+   byte-identical to the `In_domain output — ERROR mapping included. *)
+let mixed_cells () =
+  [
+    { Sweep.key = "plain"; run = (fun () -> "value=1") };
+    {
+      Sweep.key = "multiline";
+      run = (fun () -> "line one\nline two\nline three");
+    };
+    { Sweep.key = "raiser"; run = (fun () -> failwith "cell exploded") };
+    { Sweep.key = "empty"; run = (fun () -> "") };
+    { Sweep.key = "last"; run = (fun () -> "value=5") };
+  ]
+
+let test_proc_matches_indomain () =
+  let baseline = render ~isolation:`In_domain (mixed_cells ()) in
+  check_bool "baseline mentions the contained raise" true
+    (String.length baseline > 0);
+  List.iter
+    (fun jobs ->
+      check_string
+        (Printf.sprintf "proc --jobs %d output" jobs)
+        baseline
+        (render ~jobs ~isolation:`Process ~supervisor:fast (mixed_cells ())))
+    [ 1; 2; 3 ]
+
+let test_cross_mode_resume () =
+  let full = mixed_cells () in
+  let prefix = [ List.nth full 0; List.nth full 1 ] in
+  let clean = render ~isolation:`In_domain full in
+  (* Checkpoint written by one mode, resumed by the other — both
+     directions, and a resumed run replays without re-forking. *)
+  with_temp_file (fun ckpt ->
+      ignore (render ~checkpoint:ckpt ~isolation:`In_domain prefix);
+      check_string "in-domain checkpoint, proc resume" clean
+        (render ~resume:true ~checkpoint:ckpt ~isolation:`Process
+           ~supervisor:fast full));
+  with_temp_file (fun ckpt ->
+      ignore
+        (render ~checkpoint:ckpt ~isolation:`Process ~supervisor:fast prefix);
+      check_string "proc checkpoint, in-domain resume" clean
+        (render ~resume:true ~checkpoint:ckpt ~isolation:`In_domain full);
+      check_string "proc checkpoint, proc resume at jobs 2" clean
+        (render ~resume:true ~checkpoint:ckpt ~jobs:2 ~isolation:`Process
+           ~supervisor:fast full))
+
+let test_self_kill_retried () =
+  (* First attempt SIGKILLs its own worker process; the retry succeeds.
+     The supervisor must deliver Done, and a sweep over the same cells
+     must print exactly what an unkilled sweep prints. *)
+  with_temp_file (fun marker ->
+      (try Sys.remove marker with Sys_error _ -> ());
+      let outcome = ref None in
+      Sup.run ~config:fast ~jobs:1 ~tasks:1
+        ~key:(fun _ -> "victim")
+        ~work:(fun _ ->
+          if not (Sys.file_exists marker) then begin
+            Out_channel.with_open_bin marker (fun _ -> ());
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+          end;
+          "survived")
+        ~consume:(fun _ o -> outcome := Some o)
+        ();
+      match !outcome with
+      | Some (Sup.Done s) -> check_string "retried result" "survived" s
+      | Some (Sup.Failed msg) -> Alcotest.failf "unexpected Failed: %s" msg
+      | Some (Sup.Quarantined q) ->
+          Alcotest.failf "unexpected quarantine: %s" (Sup.quarantine_to_string q)
+      | None -> Alcotest.fail "no outcome delivered")
+
+let test_always_dying_quarantined () =
+  let outcome = ref None in
+  Sup.run
+    ~config:{ fast with Sup.retries = 1 }
+    ~jobs:1 ~tasks:1
+    ~key:(fun _ -> "doomed")
+    ~work:(fun _ -> Unix.kill (Unix.getpid ()) Sys.sigkill |> fun () -> "unreachable")
+    ~consume:(fun _ o -> outcome := Some o)
+    ();
+  match !outcome with
+  | Some (Sup.Quarantined q) ->
+      check_string "key" "doomed" q.Sup.key;
+      check_int "attempts = 1 + retries" 2 q.Sup.attempts;
+      check_int "one failure per attempt" 2 (List.length q.Sup.failures);
+      List.iter
+        (fun f ->
+          match f with
+          | Sup.Signaled s -> check_int "killed by SIGKILL" Sys.sigkill s
+          | other ->
+              Alcotest.failf "expected Signaled, got %s"
+                (Sup.failure_to_string other))
+        q.Sup.failures;
+      let s = Sup.quarantine_to_string q in
+      check_bool "string names the attempt count" true
+        (String.length s >= 11 && String.sub s 0 11 = "QUARANTINED")
+  | Some other ->
+      Alcotest.failf "expected quarantine, got %s"
+        (match other with
+        | Sup.Done s -> "Done " ^ s
+        | Sup.Failed s -> "Failed " ^ s
+        | Sup.Quarantined _ -> assert false)
+  | None -> Alcotest.fail "no outcome delivered"
+
+let test_quarantine_checkpointed_and_replayed () =
+  (* A quarantined cell's QUARANTINED line is a checkpointed result: a
+     resume replays it verbatim instead of re-running the cell — even if
+     the cell would now succeed. *)
+  with_temp_file (fun ckpt ->
+      let dying =
+        [
+          {
+            Sweep.key = "doomed";
+            run =
+              (fun () ->
+                Unix.kill (Unix.getpid ()) Sys.sigkill;
+                "unreachable");
+          };
+          { Sweep.key = "fine"; run = (fun () -> "ok") };
+        ]
+      in
+      let first =
+        render ~checkpoint:ckpt ~isolation:`Process
+          ~supervisor:{ fast with Sup.retries = 1 }
+          dying
+      in
+      let contains_quarantine =
+        String.split_on_char '\n' first
+        |> List.exists (fun l ->
+               String.length l >= 11 && String.sub l 0 11 = "QUARANTINED")
+      in
+      check_bool "sweep printed the quarantine" true contains_quarantine;
+      let healed =
+        [
+          { Sweep.key = "doomed"; run = (fun () -> "healed") };
+          { Sweep.key = "fine"; run = (fun () -> "ok") };
+        ]
+      in
+      check_string "resume replays the quarantine verbatim" first
+        (render ~resume:true ~checkpoint:ckpt ~isolation:`Process
+           ~supervisor:fast healed))
+
+let test_watchdog_unresponsive () =
+  (* A blocking, non-ticking task — the guard's documented blind spot.
+     With SIGTERM at its default disposition the first kill suffices
+     (forced = false); a task that ignores SIGTERM takes the SIGKILL
+     escalation (forced = true). *)
+  let hang ~ignore_term () =
+    if ignore_term then Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+    while true do
+      ignore (Sys.opaque_identity ())
+    done;
+    "unreachable"
+  in
+  let run_hanging ~ignore_term =
+    let outcome = ref None in
+    Sup.run
+      ~config:
+        { fast with Sup.retries = 0; timeout = Some 0.2; kill_grace = 0.1 }
+      ~jobs:1 ~tasks:1
+      ~key:(fun _ -> "hang")
+      ~work:(fun _ -> hang ~ignore_term ())
+      ~consume:(fun _ o -> outcome := Some o)
+      ();
+    match !outcome with
+    | Some (Sup.Quarantined { failures = [ f ]; _ }) -> f
+    | Some _ | None -> Alcotest.fail "expected a single-failure quarantine"
+  in
+  (match run_hanging ~ignore_term:false with
+  | Sup.Unresponsive { limit; forced; elapsed } ->
+      check_bool "limit recorded" true (limit = 0.2);
+      check_bool "elapsed at least the limit" true (elapsed >= 0.2);
+      check_bool "SIGTERM sufficed" false forced
+  | other ->
+      Alcotest.failf "expected Unresponsive, got %s" (Sup.failure_to_string other));
+  (match run_hanging ~ignore_term:true with
+  | Sup.Unresponsive { forced; _ } ->
+      check_bool "SIGKILL escalation fired" true forced
+  | other ->
+      Alcotest.failf "expected forced Unresponsive, got %s"
+        (Sup.failure_to_string other));
+  (* The certificate mapping for the blind spot. *)
+  match Sup.to_misbehavior (Sup.Unresponsive { elapsed = 1.; limit = 0.5; forced = true }) with
+  | Some (Harness.Misbehavior.Unresponsive { elapsed; limit }) ->
+      check_bool "certificate fields" true (elapsed = 1. && limit = 0.5)
+  | _ -> Alcotest.fail "Unresponsive must map to a Misbehavior certificate"
+
+let test_deterministic_raise_not_retried () =
+  (* A raising thunk is a result, not a crash: exactly one spawn, outcome
+     Failed, never quarantined — retrying a deterministic raise would
+     desync the two isolation modes. *)
+  with_temp_file (fun counter ->
+      (try Sys.remove counter with Sys_error _ -> ());
+      let outcome = ref None in
+      Sup.run ~config:fast ~jobs:1 ~tasks:1
+        ~key:(fun _ -> "raiser")
+        ~work:(fun _ ->
+          let n =
+            if Sys.file_exists counter then
+              In_channel.with_open_bin counter In_channel.input_all
+              |> String.trim |> int_of_string
+            else 0
+          in
+          Out_channel.with_open_bin counter (fun oc ->
+              Printf.fprintf oc "%d\n" (n + 1));
+          failwith "deterministic")
+        ~consume:(fun _ o -> outcome := Some o)
+        ();
+      (match !outcome with
+      | Some (Sup.Failed msg) ->
+          check_string "payload is the exception text" "Failure(\"deterministic\")" msg
+      | _ -> Alcotest.fail "expected Failed");
+      let attempts =
+        In_channel.with_open_bin counter In_channel.input_all
+        |> String.trim |> int_of_string
+      in
+      check_int "single attempt" 1 attempts)
+
+let test_inline_short_circuits () =
+  (* inline results never fork: deliver them for every task and the
+     supervisor must not spawn at all (work would touch the filesystem). *)
+  let seen = ref [] in
+  Sup.run ~config:fast ~jobs:2 ~tasks:3
+    ~key:(string_of_int)
+    ~inline:(fun i -> Some (Printf.sprintf "inline-%d" i))
+    ~work:(fun _ -> Alcotest.fail "work must not run")
+    ~consume:(fun i o ->
+      match o with
+      | Sup.Done s -> seen := (i, s) :: !seen
+      | _ -> Alcotest.fail "expected Done")
+    ();
+  check_bool "delivered in index order" true
+    (List.rev !seen = [ (0, "inline-0"); (1, "inline-1"); (2, "inline-2") ])
+
+let test_validation () =
+  let rejects what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  in
+  let run_with ?(jobs = 1) ?(tasks = 0) config =
+    Sup.run ~config ~jobs ~tasks
+      ~key:(fun _ -> "k")
+      ~work:(fun _ -> "r")
+      ~consume:(fun _ _ -> ())
+      ()
+  in
+  rejects "retries < 0" (fun () -> run_with { fast with Sup.retries = -1 });
+  rejects "timeout <= 0" (fun () -> run_with { fast with Sup.timeout = Some 0. });
+  rejects "kill_grace <= 0" (fun () -> run_with { fast with Sup.kill_grace = 0. });
+  rejects "heartbeat_interval < 0" (fun () ->
+      run_with { fast with Sup.heartbeat_interval = -1 });
+  rejects "backoff_base < 0" (fun () ->
+      run_with { fast with Sup.backoff_base = -0.1 });
+  rejects "backoff_max < backoff_base" (fun () ->
+      run_with { fast with Sup.backoff_base = 1.0; backoff_max = 0.5 });
+  rejects "jobs < 1" (fun () -> run_with ~jobs:0 fast);
+  rejects "tasks < 0" (fun () -> run_with ~tasks:(-1) fast);
+  rejects "sweep jobs < 1" (fun () ->
+      Sweep.run ~jobs:0 ~ppf:Format.str_formatter []);
+  (* and the valid default passes *)
+  Sup.validate_config Sup.default_config
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "byte-identity",
+        [
+          Alcotest.test_case "proc = in-domain, all jobs" `Quick
+            test_proc_matches_indomain;
+          Alcotest.test_case "cross-mode resume" `Quick test_cross_mode_resume;
+        ] );
+      ( "kill-tolerance",
+        [
+          Alcotest.test_case "self-SIGKILL retried" `Quick test_self_kill_retried;
+          Alcotest.test_case "always dying quarantined" `Quick
+            test_always_dying_quarantined;
+          Alcotest.test_case "quarantine checkpointed" `Quick
+            test_quarantine_checkpointed_and_replayed;
+          Alcotest.test_case "watchdog unresponsive" `Quick
+            test_watchdog_unresponsive;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "raise never retried" `Quick
+            test_deterministic_raise_not_retried;
+          Alcotest.test_case "inline short-circuits" `Quick
+            test_inline_short_circuits;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]
