@@ -668,6 +668,129 @@ let isolation_overhead () =
   write_bench_record "BENCH_isolation_overhead.json"
     (bench_record ~bench:"isolation_overhead" ~jobs_axis ~results)
 
+(* ------------------ job-server throughput (E12) ------------------- *)
+
+(* What the serve.exe front door costs: a fleet of trivial jobs is
+   pushed through a forked server (proc isolation, the production
+   default) three ways — chaos off, chaos on (fixed seed), and against
+   a deliberately tiny admission queue — and jobs/s, the retry tallies,
+   and the queue-rejection rate are reported.  Result byte-identity
+   against a local map of the handler is asserted in every scenario:
+   the resilience machinery must never buy throughput with wrong or
+   lost answers. *)
+
+let serve_throughput () =
+  let module Server = Harness.Server in
+  let module Client = Harness.Client in
+  let fast_backoff = { Harness.Backoff.base = 0.002; max = 0.02; seed = 0x5EED } in
+  let handler ~kind ~payload =
+    match kind with
+    | "rev" ->
+        String.init (String.length payload) (fun i ->
+            payload.[String.length payload - 1 - i])
+    | other -> failwith ("unknown kind: " ^ other)
+  in
+  let n_jobs = 200 in
+  let jobs = max 2 (Harness.Pool.default_jobs ()) in
+  let specs =
+    List.init n_jobs (fun i -> ("rev", Printf.sprintf "payload-%06d" i))
+  in
+  let scenario ~label ~chaos ~queue_limit ~window =
+    let socket = Filename.temp_file "bench_serve" ".sock" in
+    (try Sys.remove socket with Sys_error _ -> ());
+    let config =
+      {
+        Server.default_config with
+        Server.jobs;
+        isolation = `Process;
+        queue_limit;
+        backoff = fast_backoff;
+        kill_grace = 0.1;
+        chaos;
+      }
+    in
+    match Unix.fork () with
+    | 0 ->
+        (try Server.run ~config ~socket ~handler () with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            try Sys.remove socket with Sys_error _ -> ())
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let c =
+              Client.run_campaign ~backoff:fast_backoff ~window ~socket specs
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            List.iteri
+              (fun i ((kind, payload), got) ->
+                if not (String.equal (handler ~kind ~payload) got) then
+                  failwith
+                    (Printf.sprintf
+                       "BENCH serve_throughput: %s result %d differs from the \
+                        serverless baseline — determinism contract broken"
+                       label i))
+              (List.combine specs c.Client.results);
+            (label, dt, c))
+  in
+  Format.printf
+    "== E12: job-server throughput (%d trivial jobs, %d workers, proc \
+     isolation) ==@.@."
+    n_jobs jobs;
+  let runs =
+    [
+      scenario ~label:"chaos_off" ~chaos:None ~queue_limit:256 ~window:32;
+      scenario ~label:"chaos_on"
+        ~chaos:(Some (Server.default_chaos ~seed:42))
+        ~queue_limit:256 ~window:32;
+      scenario ~label:"backpressure" ~chaos:None ~queue_limit:2 ~window:64;
+    ]
+  in
+  Format.printf "%-14s %-10s %-10s %-11s %-11s %s@." "scenario" "jobs/s"
+    "resubmits" "rejections" "reconnects" "rejection rate";
+  let rows =
+    List.map
+      (fun (label, dt, c) ->
+        let rate = float_of_int n_jobs /. dt in
+        let submits = n_jobs + c.Client.resubmits in
+        let rejection_rate =
+          float_of_int c.Client.rejections /. float_of_int submits
+        in
+        Format.printf "%-14s %-10.0f %-10d %-11d %-11d %.3f@." label rate
+          c.Client.resubmits c.Client.rejections c.Client.reconnects
+          rejection_rate;
+        (label, dt, rate, c, rejection_rate))
+      runs
+  in
+  let results =
+    Obs.Json.Obj
+      [
+        ("n_jobs", Obs.Json.Int n_jobs);
+        ("isolation", Obs.Json.String "process");
+        ("identical_output", Obs.Json.Bool true);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (label, dt, rate, c, rejection_rate) ->
+                 Obs.Json.Obj
+                   [
+                     ("scenario", Obs.Json.String label);
+                     ("seconds", Obs.Json.Float dt);
+                     ("jobs_per_s", Obs.Json.Float rate);
+                     ("resubmits", Obs.Json.Int c.Client.resubmits);
+                     ("rejections", Obs.Json.Int c.Client.rejections);
+                     ("reconnects", Obs.Json.Int c.Client.reconnects);
+                     ("rejection_rate", Obs.Json.Float rejection_rate);
+                   ])
+               rows) );
+      ]
+  in
+  write_bench_record "BENCH_serve_throughput.json"
+    (bench_record ~bench:"serve_throughput" ~jobs_axis:[ jobs ] ~results)
+
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
@@ -677,6 +800,8 @@ let () =
     fuzz_throughput ()
   else if Array.exists (String.equal "--isolation-overhead") Sys.argv then
     isolation_overhead ()
+  else if Array.exists (String.equal "--serve-throughput") Sys.argv then
+    serve_throughput ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();

@@ -10,31 +10,7 @@
      --jobs 4 --checkpoint sweep_thm1.ckpt
    dune exec bin/sweep_thm1.exe -- ... --checkpoint sweep_thm1.ckpt --resume *)
 
-open Online_local
 open Cmdliner
-
-let algorithm_of name t =
-  match name with
-  | "greedy" -> Portfolio.greedy ()
-  | "parity" -> Portfolio.hint_parity ()
-  | "stripes" -> Portfolio.stripes3 ()
-  | "ael" -> Portfolio.ael ~t ()
-  | other -> failwith ("unknown algorithm: " ^ other)
-
-let cell ~t ~k ~side ~algo_name ~validate =
-  {
-    Harness.Sweep.key = Printf.sprintf "t=%d k=%d side=%d algo=%s" t k side algo_name;
-    run =
-      (fun () ->
-        let algorithm = algorithm_of algo_name t in
-        let r = Thm1_adversary.run ~validate ~n_side:side ~k ~algorithm () in
-        Format.asprintf
-          "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@.  guaranteed by \
-           theory: %b (needs k > 4T+4)@.  max fitting k at this side/T: %d"
-          algo_name t side k Thm1_adversary.pp_report r
-          (Thm1_adversary.guaranteed ~t ~k)
-          (Thm1_adversary.recommended_k ~n_side:side ~t));
-  }
 
 let run ts ks sides algos validate checkpoint resume exec trace metrics =
   let cells =
@@ -45,7 +21,7 @@ let run ts ks sides algos validate checkpoint resume exec trace metrics =
             List.concat_map
               (fun side ->
                 List.map
-                  (fun algo_name -> cell ~t ~k ~side ~algo_name ~validate)
+                  (fun algo -> Jobs_catalog.thm1_cell ~validate ~t ~k ~side ~algo)
                   (Harness.Sweep.string_axis ~flag:"--algo" algos))
               (Harness.Sweep.int_axis ~flag:"--side" sides))
           (Harness.Sweep.int_axis ~flag:"-k" ks))

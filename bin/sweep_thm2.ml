@@ -3,37 +3,17 @@
    dune exec bin/sweep_thm2.exe -- --side 21,51 --wrap torus,cylinder \
      --jobs 4 --checkpoint sweep_thm2.ckpt *)
 
-open Online_local
 open Cmdliner
 
-let wrap_of = function
-  | "torus" -> `Toroidal
-  | "cylinder" -> `Cylindrical
-  | other -> failwith ("unknown wrap: " ^ other)
-
-let cell ~side ~wrap_name ~algo_label ~algorithm =
-  {
-    Harness.Sweep.key =
-      Printf.sprintf "wrap=%s side=%d algo=%s" wrap_name side algo_label;
-    run =
-      (fun () ->
-        let r = Thm2_adversary.run ~wrap:(wrap_of wrap_name) ~side ~algorithm:(algorithm ()) () in
-        Format.asprintf "thm2 %s side=%d vs %-12s %a" wrap_name side algo_label
-          Thm2_adversary.pp_report r);
-  }
-
 let run sides wraps checkpoint resume exec trace metrics =
-  let algorithms =
-    [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
-  in
   let cells =
     List.concat_map
-      (fun wrap_name ->
+      (fun wrap ->
         List.concat_map
           (fun side ->
             List.map
-              (fun (algo_label, algorithm) -> cell ~side ~wrap_name ~algo_label ~algorithm)
-              algorithms)
+              (fun (algo, _) -> Jobs_catalog.thm2_cell ~side ~wrap ~algo)
+              Jobs_catalog.thm2_algorithms)
           (Harness.Sweep.int_axis ~flag:"--side" sides))
       (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
   in

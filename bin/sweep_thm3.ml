@@ -3,31 +3,17 @@
    dune exec bin/sweep_thm3.exe -- -k 3 --gadgets 9,33 \
      --jobs 4 --checkpoint sweep_thm3.ckpt *)
 
-open Online_local
 open Cmdliner
 
-let cell ~k ~gadgets ~algo_label ~algorithm =
-  {
-    Harness.Sweep.key = Printf.sprintf "k=%d gadgets=%d algo=%s" k gadgets algo_label;
-    run =
-      (fun () ->
-        let r = Thm3_adversary.run ~k ~gadgets ~algorithm:(algorithm ()) () in
-        Format.asprintf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a" k gadgets
-          (gadgets * k * k) algo_label Thm3_adversary.pp_report r);
-  }
-
 let run ks gadget_counts checkpoint resume exec trace metrics =
-  let algorithms =
-    [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
-  in
   let cells =
     List.concat_map
       (fun k ->
         List.concat_map
           (fun gadgets ->
             List.map
-              (fun (algo_label, algorithm) -> cell ~k ~gadgets ~algo_label ~algorithm)
-              algorithms)
+              (fun (algo, _) -> Jobs_catalog.thm3_cell ~k ~gadgets ~algo)
+              Jobs_catalog.thm3_algorithms)
           (Harness.Sweep.int_axis ~flag:"--gadgets" gadget_counts))
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in

@@ -130,6 +130,15 @@ let report path =
   let kill_signals = Hashtbl.create 4 in  (* "sigterm"/"sigkill" -> count *)
   let retries = Hashtbl.create 4 in  (* cell key -> retry count *)
   let quarantined = ref [] in  (* (key, attempts, reason), reverse order *)
+  let server_socket = ref None in
+  let conns_opened = ref 0 in
+  let conn_close_reasons = Hashtbl.create 4 in
+  let job_dispositions = Hashtbl.create 4 in  (* "new"/"inflight"/"cached" *)
+  let job_rejects = ref 0 in
+  let job_starts = ref 0 in
+  let job_statuses = Hashtbl.create 4 in  (* "ok"/"error"/"quarantined" *)
+  let drains = ref [] in  (* (queued, running), reverse order *)
+  let chaos_kinds = Hashtbl.create 4 in
   List.iter
     (fun r ->
       let w = worker r.T.w in
@@ -210,7 +219,16 @@ let report path =
           child_cpu_sys := !child_cpu_sys +. cpu_sys
       | T.Cell_retry { key; _ } -> count retries key 1
       | T.Cell_quarantined { key; attempts; reason } ->
-          quarantined := (key, attempts, reason) :: !quarantined)
+          quarantined := (key, attempts, reason) :: !quarantined
+      | T.Server_start { socket; _ } -> server_socket := Some socket
+      | T.Conn_open _ -> incr conns_opened
+      | T.Conn_close { reason; _ } -> count conn_close_reasons reason 1
+      | T.Job_submit { disposition; _ } -> count job_dispositions disposition 1
+      | T.Job_reject _ -> incr job_rejects
+      | T.Job_start _ -> incr job_starts
+      | T.Job_done { status; _ } -> count job_statuses status 1
+      | T.Server_drain { queued; running } -> drains := (queued, running) :: !drains
+      | T.Chaos_injected { kind } -> count chaos_kinds kind 1)
     records;
   let ppf = Format.std_formatter in
   Format.fprintf ppf "trace %s: program %s, format v%d@." path program version;
@@ -260,6 +278,34 @@ let report path =
     Format.fprintf ppf "  child cpu          %.3fs user, %.3fs sys@."
       !child_cpu_user !child_cpu_sys
   end;
+  (match !server_socket with
+  | None -> ()
+  | Some socket ->
+      Format.fprintf ppf "@.job server (%s)@." socket;
+      Format.fprintf ppf "  connections        %d@." !conns_opened;
+      List.iter
+        (fun (reason, n) -> Format.fprintf ppf "  closed %-11s %d@." reason n)
+        (sorted_counts conn_close_reasons);
+      List.iter
+        (fun (d, n) -> Format.fprintf ppf "  submit %-11s %d@." d n)
+        (sorted_counts job_dispositions);
+      if !job_rejects > 0 then
+        Format.fprintf ppf "  rejected           %d@." !job_rejects;
+      Format.fprintf ppf "  job starts         %d@." !job_starts;
+      List.iter
+        (fun (status, n) -> Format.fprintf ppf "  done %-13s %d@." status n)
+        (sorted_counts job_statuses);
+      List.iter
+        (fun (queued, running) ->
+          Format.fprintf ppf "  drained with %d queued, %d running@." queued
+            running)
+        (List.rev !drains);
+      if Hashtbl.length chaos_kinds > 0 then begin
+        Format.fprintf ppf "  chaos injected@.";
+        List.iter
+          (fun (kind, n) -> Format.fprintf ppf "    %-16s %d@." kind n)
+          (sorted_counts chaos_kinds)
+      end);
   if Hashtbl.length adversaries > 0 then begin
     Format.fprintf ppf "@.games by adversary@.";
     Hashtbl.fold (fun a st acc -> (a, st) :: acc) adversaries []

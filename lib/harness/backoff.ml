@@ -1,0 +1,30 @@
+type config = { base : float; max : float; seed : int }
+
+let default = { base = 0.05; max = 2.0; seed = 0x5EED }
+
+let validate c =
+  if c.base < 0. then invalid_arg "Backoff: base must be >= 0";
+  if c.max < c.base then invalid_arg "Backoff: max must be >= base"
+
+(* SplitMix64 finalizer: the jitter for (seed, key, attempt) is a pure
+   function of those three values, so a retry schedule replays exactly. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let delay config ~key ~attempt =
+  (* exponential: base * 2^(attempt-1), capped, with [0,1)x jitter *)
+  let expo = config.base *. (2. ** float_of_int (max 0 (attempt - 1))) in
+  let expo = Float.min expo config.max in
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int config.seed) 0x9E3779B97F4A7C15L)
+         (Int64.of_int ((Hashtbl.hash key * 8191) + attempt)))
+  in
+  let unit_float =
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+  in
+  expo *. (1. +. unit_float)

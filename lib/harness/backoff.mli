@@ -1,0 +1,31 @@
+(** Seeded, deterministic exponential backoff with jitter — the one
+    retry schedule shared by the {!Supervisor}'s crashed-cell retries
+    and the {!Client}'s resubmission loop.
+
+    The delay for [(seed, key, attempt)] is a pure function of those
+    three values (a SplitMix64 finalizer over their hash), so a retry
+    schedule replays exactly: the same seed, task key and attempt
+    number always produce the same delay.  Idempotent retries plus a
+    deterministic schedule is what lets a chaos run be diffed against a
+    calm one. *)
+
+type config = {
+  base : float;  (** first retry delay, seconds *)
+  max : float;  (** cap on the exponential term, seconds *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default : config
+(** [{ base = 0.05; max = 2.0; seed = 0x5EED }]. *)
+
+val validate : config -> unit
+(** @raise Invalid_argument if [base < 0] or [max < base]. *)
+
+val delay : config -> key:string -> attempt:int -> float
+(** Delay before [attempt] (1-based) of the task named [key]:
+    [base * 2^(attempt-1)] capped at [max], scaled by a deterministic
+    jitter factor in [\[1, 2)]. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer behind the jitter — exposed for other
+    seeded-hash users. *)

@@ -1,0 +1,1099 @@
+type chaos = {
+  chaos_seed : int;
+  drop_conn : float;
+  partial_frame : float;
+  truncate_frame : float;
+  kill_child : float;
+  max_chaos_delay : float;
+}
+
+let default_chaos ~seed =
+  {
+    chaos_seed = seed;
+    drop_conn = 0.10;
+    partial_frame = 0.20;
+    truncate_frame = 0.10;
+    kill_child = 0.25;
+    max_chaos_delay = 0.05;
+  }
+
+type config = {
+  jobs : int;
+  isolation : [ `In_domain | `Process ];
+  queue_limit : int;
+  retries : int;
+  kill_grace : float;
+  default_deadline : float option;
+  backoff : Backoff.config;
+  max_frame : int;
+  chaos : chaos option;
+}
+
+let default_config =
+  {
+    jobs = 2;
+    isolation = `Process;
+    queue_limit = 64;
+    retries = 2;
+    kill_grace = 0.5;
+    default_deadline = None;
+    backoff = Backoff.default;
+    max_frame = Wire.default_max_payload;
+    chaos = None;
+  }
+
+let validate_config c =
+  if c.jobs < 1 then invalid_arg "Server: jobs must be >= 1";
+  if c.queue_limit < 1 then invalid_arg "Server: queue_limit must be >= 1";
+  if c.retries < 0 then invalid_arg "Server: retries must be >= 0";
+  if c.kill_grace <= 0. then invalid_arg "Server: kill_grace must be positive";
+  (match c.default_deadline with
+  | Some t when t <= 0. -> invalid_arg "Server: default_deadline must be positive"
+  | _ -> ());
+  if c.max_frame < 1 then invalid_arg "Server: max_frame must be >= 1";
+  Backoff.validate c.backoff;
+  match c.chaos with
+  | None -> ()
+  | Some ch ->
+      let prob what p =
+        if p < 0. || p > 1. then
+          invalid_arg ("Server: chaos " ^ what ^ " must be a probability")
+      in
+      prob "drop_conn" ch.drop_conn;
+      prob "partial_frame" ch.partial_frame;
+      prob "truncate_frame" ch.truncate_frame;
+      prob "kill_child" ch.kill_child;
+      if ch.max_chaos_delay < 0. then
+        invalid_arg "Server: chaos max_chaos_delay must be >= 0"
+
+(* ------------------------------ plumbing ------------------------------ *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    match Unix.write fd buf pos len with
+    | n -> write_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf pos len
+  end
+
+let sockaddr_of_spec spec =
+  match String.index_opt spec ':' with
+  | Some 3 when String.sub spec 0 3 = "tcp" -> (
+      let port = String.sub spec 4 (String.length spec - 4) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, p), None)
+      | _ -> invalid_arg ("Server: bad tcp socket spec " ^ spec))
+  | _ -> (Unix.ADDR_UNIX spec, Some spec)
+
+let job_id ~kind ~payload = Digest.to_hex (Digest.string (kind ^ "\x00" ^ payload))
+
+let status_of_result r =
+  if String.length r >= 7 && String.sub r 0 7 = "ERROR: " then "error"
+  else if String.length r >= 11 && String.sub r 0 11 = "QUARANTINED" then
+    "quarantined"
+  else "ok"
+
+(* ------------------------------- state -------------------------------- *)
+
+type jstate = Queued | Running | Finished of { status : string; result : string }
+
+type job = {
+  id : string;
+  kind : string;
+  payload : string;
+  deadline : float option;  (* per-attempt seconds; None = config default *)
+  mutable state : jstate;
+  mutable waiters : int list;  (* conn ids, most recent first *)
+  mutable failures : Supervisor.failure list;  (* newest first *)
+  mutable attempts : int;  (* spawns so far *)
+}
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  out : Buffer.t;
+  (* chaos: chunks that must reach [out] in order, each no earlier than
+     its due time — once anything is deferred, later sends defer too *)
+  mutable deferred : (float * string) list;
+  mutable close_after_out : bool;
+  mutable close_reason : string;
+  mutable closed : bool;
+}
+
+type child = {
+  pid : int;
+  cjob : job;
+  cfd : Unix.file_descr;
+  cdec : Wire.decoder;
+  started : float;
+  mutable reply : (char * string) option;
+  mutable bad : string option;
+  mutable term_at : float option;
+  mutable killed : bool;
+  mutable timed_out : bool;
+  mutable kill_at : float option;  (* chaos SIGKILL due time *)
+  mutable chaos_killed : bool;
+}
+
+type stats = {
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable quarantined : int;
+  mutable dedup_cached : int;
+  mutable dedup_inflight : int;
+  mutable retries : int;
+  mutable recovered : int;
+  mutable conns_opened : int;
+  mutable chaos_injected : int;
+}
+
+(* -------------------------- process children -------------------------- *)
+
+let child_main ~handler ~(job : job) w =
+  Trace.detach_in_child ();
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let reply tag payload =
+    let frame = Wire.encode ~tag payload in
+    try write_all w frame 0 (Bytes.length frame) with Unix.Unix_error _ -> ()
+  in
+  (match handler ~kind:job.kind ~payload:job.payload with
+  | r -> reply 'R' r
+  | exception exn ->
+      (* Contained in the child: no job, however pathological, takes the
+         server down with it. *)
+      reply 'E' (Printexc.to_string exn));
+  Unix._exit 0
+
+(* ----------------------------- the server ----------------------------- *)
+
+let run ?(config = default_config) ?journal ?(resume = false)
+    ?(should_stop = fun () -> false) ?(on_ready = fun () -> ()) ~socket
+    ~handler () =
+  validate_config config;
+  let sockaddr, unix_path = sockaddr_of_spec socket in
+  let stats =
+    {
+      accepted = 0;
+      rejected = 0;
+      completed = 0;
+      errors = 0;
+      quarantined = 0;
+      dedup_cached = 0;
+      dedup_inflight = 0;
+      retries = 0;
+      recovered = 0;
+      conns_opened = 0;
+      chaos_injected = 0;
+    }
+  in
+  let metric name = if Metrics.on () then Metrics.incr name in
+  (* chaos schedule: a splitmix stream off the chaos seed *)
+  let rng_state =
+    ref (Int64.mul (Int64.of_int (match config.chaos with
+                                  | Some c -> c.chaos_seed
+                                  | None -> 0))
+           0x9E3779B97F4A7C15L)
+  in
+  let draw () =
+    rng_state := Int64.add !rng_state 0x9E3779B97F4A7C15L;
+    Int64.to_float (Int64.shift_right_logical (Backoff.mix64 !rng_state) 11)
+    /. 9007199254740992.
+  in
+  let chaos_fire kind =
+    stats.chaos_injected <- stats.chaos_injected + 1;
+    metric ("server.chaos." ^ kind);
+    if Trace.on () then Trace.emit (Trace.Chaos_injected { kind })
+  in
+  (* ------------------------------ jobs ------------------------------ *)
+  let jobs_tbl : (string, job) Hashtbl.t = Hashtbl.create 64 in
+  let pending : job Queue.t = Queue.create () in
+  (* domain-mode shared state; allocated lazily only under `In_domain *)
+  let dmutex = Mutex.create () in
+  let dcond = Condition.create () in
+  let dstop = ref false in
+  let drunning = ref 0 in
+  let dout : (string * string * string) list ref = ref [] in
+  let omutex = Mutex.create () in
+  let pipe_r, pipe_w =
+    match config.isolation with
+    | `In_domain -> Unix.pipe ~cloexec:true ()
+    | `Process -> (Unix.stdin, Unix.stdin)  (* unused *)
+  in
+  let queued_count () =
+    match config.isolation with
+    | `Process -> Queue.length pending
+    | `In_domain -> Mutex.protect dmutex (fun () -> Queue.length pending)
+  in
+  let enqueue_job job =
+    match config.isolation with
+    | `Process -> Queue.push job pending
+    | `In_domain ->
+        Mutex.protect dmutex (fun () -> Queue.push job pending);
+        Condition.signal dcond
+  in
+  (* --------------------------- journaling --------------------------- *)
+  let jnl =
+    Option.map (fun path -> Sweep.Journal.open_out ~resume path) journal
+  in
+  let journal_accept job =
+    Option.iter
+      (fun j ->
+        let deadline_ms =
+          match job.deadline with
+          | None -> ""
+          | Some s -> string_of_int (int_of_float (s *. 1000.))
+        in
+        Sweep.Journal.append j ~key:("j:" ^ job.id)
+          (job.kind ^ "\t" ^ deadline_ms ^ "\t" ^ job.payload))
+      jnl
+  in
+  let journal_done job result =
+    Option.iter (fun j -> Sweep.Journal.append j ~key:("d:" ^ job.id) result) jnl
+  in
+  (* ---------------------------- connections -------------------------- *)
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_cid = ref 0 in
+  let close_conn conn reason =
+    if not conn.closed then begin
+      conn.closed <- true;
+      Hashtbl.remove conns conn.cid;
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      if Trace.on () then
+        Trace.emit (Trace.Conn_close { conn = conn.cid; reason })
+    end
+  in
+  (* enqueue bytes on a connection, through the chaos harness *)
+  let send conn (frame : bytes) =
+    if (not conn.closed) && not conn.close_after_out then begin
+      let s = Bytes.to_string frame in
+      let now = Unix.gettimeofday () in
+      let defer due chunk =
+        conn.deferred <- conn.deferred @ [ (due, chunk) ]
+      in
+      match config.chaos with
+      | Some c when conn.deferred <> [] ->
+          (* keep stream order behind already-deferred chunks *)
+          ignore c;
+          defer now s
+      | Some c when String.length s > 1 && draw () < c.truncate_frame ->
+          chaos_fire "truncate_frame";
+          Buffer.add_string conn.out (String.sub s 0 (String.length s / 2));
+          conn.close_after_out <- true;
+          conn.close_reason <- "truncate_frame"
+      | Some c when String.length s > 1 && draw () < c.partial_frame ->
+          chaos_fire "partial_frame";
+          let half = String.length s / 2 in
+          Buffer.add_string conn.out (String.sub s 0 half);
+          defer
+            (now +. (draw () *. c.max_chaos_delay))
+            (String.sub s half (String.length s - half))
+      | _ -> Buffer.add_string conn.out s
+    end
+  in
+  let flush_deferred conn now =
+    let rec go = function
+      | (due, chunk) :: rest when due <= now ->
+          Buffer.add_string conn.out chunk;
+          go rest
+      | rest -> rest
+    in
+    conn.deferred <- go conn.deferred
+  in
+  let send_result conn (job : job) result =
+    send conn (Wire.encode ~tag:'R' (job.id ^ "\t" ^ result))
+  in
+  (* ------------------------- job completion ------------------------- *)
+  let drain_req = Atomic.make false in
+  let draining = ref false in
+  let complete (job : job) status result =
+    job.state <- Finished { status; result };
+    journal_done job result;
+    stats.completed <- stats.completed + 1;
+    (match status with
+    | "error" -> stats.errors <- stats.errors + 1
+    | "quarantined" -> stats.quarantined <- stats.quarantined + 1
+    | _ -> ());
+    metric "server.completed";
+    if Trace.on () then Trace.emit (Trace.Job_done { id = job.id; status });
+    List.iter
+      (fun cid ->
+        match Hashtbl.find_opt conns cid with
+        | Some conn -> send_result conn job result
+        | None -> ())
+      (List.rev job.waiters);
+    job.waiters <- []
+  in
+  (* ------------------------- process backend ------------------------ *)
+  let children : child list ref = ref [] in
+  (* (due, job) retry schedule, sorted by due time *)
+  let retry_queue : (float * job) list ref = ref [] in
+  let schedule_retry job =
+    let delay = Backoff.delay config.backoff ~key:job.id ~attempt:job.attempts in
+    if Trace.on () then
+      Trace.emit (Trace.Cell_retry { key = job.id; attempt = job.attempts; delay });
+    let due = Unix.gettimeofday () +. delay in
+    let rec insert = function
+      | [] -> [ (due, job) ]
+      | (d, _) :: _ as l when due < d -> (due, job) :: l
+      | x :: rest -> x :: insert rest
+    in
+    retry_queue := insert !retry_queue
+  in
+  let spawn job =
+    job.state <- Running;
+    let attempt = job.attempts in
+    job.attempts <- attempt + 1;
+    if Trace.on () then Trace.emit (Trace.Job_start { id = job.id; attempt });
+    metric "server.job_starts";
+    let r, w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        child_main ~handler ~job w
+    | pid ->
+        Unix.close w;
+        let kill_at =
+          match config.chaos with
+          | Some c when draw () < c.kill_child ->
+              Some (Unix.gettimeofday () +. (draw () *. c.max_chaos_delay))
+          | _ -> None
+        in
+        children :=
+          {
+            pid;
+            cjob = job;
+            cfd = r;
+            cdec = Wire.decoder ~tags:"RE" ~bare:"H" ();
+            started = Unix.gettimeofday ();
+            reply = None;
+            bad = None;
+            term_at = None;
+            killed = false;
+            timed_out = false;
+            kill_at;
+            chaos_killed = false;
+          }
+          :: !children
+  in
+  let fill () =
+    if config.isolation = `Process then begin
+      let continue = ref true in
+      while !continue do
+        if !draining || List.length !children >= config.jobs then
+          continue := false
+        else
+          let now = Unix.gettimeofday () in
+          match !retry_queue with
+          | (due, job) :: rest when due <= now ->
+              retry_queue := rest;
+              spawn job
+          | _ -> (
+              match Queue.take_opt pending with
+              | Some job -> spawn job
+              | None -> continue := false)
+      done
+    end
+  in
+  let kill_pid pid signal =
+    try Unix.kill pid signal with Unix.Unix_error _ -> ()
+  in
+  let rec waitpid_retry pid =
+    match Unix.waitpid [] pid with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  in
+  let parse_child ch =
+    let again = ref true in
+    while !again do
+      again := false;
+      if ch.reply = None && ch.bad = None then
+        match Wire.decode ch.cdec with
+        | Ok None -> ()
+        | Ok (Some { Wire.tag = 'H'; _ }) -> again := true
+        | Ok (Some { Wire.tag; payload }) -> ch.reply <- Some (tag, payload)
+        | Error e -> ch.bad <- Some (Wire.error_to_string e)
+    done
+  in
+  let reap ch =
+    (try Unix.close ch.cfd with Unix.Unix_error _ -> ());
+    let _, wstatus = waitpid_retry ch.pid in
+    children := List.filter (fun c -> c != ch) !children;
+    let job = ch.cjob in
+    match ch.reply with
+    | Some ('R', r) -> complete job (status_of_result r) r
+    | Some ('E', msg) -> complete job "error" ("ERROR: " ^ msg)
+    | Some _ -> assert false
+    | None ->
+        if !draining then
+          (* the drain killed nothing, but a child dying right now is
+             abandoned like an interrupted cell: it stays journaled as
+             accepted and reruns after restart *)
+          job.state <- Queued
+        else if ch.chaos_killed then begin
+          (* the server's own chaos harness killed it: retry, charging
+             no budget — injected faults must never quarantine *)
+          job.state <- Queued;
+          schedule_retry job
+        end
+        else begin
+          let failure =
+            if ch.timed_out then
+              Supervisor.Unresponsive
+                {
+                  elapsed = Unix.gettimeofday () -. ch.started;
+                  limit =
+                    Option.value
+                      (match job.deadline with
+                      | Some _ as d -> d
+                      | None -> config.default_deadline)
+                      ~default:0.;
+                  forced = ch.killed;
+                }
+            else
+              match ch.bad with
+              | Some msg -> Supervisor.Protocol msg
+              | None -> (
+                  match wstatus with
+                  | Unix.WEXITED 0 -> Supervisor.Protocol "no reply before exit"
+                  | Unix.WEXITED n -> Supervisor.Exited n
+                  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Supervisor.Signaled s)
+          in
+          job.failures <- failure :: job.failures;
+          let nfails = List.length job.failures in
+          if nfails > config.retries then begin
+            let q =
+              {
+                Supervisor.key = job.id;
+                attempts = nfails;
+                failures = List.rev job.failures;
+              }
+            in
+            complete job "quarantined" (Supervisor.quarantine_to_string q)
+          end
+          else begin
+            stats.retries <- stats.retries + 1;
+            metric "server.retries";
+            job.state <- Queued;
+            schedule_retry job
+          end
+        end
+  in
+  let check_watchdog now =
+    List.iter
+      (fun ch ->
+        if ch.reply = None then begin
+          (match ch.kill_at with
+          | Some t when (not ch.chaos_killed) && now >= t ->
+              ch.chaos_killed <- true;
+              chaos_fire "kill_child";
+              kill_pid ch.pid Sys.sigkill
+          | _ -> ());
+          let limit =
+            match ch.cjob.deadline with
+            | Some _ as d -> d
+            | None -> config.default_deadline
+          in
+          (match limit with
+          | Some l when ch.term_at = None && now -. ch.started > l ->
+              ch.timed_out <- true;
+              ch.term_at <- Some now;
+              kill_pid ch.pid Sys.sigterm;
+              metric "server.kills.term"
+          | _ -> ());
+          match ch.term_at with
+          | Some t when (not ch.killed) && now -. t > config.kill_grace ->
+              ch.killed <- true;
+              kill_pid ch.pid Sys.sigkill;
+              metric "server.kills.kill"
+          | _ -> ()
+        end)
+      !children
+  in
+  (* -------------------------- domain backend ------------------------- *)
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let job =
+        Mutex.protect dmutex (fun () ->
+            while Queue.is_empty pending && not !dstop do
+              Condition.wait dcond dmutex
+            done;
+            if !dstop then None
+            else begin
+              incr drunning;
+              Queue.take_opt pending
+            end)
+      in
+      match job with
+      | None -> continue := false
+      | Some job ->
+          if Trace.on () then
+            Trace.emit (Trace.Job_start { id = job.id; attempt = 0 });
+          if Metrics.on () then Metrics.incr "server.job_starts";
+          let status, result =
+            match handler ~kind:job.kind ~payload:job.payload with
+            | r -> (status_of_result r, r)
+            | exception exn -> ("error", "ERROR: " ^ Printexc.to_string exn)
+          in
+          Mutex.protect omutex (fun () ->
+              dout := (job.id, status, result) :: !dout);
+          Mutex.protect dmutex (fun () -> decr drunning);
+          (* wake the select loop *)
+          (try ignore (Unix.write pipe_w (Bytes.of_string "x") 0 1)
+           with Unix.Unix_error _ -> ())
+    done
+  in
+  let domains =
+    match config.isolation with
+    | `In_domain -> List.init config.jobs (fun _ -> Domain.spawn worker)
+    | `Process -> []
+  in
+  let collect_domain_results () =
+    let done_jobs =
+      Mutex.protect omutex (fun () ->
+          let r = !dout in
+          dout := [];
+          r)
+    in
+    List.iter
+      (fun (id, status, result) ->
+        match Hashtbl.find_opt jobs_tbl id with
+        | Some job -> complete job status result
+        | None -> ())
+      (List.rev done_jobs)
+  in
+  (* ------------------------------ frames ----------------------------- *)
+  let health_json () =
+    let running =
+      match config.isolation with
+      | `Process -> List.length !children
+      | `In_domain -> Mutex.protect dmutex (fun () -> !drunning)
+    in
+    Obs.Json.Obj
+      [
+        ("status", Obs.Json.String (if !draining then "draining" else "ok"));
+        ("queued", Obs.Json.Int (queued_count ()));
+        ("running", Obs.Json.Int running);
+        ("completed", Obs.Json.Int stats.completed);
+      ]
+  in
+  let stats_json () =
+    let running =
+      match config.isolation with
+      | `Process -> List.length !children
+      | `In_domain -> Mutex.protect dmutex (fun () -> !drunning)
+    in
+    Obs.Json.Obj
+      [
+        ("accepted", Obs.Json.Int stats.accepted);
+        ("rejected", Obs.Json.Int stats.rejected);
+        ("completed", Obs.Json.Int stats.completed);
+        ("errors", Obs.Json.Int stats.errors);
+        ("quarantined", Obs.Json.Int stats.quarantined);
+        ("dedup_cached", Obs.Json.Int stats.dedup_cached);
+        ("dedup_inflight", Obs.Json.Int stats.dedup_inflight);
+        ("retries", Obs.Json.Int stats.retries);
+        ("recovered", Obs.Json.Int stats.recovered);
+        ("conns", Obs.Json.Int stats.conns_opened);
+        ("chaos_injected", Obs.Json.Int stats.chaos_injected);
+        ("queued", Obs.Json.Int (queued_count ()));
+        ("running", Obs.Json.Int running);
+        ("draining", Obs.Json.Bool !draining);
+      ]
+  in
+  let handle_submit conn payload =
+    match String.index_opt payload '\n' with
+    | None ->
+        send conn (Wire.encode ~tag:'E' "malformed submit: no header line");
+        conn.close_after_out <- true;
+        conn.close_reason <- "protocol"
+    | Some nl -> (
+        let header = String.sub payload 0 nl in
+        let body = String.sub payload (nl + 1) (String.length payload - nl - 1) in
+        let kind, deadline_str =
+          match String.index_opt header '\t' with
+          | None -> (header, "")
+          | Some t ->
+              ( String.sub header 0 t,
+                String.sub header (t + 1) (String.length header - t - 1) )
+        in
+        let deadline =
+          match deadline_str with
+          | "" -> Ok None
+          | s -> (
+              match int_of_string_opt s with
+              | Some ms when ms > 0 -> Ok (Some (float_of_int ms /. 1000.))
+              | _ -> Error s)
+        in
+        match deadline with
+        | Error s ->
+            send conn (Wire.encode ~tag:'E' ("malformed submit: deadline " ^ s));
+            conn.close_after_out <- true;
+            conn.close_reason <- "protocol"
+        | Ok deadline when kind = "" ->
+            ignore deadline;
+            send conn (Wire.encode ~tag:'E' "malformed submit: empty kind");
+            conn.close_after_out <- true;
+            conn.close_reason <- "protocol"
+        | Ok deadline -> (
+            let id = job_id ~kind ~payload:body in
+            let chaos_drop () =
+              match config.chaos with
+              | Some c when draw () < c.drop_conn ->
+                  chaos_fire "drop_conn";
+                  close_conn conn "drop_conn";
+                  true
+              | _ -> false
+            in
+            let submit_trace disposition =
+              if Trace.on () then
+                Trace.emit (Trace.Job_submit { id; kind; disposition })
+            in
+            match Hashtbl.find_opt jobs_tbl id with
+            | Some ({ state = Finished { result; _ }; _ } as job) ->
+                submit_trace "cached";
+                stats.dedup_cached <- stats.dedup_cached + 1;
+                metric "server.dedup.cached";
+                if not (chaos_drop ()) then begin
+                  send conn (Wire.encode ~tag:'A' id);
+                  send_result conn job result
+                end
+            | Some job ->
+                submit_trace "inflight";
+                stats.dedup_inflight <- stats.dedup_inflight + 1;
+                metric "server.dedup.inflight";
+                if not (List.mem conn.cid job.waiters) then
+                  job.waiters <- conn.cid :: job.waiters;
+                if not (chaos_drop ()) then send conn (Wire.encode ~tag:'A' id)
+            | None ->
+                if !draining then begin
+                  stats.rejected <- stats.rejected + 1;
+                  metric "server.rejected";
+                  if Trace.on () then
+                    Trace.emit
+                      (Trace.Job_reject
+                         {
+                           id;
+                           queued = queued_count ();
+                           limit = config.queue_limit;
+                         });
+                  send conn (Wire.encode ~tag:'X' (id ^ "\tdraining"))
+                end
+                else if queued_count () >= config.queue_limit then begin
+                  stats.rejected <- stats.rejected + 1;
+                  metric "server.rejected";
+                  if Trace.on () then
+                    Trace.emit
+                      (Trace.Job_reject
+                         {
+                           id;
+                           queued = queued_count ();
+                           limit = config.queue_limit;
+                         });
+                  send conn
+                    (Wire.encode ~tag:'X'
+                       (Printf.sprintf "%s\toverloaded: %d jobs queued (limit %d)"
+                          id (queued_count ()) config.queue_limit))
+                end
+                else begin
+                  let job =
+                    {
+                      id;
+                      kind;
+                      payload = body;
+                      deadline;
+                      state = Queued;
+                      waiters = [ conn.cid ];
+                      failures = [];
+                      attempts = 0;
+                    }
+                  in
+                  Hashtbl.replace jobs_tbl id job;
+                  journal_accept job;
+                  enqueue_job job;
+                  submit_trace "new";
+                  stats.accepted <- stats.accepted + 1;
+                  metric "server.accepted";
+                  if chaos_drop () then () else send conn (Wire.encode ~tag:'A' id)
+                end))
+  in
+  let process_conn_frames conn =
+    let continue = ref true in
+    while !continue && not conn.closed do
+      match Wire.decode conn.dec with
+      | Ok None -> continue := false
+      | Ok (Some { Wire.tag = 'S'; payload }) -> handle_submit conn payload
+      | Ok (Some { Wire.tag = 'P'; _ }) ->
+          send conn (Wire.encode ~tag:'H' (Obs.Json.to_string (health_json ())))
+      | Ok (Some { Wire.tag = 'T'; _ }) ->
+          send conn (Wire.encode ~tag:'U' (Obs.Json.to_string (stats_json ())))
+      | Ok (Some { Wire.tag; _ }) ->
+          send conn
+            (Wire.encode ~tag:'E' (Printf.sprintf "unexpected request tag %C" tag));
+          conn.close_after_out <- true;
+          conn.close_reason <- "protocol";
+          continue := false
+      | Error e ->
+          send conn (Wire.encode ~tag:'E' (Wire.error_to_string e));
+          conn.close_after_out <- true;
+          conn.close_reason <- "protocol";
+          continue := false
+    done
+  in
+  (* ------------------------------ socket ----------------------------- *)
+  let listen_fd =
+    let domain = Unix.domain_of_sockaddr sockaddr in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    (try
+       (match unix_path with
+       | Some path when Sys.file_exists path -> Unix.unlink path
+       | _ -> ());
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd sockaddr;
+       Unix.listen fd 64
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       (match e with
+       | Unix.Unix_error (err, _, _) ->
+           failwith
+             (Printf.sprintf "Server: cannot listen on %s: %s" socket
+                (Unix.error_message err))
+       | e -> raise e));
+    fd
+  in
+  let accepting = ref true in
+  let stop_accepting () =
+    if !accepting then begin
+      accepting := false;
+      try Unix.close listen_fd with Unix.Unix_error _ -> ()
+    end
+  in
+  (* ---------------------------- recovery ----------------------------- *)
+  (match (journal, resume) with
+  | Some path, true ->
+      let records = Sweep.Journal.load path in
+      let done_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (key, value) ->
+          if String.length key > 2 && String.sub key 0 2 = "d:" then
+            Hashtbl.replace done_tbl (String.sub key 2 (String.length key - 2))
+              value)
+        records;
+      List.iter
+        (fun (key, value) ->
+          if String.length key > 2 && String.sub key 0 2 = "j:" then begin
+            let id = String.sub key 2 (String.length key - 2) in
+            if not (Hashtbl.mem jobs_tbl id) then begin
+              (* value = kind TAB deadline_ms TAB payload *)
+              match String.index_opt value '\t' with
+              | None -> ()  (* foreign record: skipped *)
+              | Some t1 -> (
+                  let kind = String.sub value 0 t1 in
+                  match String.index_from_opt value (t1 + 1) '\t' with
+                  | None -> ()
+                  | Some t2 ->
+                      let deadline_str = String.sub value (t1 + 1) (t2 - t1 - 1) in
+                      let body =
+                        String.sub value (t2 + 1) (String.length value - t2 - 1)
+                      in
+                      let deadline =
+                        match int_of_string_opt deadline_str with
+                        | Some ms when ms > 0 -> Some (float_of_int ms /. 1000.)
+                        | _ -> None
+                      in
+                      let job =
+                        {
+                          id;
+                          kind;
+                          payload = body;
+                          deadline;
+                          state = Queued;
+                          waiters = [];
+                          failures = [];
+                          attempts = 0;
+                        }
+                      in
+                      Hashtbl.replace jobs_tbl id job;
+                      stats.recovered <- stats.recovered + 1;
+                      metric "server.recovered";
+                      (match Hashtbl.find_opt done_tbl id with
+                      | Some result ->
+                          job.state <-
+                            Finished
+                              { status = status_of_result result; result }
+                      | None -> enqueue_job job))
+            end
+          end)
+        records
+  | _ -> ());
+  (* ----------------------------- signals ----------------------------- *)
+  let save_signal s h = try Some (Sys.signal s h) with Invalid_argument _ | Sys_error _ -> None in
+  let prev_term =
+    save_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set drain_req true))
+  in
+  let prev_int =
+    save_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set drain_req true))
+  in
+  let prev_pipe = save_signal Sys.sigpipe Sys.Signal_ignore in
+  let restore_signals () =
+    Option.iter (fun b -> Sys.set_signal Sys.sigterm b) prev_term;
+    Option.iter (fun b -> Sys.set_signal Sys.sigint b) prev_int;
+    Option.iter (fun b -> Sys.set_signal Sys.sigpipe b) prev_pipe
+  in
+  if Trace.on () then
+    Trace.emit
+      (Trace.Server_start
+         { socket; jobs = config.jobs; queue_limit = config.queue_limit });
+  (* ---------------------------- main loop ---------------------------- *)
+  let chunk = Bytes.create 4096 in
+  let running_count () =
+    match config.isolation with
+    | `Process -> List.length !children
+    | `In_domain -> Mutex.protect dmutex (fun () -> !drunning)
+  in
+  let flush_conn conn =
+    flush_deferred conn (Unix.gettimeofday ());
+    if Buffer.length conn.out > 0 && not conn.closed then begin
+      let bytes = Buffer.to_bytes conn.out in
+      match Unix.write conn.fd bytes 0 (Bytes.length bytes) with
+      | n ->
+          if n >= Bytes.length bytes then Buffer.clear conn.out
+          else begin
+            let rest = Buffer.sub conn.out n (Buffer.length conn.out - n) in
+            Buffer.clear conn.out;
+            Buffer.add_string conn.out rest
+          end
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn conn "error"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+    end;
+    if
+      (not conn.closed) && conn.close_after_out
+      && Buffer.length conn.out = 0
+      && conn.deferred = []
+    then close_conn conn conn.close_reason
+  in
+  let handle_conn_read conn =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> close_conn conn "eof"
+    | n ->
+        Wire.feed conn.dec chunk 0 n;
+        process_conn_frames conn
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn conn "error"
+  in
+  let handle_child_read ch =
+    match Unix.read ch.cfd chunk 0 (Bytes.length chunk) with
+    | 0 -> reap ch
+    | n ->
+        Wire.feed ch.cdec chunk 0 n;
+        parse_child ch
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let accept_ready () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | fd, _ ->
+        let cid = !next_cid in
+        incr next_cid;
+        let conn =
+          {
+            cid;
+            fd;
+            dec = Wire.decoder ~max_payload:config.max_frame ~tags:"SPT" ();
+            out = Buffer.create 256;
+            deferred = [];
+            close_after_out = false;
+            close_reason = "eof";
+            closed = false;
+          }
+        in
+        Hashtbl.replace conns cid conn;
+        stats.conns_opened <- stats.conns_opened + 1;
+        metric "server.conns";
+        if Trace.on () then Trace.emit (Trace.Conn_open { conn = cid })
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+  in
+  let select_timeout now =
+    let t = ref 0.25 in
+    let consider due = t := Float.max 0. (Float.min !t (due -. now)) in
+    List.iter
+      (fun ch ->
+        if ch.reply = None then begin
+          Option.iter consider ch.kill_at;
+          let limit =
+            match ch.cjob.deadline with
+            | Some _ as d -> d
+            | None -> config.default_deadline
+          in
+          (match (limit, ch.term_at) with
+          | Some l, None -> consider (ch.started +. l)
+          | _ -> ());
+          match ch.term_at with
+          | Some at when not ch.killed -> consider (at +. config.kill_grace)
+          | _ -> ()
+        end)
+      !children;
+    (match !retry_queue with (due, _) :: _ -> consider due | [] -> ());
+    Hashtbl.iter
+      (fun _ conn ->
+        match conn.deferred with (due, _) :: _ -> consider due | [] -> ())
+      conns;
+    !t
+  in
+  let start_drain () =
+    if not !draining then begin
+      draining := true;
+      stop_accepting ();
+      (* retry-waiting jobs are abandoned like queued ones: journaled as
+         accepted, rerun on restart *)
+      List.iter (fun (_, job) -> job.state <- Queued) !retry_queue;
+      retry_queue := [];
+      if Trace.on () then
+        Trace.emit
+          (Trace.Server_drain
+             { queued = queued_count (); running = running_count () });
+      metric "server.drains";
+      match config.isolation with
+      | `In_domain ->
+          Mutex.protect dmutex (fun () -> dstop := true);
+          Condition.broadcast dcond
+      | `Process -> ()
+    end
+  in
+  let cleanup () =
+    restore_signals ();
+    stop_accepting ();
+    (* never leak children, also on the exception path *)
+    List.iter (fun ch -> kill_pid ch.pid Sys.sigkill) !children;
+    List.iter
+      (fun ch ->
+        (try Unix.close ch.cfd with Unix.Unix_error _ -> ());
+        ignore (waitpid_retry ch.pid))
+      !children;
+    children := [];
+    (match config.isolation with
+    | `In_domain ->
+        Mutex.protect dmutex (fun () -> dstop := true);
+        Condition.broadcast dcond;
+        List.iter Domain.join domains;
+        (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+        (try Unix.close pipe_w with Unix.Unix_error _ -> ())
+    | `Process -> ());
+    Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
+    Hashtbl.reset conns;
+    Option.iter Sweep.Journal.close jnl;
+    match unix_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      on_ready ();
+      let finished = ref false in
+      while not !finished do
+        if (Atomic.get drain_req || should_stop ()) && not !draining then
+          start_drain ();
+        fill ();
+        let now = Unix.gettimeofday () in
+        check_watchdog now;
+        (* collect results that arrived via the self-pipe *)
+        if config.isolation = `In_domain then collect_domain_results ();
+        (* flush what can be flushed without waiting for select *)
+        Hashtbl.iter (fun _ conn -> flush_deferred conn now) conns;
+        let rfds =
+          (if !accepting then [ listen_fd ] else [])
+          @ (if config.isolation = `In_domain then [ pipe_r ] else [])
+          @ Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
+          @ List.map (fun ch -> ch.cfd) !children
+        in
+        let wfds =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if Buffer.length c.out > 0 || (c.close_after_out && c.deferred = [])
+              then c.fd :: acc
+              else acc)
+            conns []
+        in
+        (match Unix.select rfds wfds [] (select_timeout now) with
+        | ready_r, ready_w, _ ->
+            List.iter
+              (fun fd ->
+                if !accepting && fd = listen_fd then accept_ready ()
+                else if config.isolation = `In_domain && fd = pipe_r then begin
+                  (match Unix.read pipe_r chunk 0 (Bytes.length chunk) with
+                  | _ -> ()
+                  | exception Unix.Unix_error _ -> ());
+                  collect_domain_results ()
+                end
+                else
+                  match List.find_opt (fun ch -> ch.cfd = fd) !children with
+                  | Some ch -> handle_child_read ch
+                  | None -> (
+                      match
+                        Hashtbl.fold
+                          (fun _ c acc -> if c.fd = fd then Some c else acc)
+                          conns None
+                      with
+                      | Some conn -> handle_conn_read conn
+                      | None -> ()))
+              ready_r;
+            List.iter
+              (fun fd ->
+                match
+                  Hashtbl.fold
+                    (fun _ c acc -> if c.fd = fd then Some c else acc)
+                    conns None
+                with
+                | Some conn -> flush_conn conn
+                | None -> ())
+              ready_w
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        if !draining then begin
+          (match config.isolation with
+          | `In_domain ->
+              (* workers have been told to stop; wait for in-flight *)
+              if running_count () = 0 then begin
+                collect_domain_results ();
+                finished := true
+              end
+          | `Process -> if !children = [] then finished := true)
+        end
+      done;
+      (* a short best-effort flush so waiters of jobs that finished
+         during the drain see their results before the close *)
+      let flush_deadline = Unix.gettimeofday () +. 0.5 in
+      let pending_out () =
+        Hashtbl.fold
+          (fun _ c acc -> acc || Buffer.length c.out > 0 || c.deferred <> [])
+          conns false
+      in
+      while pending_out () && Unix.gettimeofday () < flush_deadline do
+        let now = Unix.gettimeofday () in
+        Hashtbl.iter (fun _ conn -> flush_deferred conn now) conns;
+        let wfds =
+          Hashtbl.fold
+            (fun _ c acc -> if Buffer.length c.out > 0 then c.fd :: acc else acc)
+            conns []
+        in
+        match Unix.select [] wfds [] 0.05 with
+        | _, ready_w, _ ->
+            List.iter
+              (fun fd ->
+                match
+                  Hashtbl.fold
+                    (fun _ c acc -> if c.fd = fd then Some c else acc)
+                    conns None
+                with
+                | Some conn -> flush_conn conn
+                | None -> ())
+              ready_w
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

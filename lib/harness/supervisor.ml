@@ -80,30 +80,10 @@ type outcome = Done of string | Failed of string | Quarantined of quarantine
 
 (* ------------------------- deterministic backoff ------------------------- *)
 
-(* SplitMix64 finalizer: the jitter for (seed, key, attempt) is a pure
-   function of those three values, so a retry schedule replays exactly. *)
-let mix64 z =
-  let open Int64 in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
-  logxor z (shift_right_logical z 31)
-
 let backoff_delay config key attempt =
-  (* exponential: base * 2^(attempt-1), capped, with [0,1)x jitter *)
-  let expo =
-    config.backoff_base *. (2. ** float_of_int (max 0 (attempt - 1)))
-  in
-  let expo = Float.min expo config.backoff_max in
-  let h =
-    mix64
-      (Int64.add
-         (Int64.mul (Int64.of_int config.seed) 0x9E3779B97F4A7C15L)
-         (Int64.of_int ((Hashtbl.hash key * 8191) + attempt)))
-  in
-  let unit_float =
-    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
-  in
-  expo *. (1. +. unit_float)
+  Backoff.delay
+    { Backoff.base = config.backoff_base; max = config.backoff_max; seed = config.seed }
+    ~key ~attempt
 
 (* ------------------------------ child side ------------------------------ *)
 
@@ -136,12 +116,8 @@ let child_main ~config ~work ~idx w =
     ignore (Unix.alarm 0);
     if config.heartbeat_interval > 0 then
       Sys.set_signal Sys.sigalrm Sys.Signal_ignore;
-    let n = String.length payload in
-    let frame = Bytes.create (5 + n) in
-    Bytes.set frame 0 tag;
-    Bytes.set_int32_be frame 1 (Int32.of_int n);
-    Bytes.blit_string payload 0 frame 5 n;
-    (try write_all w frame 0 (5 + n) with Unix.Unix_error _ -> ())
+    let frame = Wire.encode ~tag payload in
+    (try write_all w frame 0 (Bytes.length frame) with Unix.Unix_error _ -> ())
   in
   let code =
     match work idx with
@@ -160,12 +136,16 @@ let child_main ~config ~work ~idx w =
 
 (* ------------------------------ parent side ------------------------------ *)
 
+(* The reply protocol is Wire framing: framed 'R'/'E', bare 'H'
+   heartbeats.  One decoder per child stream. *)
+let reply_decoder () = Wire.decoder ~tags:"RE" ~bare:"H" ()
+
 type slot = {
   pid : int;
   idx : int;
   skey : string;
   fd : Unix.file_descr;
-  buf : Buffer.t;
+  dec : Wire.decoder;
   start : float;
   mutable reply : (char * string) option;
   mutable bad : string option;
@@ -221,7 +201,7 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
             idx;
             skey;
             fd = r;
-            buf = Buffer.create 256;
+            dec = reply_decoder ();
             start = Unix.gettimeofday ();
             reply = None;
             bad = None;
@@ -257,28 +237,17 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
     let again = ref true in
     while !again do
       again := false;
-      let len = Buffer.length slot.buf in
-      if len > 0 && slot.reply = None && slot.bad = None then begin
-        match Buffer.nth slot.buf 0 with
-        | 'H' ->
-            let rest = Buffer.sub slot.buf 1 (len - 1) in
-            Buffer.clear slot.buf;
-            Buffer.add_string slot.buf rest;
+      if slot.reply = None && slot.bad = None then
+        match Wire.decode slot.dec with
+        | Ok None -> ()
+        | Ok (Some { Wire.tag = 'H'; _ }) ->
             if Trace.on () then
               Trace.emit
                 (Trace.Child_heartbeat { key = slot.skey; pid = slot.pid });
             if Metrics.on () then Metrics.incr "supervisor.heartbeats";
             again := true
-        | ('R' | 'E') as tag ->
-            if len >= 5 then begin
-              let hdr = Bytes.of_string (Buffer.sub slot.buf 0 5) in
-              let n = Int32.to_int (Bytes.get_int32_be hdr 1) in
-              if n < 0 then slot.bad <- Some "negative frame length"
-              else if len >= 5 + n then
-                slot.reply <- Some (tag, Buffer.sub slot.buf 5 n)
-            end
-        | c -> slot.bad <- Some (Printf.sprintf "unexpected byte %C" c)
-      end
+        | Ok (Some { Wire.tag; payload }) -> slot.reply <- Some (tag, payload)
+        | Error e -> slot.bad <- Some (Wire.error_to_string e)
     done
   in
   let kill_pid pid signal name =
@@ -440,7 +409,7 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
         match Unix.read slot.fd chunk 0 (Bytes.length chunk) with
         | 0 -> reap slot
         | n ->
-            Buffer.add_subbytes slot.buf chunk 0 n;
+            Wire.feed slot.dec chunk 0 n;
             parse slot
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
   in

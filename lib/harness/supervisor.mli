@@ -6,7 +6,10 @@
     evades them — see guard.mli), and nothing in-process survives an
     OOM-kill or a stray [SIGKILL] aimed at a worker.  The supervisor
     closes both gaps by forking each task into a {e child process} that
-    speaks a tiny length-prefixed protocol over a pipe:
+    speaks a tiny length-prefixed protocol over a pipe — {!Wire}
+    framing with framed ['R']/['E'] replies and the bare ['H']
+    heartbeat, the same audited codec the {!Server} speaks on its
+    socket:
 
     {v
       parent (single domain: fork/select/waitpid loop)

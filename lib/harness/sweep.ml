@@ -2,108 +2,158 @@ type cell = { key : string; run : unit -> string }
 
 exception Interrupted
 
-(* Checkpoint format version.  The header is a tab-less line, which a
-   pre-versioning loader already skipped as foreign (so v1 files replay
-   under v0 code), and a file with no header is v0 (so old checkpoints
-   replay here).  Bump [ckpt_version] — and keep parsing the old
-   layouts — when the record format changes. *)
-let ckpt_version = 1
-let ckpt_header_prefix = "#sweep-checkpoint v"
-let ckpt_header = Printf.sprintf "%s%d" ckpt_header_prefix ckpt_version
+module Journal = struct
+  (* Journal format version.  The header is a tab-less line, which a
+     pre-versioning loader already skipped as foreign (so v1 files replay
+     under v0 code), and a file with no header is v0 (so old checkpoints
+     replay here).  Bump [version] — and keep parsing the old
+     layouts — when the record format changes. *)
+  let version = 1
+  let header_prefix = "#sweep-checkpoint v"
+  let header = Printf.sprintf "%s%d" header_prefix version
 
-let parse_header line =
-  if String.length line >= String.length ckpt_header_prefix
-     && String.sub line 0 (String.length ckpt_header_prefix) = ckpt_header_prefix
-  then
-    let rest =
-      String.sub line
-        (String.length ckpt_header_prefix)
-        (String.length line - String.length ckpt_header_prefix)
+  let parse_header line =
+    if String.length line >= String.length header_prefix
+       && String.sub line 0 (String.length header_prefix) = header_prefix
+    then
+      let rest =
+        String.sub line
+          (String.length header_prefix)
+          (String.length line - String.length header_prefix)
+      in
+      match int_of_string_opt (String.trim rest) with
+      | Some v -> Some v
+      | None -> invalid_arg ("Sweep: malformed checkpoint header: " ^ line)
+    else None
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let unescape s =
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      (match s.[!i] with
+      | '\\' when !i + 1 < len ->
+          incr i;
+          Buffer.add_char b
+            (match s.[!i] with 'n' -> '\n' | 't' -> '\t' | c -> c)
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+
+  let load path =
+    let records = ref [] in
+    if Sys.file_exists path then begin
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> In_channel.input_all ic)
+      in
+      let n = String.length contents in
+      let rec go start =
+        if start < n then
+          match String.index_from_opt contents start '\n' with
+          | None -> ()  (* torn final record (killed mid-write): dropped *)
+          | Some stop ->
+              let line = String.sub contents start (stop - start) in
+              (match parse_header line with
+              | Some v when v > version ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Sweep: checkpoint %s is format v%d, newer than this \
+                        binary (v%d)"
+                       path v version)
+              | Some _ -> ()  (* compatible header *)
+              | None -> ());
+              (match String.index_opt line '\t' with
+              | None -> ()  (* headerless = v0; other foreign lines: dropped *)
+              | Some cut ->
+                  records :=
+                    ( unescape (String.sub line 0 cut),
+                      unescape
+                        (String.sub line (cut + 1) (String.length line - cut - 1))
+                    )
+                    :: !records);
+              go (stop + 1)
+      in
+      go 0
+    end;
+    List.rev !records
+
+  let load_table path =
+    let completed = Hashtbl.create 64 in
+    (* replace: if a torn record was later terminated and the key
+       re-recorded, the later record wins *)
+    List.iter (fun (k, v) -> Hashtbl.replace completed k v) (load path);
+    completed
+
+  let ends_without_newline path =
+    match open_in_bin path with
+    | exception Sys_error _ -> false
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let len = in_channel_length ic in
+            len > 0
+            && begin
+                 seek_in ic (len - 1);
+                 input_char ic <> '\n'
+               end)
+
+  (* Whole records only: each append happens under the mutex and is
+     flushed before release, so concurrent writers interleave at record
+     granularity and a kill can tear at most the final record — the same
+     torn-record semantics [load] already repairs. *)
+  type t = { oc : out_channel; mutex : Mutex.t }
+
+  let open_out ?(resume = false) path =
+    let torn = resume && ends_without_newline path in
+    let flags =
+      Open_wronly :: Open_creat :: (if resume then [ Open_append ] else [ Open_trunc ])
     in
-    match int_of_string_opt (String.trim rest) with
-    | Some v -> Some v
-    | None -> invalid_arg ("Sweep: malformed checkpoint header: " ^ line)
-  else None
+    let oc = open_out_gen flags 0o644 path in
+    (* A kill mid-write can leave a torn, newline-less final record;
+       terminate it so the records appended below stay line-delimited.
+       [load] already skipped the torn record, so its key reruns and
+       its fresh record supersedes the torn one on any later load. *)
+    if torn then output_char oc '\n';
+    (* A fresh file (truncated, or resuming into nothing) gets the
+       version header; resuming into an existing file keeps whatever
+       header — or v0 absence of one — it already has. *)
+    if out_channel_length oc = 0 then begin
+      output_string oc header;
+      output_char oc '\n';
+      flush oc
+    end;
+    { oc; mutex = Mutex.create () }
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+  let append t ~key value =
+    Mutex.protect t.mutex (fun () ->
+        let record = escape key ^ "\t" ^ escape value ^ "\n" in
+        output_string t.oc record;
+        flush t.oc;
+        if Trace.on () then
+          Trace.emit (Trace.Checkpoint_flush { key; bytes = String.length record });
+        if Metrics.on () then Metrics.incr "sweep.checkpoint_flushes")
 
-let unescape s =
-  let b = Buffer.create (String.length s) in
-  let i = ref 0 in
-  let len = String.length s in
-  while !i < len do
-    (match s.[!i] with
-    | '\\' when !i + 1 < len ->
-        incr i;
-        Buffer.add_char b
-          (match s.[!i] with 'n' -> '\n' | 't' -> '\t' | c -> c)
-    | c -> Buffer.add_char b c);
-    incr i
-  done;
-  Buffer.contents b
+  let close t = close_out_noerr t.oc
+end
 
-let load path =
-  let completed = Hashtbl.create 64 in
-  if Sys.file_exists path then begin
-    let contents =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> In_channel.input_all ic)
-    in
-    let n = String.length contents in
-    let rec go start =
-      if start < n then
-        match String.index_from_opt contents start '\n' with
-        | None -> ()  (* torn final record (killed mid-write): the cell reruns *)
-        | Some stop ->
-            let line = String.sub contents start (stop - start) in
-            (match parse_header line with
-            | Some v when v > ckpt_version ->
-                invalid_arg
-                  (Printf.sprintf
-                     "Sweep: checkpoint %s is format v%d, newer than this \
-                      binary (v%d)"
-                     path v ckpt_version)
-            | Some _ -> ()  (* compatible header *)
-            | None -> ());
-            (match String.index_opt line '\t' with
-            | None -> ()  (* headerless = v0; other foreign lines: the cell reruns *)
-            | Some cut ->
-                (* replace: if a torn record was later terminated and the
-                   cell rerun, the rerun's (later) record wins *)
-                Hashtbl.replace completed
-                  (unescape (String.sub line 0 cut))
-                  (unescape (String.sub line (cut + 1) (String.length line - cut - 1))));
-            go (stop + 1)
-    in
-    go 0
-  end;
-  completed
-
-let ends_without_newline path =
-  match open_in_bin path with
-  | exception Sys_error _ -> false
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let len = in_channel_length ic in
-          len > 0
-          && begin
-               seek_in ic (len - 1);
-               input_char ic <> '\n'
-             end)
+let load = Journal.load_table
 
 type isolation = [ `In_domain | `Process ]
 
@@ -122,49 +172,11 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
     | Some path when resume -> load path
     | Some _ | None -> Hashtbl.create 0
   in
-  let out =
-    Option.map
-      (fun path ->
-        let torn = resume && ends_without_newline path in
-        let flags =
-          Open_wronly :: Open_creat :: (if resume then [ Open_append ] else [ Open_trunc ])
-        in
-        let oc = open_out_gen flags 0o644 path in
-        (* A kill mid-write can leave a torn, newline-less final record;
-           terminate it so the records appended below stay line-delimited.
-           [load] already skipped the torn record, so its cell reruns and
-           its fresh record supersedes the torn one on any later load. *)
-        if torn then output_char oc '\n';
-        (* A fresh file (truncated, or resuming into nothing) gets the
-           version header; resuming into an existing file keeps whatever
-           header — or v0 absence of one — it already has. *)
-        if out_channel_length oc = 0 then begin
-          output_string oc ckpt_header;
-          output_char oc '\n';
-          flush oc
-        end;
-        oc)
-      checkpoint
-  in
+  let out = Option.map (fun path -> Journal.open_out ~resume path) checkpoint in
   let cells_arr = Array.of_list cells in
   let parallel = jobs > 1 && Array.length cells_arr > 1 in
-  (* Whole records only: each append happens under this mutex and is
-     flushed before release, so concurrent workers interleave at record
-     granularity and a kill can tear at most the final record — the same
-     torn-record semantics [load] already repairs. *)
-  let ckpt_mutex = Mutex.create () in
   let append_ckpt key r =
-    Option.iter
-      (fun oc ->
-        Mutex.protect ckpt_mutex (fun () ->
-            let record = escape key ^ "\t" ^ escape r ^ "\n" in
-            output_string oc record;
-            flush oc;
-            if Trace.on () then
-              Trace.emit
-                (Trace.Checkpoint_flush { key; bytes = String.length record });
-            if Metrics.on () then Metrics.incr "sweep.checkpoint_flushes"))
-      out
+    Option.iter (fun j -> Journal.append j ~key r) out
   in
   let sigint = Atomic.make false in
   (* Trap SIGINT.  Sequentially (jobs <= 1) it raises [Sys.Break] — the
@@ -290,7 +302,7 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
     Fun.protect
       ~finally:(fun () ->
         Option.iter (fun b -> Sys.set_signal Sys.sigint b) previous_sigint;
-        Option.iter close_out_noerr out)
+        Option.iter Journal.close out)
       (fun () ->
         run_cells ();
         Format.pp_print_flush ppf ();

@@ -42,6 +42,47 @@
 
 type cell = { key : string; run : unit -> string }
 
+(** The checkpoint journal behind [?checkpoint] — and behind the
+    {!Server}'s crash-recovery log.  A journal is a line-delimited file
+    of escaped [key TAB value] records under a [#sweep-checkpoint vN]
+    header; appends are mutex-serialized, flushed whole, and traced as
+    [Checkpoint_flush] events, so a kill can tear at most the final
+    record and {!Journal.load} drops exactly that torn tail. *)
+module Journal : sig
+  val version : int
+  (** Journal format version, [1].  {!load} accepts this version and
+      older (a headerless file is v0) and rejects newer. *)
+
+  val header : string
+  (** The header line written at the top of a fresh journal. *)
+
+  type t
+  (** An open journal, ready to append. *)
+
+  val open_out : ?resume:bool -> string -> t
+  (** Open [path] for appending.  Without [~resume] an existing file is
+      truncated (and a fresh header written); with [~resume:true]
+      records are appended after repairing a torn final record. *)
+
+  val append : t -> key:string -> string -> unit
+  (** Append one record, escaped and flushed whole, under the journal's
+      mutex.  Safe from any domain. *)
+
+  val close : t -> unit
+
+  val load : string -> (string * string) list
+  (** All complete records in file order (a missing file is []).
+      Newline-terminated records only: a torn final record is dropped.
+      Duplicate keys are all returned — callers that want
+      last-record-wins semantics use {!load_table}.
+      @raise Invalid_argument on a journal written by a newer format
+      version. *)
+
+  val load_table : string -> (string, string) Hashtbl.t
+  (** {!load} folded into a table, later records superseding earlier
+      ones — the replay semantics of [--resume]. *)
+end
+
 type isolation = [ `In_domain | `Process ]
 (** Where cell thunks execute.
 

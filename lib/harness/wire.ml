@@ -1,0 +1,105 @@
+type error =
+  | Unknown_tag of char
+  | Negative_length of { tag : char }
+  | Oversized of { tag : char; declared : int; limit : int }
+
+let pp_error ppf = function
+  | Unknown_tag c -> Format.fprintf ppf "unexpected byte %C" c
+  | Negative_length { tag } -> Format.fprintf ppf "negative frame length (tag %C)" tag
+  | Oversized { tag; declared; limit } ->
+      Format.fprintf ppf "oversized frame (tag %C): %d bytes declared, limit %d"
+        tag declared limit
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type frame = { tag : char; payload : string }
+
+let default_max_payload = 16 * 1024 * 1024
+
+let encode ~tag payload =
+  let n = String.length payload in
+  if n > Int32.to_int Int32.max_int then
+    invalid_arg "Wire.encode: payload exceeds the int32 frame-length range";
+  let frame = Bytes.create (5 + n) in
+  Bytes.set frame 0 tag;
+  Bytes.set_int32_be frame 1 (Int32.of_int n);
+  Bytes.blit_string payload 0 frame 5 n;
+  frame
+
+let encode_bare tag = Bytes.make 1 tag
+
+type decoder = {
+  tags : string;
+  bare : string;
+  max_payload : int;
+  buf : Buffer.t;
+  (* consumed prefix of [buf]; compacted when it grows past the live
+     suffix so a long-lived stream doesn't accumulate dead bytes *)
+  mutable pos : int;
+  mutable poisoned : error option;
+}
+
+let decoder ?(max_payload = default_max_payload) ?(bare = "") ~tags () =
+  if max_payload < 0 then invalid_arg "Wire.decoder: max_payload must be >= 0";
+  String.iter
+    (fun c ->
+      if String.contains bare c then
+        invalid_arg "Wire.decoder: a tag cannot be both framed and bare")
+    tags;
+  { tags; bare; max_payload; buf = Buffer.create 256; pos = 0; poisoned = None }
+
+let live d = Buffer.length d.buf - d.pos
+
+let compact d =
+  if d.pos > 0 && d.pos >= live d then begin
+    let rest = Buffer.sub d.buf d.pos (live d) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let feed d buf off len =
+  if d.poisoned = None && len > 0 then begin
+    compact d;
+    Buffer.add_subbytes d.buf buf off len
+  end
+
+let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let buffered d = if d.poisoned = None then live d else 0
+
+let poison d e =
+  d.poisoned <- Some e;
+  Buffer.clear d.buf;
+  d.pos <- 0;
+  Error e
+
+let decode d =
+  match d.poisoned with
+  | Some e -> Error e
+  | None ->
+      let n = live d in
+      if n = 0 then Ok None
+      else
+        let tag = Buffer.nth d.buf d.pos in
+        if String.contains d.bare tag then begin
+          d.pos <- d.pos + 1;
+          compact d;
+          Ok (Some { tag; payload = "" })
+        end
+        else if not (String.contains d.tags tag) then poison d (Unknown_tag tag)
+        else if n < 5 then Ok None
+        else
+          let hdr = Bytes.of_string (Buffer.sub d.buf d.pos 5) in
+          let len = Int32.to_int (Bytes.get_int32_be hdr 1) in
+          if len < 0 then poison d (Negative_length { tag })
+          else if len > d.max_payload then
+            (* checked before any length-proportional allocation *)
+            poison d (Oversized { tag; declared = len; limit = d.max_payload })
+          else if n < 5 + len then Ok None
+          else begin
+            let payload = Buffer.sub d.buf (d.pos + 5) len in
+            d.pos <- d.pos + 5 + len;
+            compact d;
+            Ok (Some { tag; payload })
+          end

@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -48,6 +48,15 @@ type event =
     }
   | Cell_retry of { key : string; attempt : int; delay : float }
   | Cell_quarantined of { key : string; attempts : int; reason : string }
+  | Server_start of { socket : string; jobs : int; queue_limit : int }
+  | Conn_open of { conn : int }
+  | Conn_close of { conn : int; reason : string }
+  | Job_submit of { id : string; kind : string; disposition : string }
+  | Job_reject of { id : string; queued : int; limit : int }
+  | Job_start of { id : string; attempt : int }
+  | Job_done of { id : string; status : string }
+  | Server_drain of { queued : int; running : int }
+  | Chaos_injected of { kind : string }
 
 type record = { i : int; w : int; ts : float; ev : event }
 
@@ -155,6 +164,34 @@ let event_fields = function
           ("attempts", Json.Int attempts);
           ("reason", Json.String reason);
         ] )
+  | Server_start { socket; jobs; queue_limit } ->
+      ( "server_start",
+        [
+          ("socket", Json.String socket);
+          ("jobs", Json.Int jobs);
+          ("queue_limit", Json.Int queue_limit);
+        ] )
+  | Conn_open { conn } -> ("conn_open", [ ("conn", Json.Int conn) ])
+  | Conn_close { conn; reason } ->
+      ("conn_close", [ ("conn", Json.Int conn); ("reason", Json.String reason) ])
+  | Job_submit { id; kind; disposition } ->
+      ( "job_submit",
+        [
+          ("id", Json.String id);
+          ("kind", Json.String kind);
+          ("disposition", Json.String disposition);
+        ] )
+  | Job_reject { id; queued; limit } ->
+      ( "job_reject",
+        [ ("id", Json.String id); ("queued", Json.Int queued); ("limit", Json.Int limit) ]
+      )
+  | Job_start { id; attempt } ->
+      ("job_start", [ ("id", Json.String id); ("attempt", Json.Int attempt) ])
+  | Job_done { id; status } ->
+      ("job_done", [ ("id", Json.String id); ("status", Json.String status) ])
+  | Server_drain { queued; running } ->
+      ("server_drain", [ ("queued", Json.Int queued); ("running", Json.Int running) ])
+  | Chaos_injected { kind } -> ("chaos_injected", [ ("kind", Json.String kind) ])
 
 let record_to_json r =
   let tag, fields = event_fields r.ev in
@@ -307,6 +344,31 @@ let event_of_json j =
           attempts = req_int j "attempts";
           reason = req_string j "reason";
         }
+  | "server_start" ->
+      Server_start
+        {
+          socket = req_string j "socket";
+          jobs = req_int j "jobs";
+          queue_limit = req_int j "queue_limit";
+        }
+  | "conn_open" -> Conn_open { conn = req_int j "conn" }
+  | "conn_close" ->
+      Conn_close { conn = req_int j "conn"; reason = req_string j "reason" }
+  | "job_submit" ->
+      Job_submit
+        {
+          id = req_string j "id";
+          kind = req_string j "kind";
+          disposition = req_string j "disposition";
+        }
+  | "job_reject" ->
+      Job_reject
+        { id = req_string j "id"; queued = req_int j "queued"; limit = req_int j "limit" }
+  | "job_start" -> Job_start { id = req_string j "id"; attempt = req_int j "attempt" }
+  | "job_done" -> Job_done { id = req_string j "id"; status = req_string j "status" }
+  | "server_drain" ->
+      Server_drain { queued = req_int j "queued"; running = req_int j "running" }
+  | "chaos_injected" -> Chaos_injected { kind = req_string j "kind" }
   | other -> decode_error ("trace record: unknown event " ^ other)
 
 let record_of_json j =

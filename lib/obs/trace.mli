@@ -31,9 +31,10 @@
     format version ({!version}) and the emitting program's name. *)
 
 val version : int
-(** Trace format version, [2] (v2 added the supervisor child-lifecycle
-    events).  Readers must reject newer versions rather than misparse
-    them; v1 traces parse fine under a v2 reader. *)
+(** Trace format version, [3] (v2 added the supervisor child-lifecycle
+    events; v3 the job-server events).  Readers must reject newer
+    versions rather than misparse them; v1/v2 traces parse fine under a
+    v3 reader. *)
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -102,6 +103,32 @@ type event =
           (1-based), [delay] the seeded backoff in seconds *)
   | Cell_quarantined of { key : string; attempts : int; reason : string }
       (** a cell exhausted its retry budget and was quarantined *)
+  | Server_start of { socket : string; jobs : int; queue_limit : int }
+      (** the job server opened its front door *)
+  | Conn_open of { conn : int }  (** a client connection was accepted *)
+  | Conn_close of { conn : int; reason : string }
+      (** a client connection ended; [reason] is ["eof"], ["error"],
+          ["protocol"], or a chaos-injection tag *)
+  | Job_submit of { id : string; kind : string; disposition : string }
+      (** a submit frame was admitted; [disposition] is ["new"] (fresh
+          job), ["inflight"] (duplicate of a queued/running job — the
+          connection attached as a waiter), or ["cached"] (duplicate of
+          a finished job — the recorded result was replayed) *)
+  | Job_reject of { id : string; queued : int; limit : int }
+      (** the admission queue was full: the submit was answered with a
+          typed rejection instead of unbounded memory *)
+  | Job_start of { id : string; attempt : int }
+      (** a job began executing ([attempt] is 0 for the first try) *)
+  | Job_done of { id : string; status : string }
+      (** a job reached its terminal result; [status] is ["ok"],
+          ["error"], or ["quarantined"] *)
+  | Server_drain of { queued : int; running : int }
+      (** SIGTERM: the server stopped accepting, with this many jobs
+          still queued (journaled for restart) and running (finished
+          before exit) *)
+  | Chaos_injected of { kind : string }
+      (** the [--chaos] harness fired one injection: ["drop_conn"],
+          ["partial_frame"], ["truncate_frame"], or ["kill_child"] *)
 
 type record = { i : int; w : int; ts : float; ev : event }
 

@@ -460,6 +460,198 @@ let sweep_kill =
   }
 
 (* ------------------------------------------------------------------ *)
+(* wire-codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The framing codec under hostile bytes: random valid frame streams
+   mangled by truncation, bit flips, or a forged length prefix, fed to
+   the decoder in adversarially small chunks.  Whatever arrives, the
+   decoder must answer with frames or a typed error — never an
+   exception, and never an allocation driven by a declared length the
+   stream has not earned (the forged-length case asserts the error
+   fires while the buffered bytes are still tiny). *)
+
+type wire_mutation =
+  | Wm_none
+  | Wm_truncate of int  (* keep this many bytes *)
+  | Wm_flip of int * int  (* byte index seed, bit 0-7 *)
+  | Wm_forge_length of int * bool  (* frame index seed; negative? *)
+
+let wire_codec =
+  let cap = 4096 in
+  let frame_gen =
+    Gen.frequency
+      [
+        (1, Gen.return ('H', ""));
+        ( 4,
+          Gen.map2
+            (fun tag bytes ->
+              ( tag,
+                String.init (List.length bytes) (fun i ->
+                    Char.chr (List.nth bytes i)) ))
+            (Gen.oneof_const [ 'R'; 'E' ])
+            (Gen.list ~max_len:40 (Gen.int_range 0 255)) );
+      ]
+  in
+  let mutation_gen =
+    Gen.frequency
+      [
+        (2, Gen.return Wm_none);
+        (2, Gen.map (fun n -> Wm_truncate n) (Gen.int_range 0 200));
+        ( 3,
+          Gen.map2 (fun i bit -> Wm_flip (i, bit)) (Gen.int_range 0 200)
+            (Gen.int_range 0 7) );
+        ( 2,
+          Gen.map2
+            (fun i neg -> Wm_forge_length (i, neg))
+            (Gen.int_range 0 10) Gen.bool );
+      ]
+  in
+  let gen =
+    Gen.map3
+      (fun frames mutation chunk -> (frames, mutation, chunk))
+      (Gen.list ~max_len:8 frame_gen)
+      mutation_gen (Gen.int_range 1 7)
+  in
+  let print (frames, mutation, chunk) =
+    let pf (tag, payload) = Printf.sprintf "%c:%s" tag (String.escaped payload) in
+    Printf.sprintf "frames=[%s] mutation=%s chunk=%d"
+      (String.concat " " (List.map pf frames))
+      (match mutation with
+      | Wm_none -> "none"
+      | Wm_truncate n -> Printf.sprintf "truncate:%d" n
+      | Wm_flip (i, b) -> Printf.sprintf "flip:%d.%d" i b
+      | Wm_forge_length (i, neg) ->
+          Printf.sprintf "forge:%d%s" i (if neg then ":neg" else ""))
+      chunk
+  in
+  let prop (frames, mutation, chunk) =
+    let module Wire = Harness.Wire in
+    let stream =
+      String.concat ""
+        (List.map
+           (fun (tag, payload) ->
+             if tag = 'H' then Bytes.to_string (Wire.encode_bare tag)
+             else Bytes.to_string (Wire.encode ~tag payload))
+           frames)
+    in
+    (* frame-header offsets, for aiming the forged length at one *)
+    let header_offsets =
+      List.rev
+        (snd
+           (List.fold_left
+              (fun (off, acc) (tag, payload) ->
+                if tag = 'H' then (off + 1, acc)
+                else (off + 5 + String.length payload, off :: acc))
+              (0, []) frames))
+    in
+    let stream =
+      match mutation with
+      | Wm_none -> stream
+      | Wm_truncate keep ->
+          String.sub stream 0 (min keep (String.length stream))
+      | Wm_flip (i, bit) ->
+          if stream = "" then stream
+          else begin
+            let b = Bytes.of_string stream in
+            let i = i mod Bytes.length b in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+            Bytes.to_string b
+          end
+      | Wm_forge_length (i, neg) -> (
+          match header_offsets with
+          | [] -> stream
+          | offs ->
+              let off = List.nth offs (i mod List.length offs) in
+              let b = Bytes.of_string stream in
+              (* tag byte at [off]; 4 length bytes follow.  Declare far
+                 past the cap (or negative): the decoder must refuse
+                 before buffering anything like that much. *)
+              Bytes.set_int32_be b (off + 1)
+                (if neg then 0x80000001l else Int32.max_int);
+              Bytes.to_string b)
+    in
+    let dec = Wire.decoder ~max_payload:cap ~tags:"RE" ~bare:"H" () in
+    let decoded = ref [] in
+    let error = ref None in
+    (try
+       let pos = ref 0 in
+       while !pos < String.length stream && !error = None do
+         let len = min chunk (String.length stream - !pos) in
+         Wire.feed_string dec (String.sub stream !pos len);
+         pos := !pos + len;
+         let drain = ref true in
+         while !drain do
+           match Wire.decode dec with
+           | Ok None -> drain := false
+           | Ok (Some { Wire.tag; payload }) ->
+               decoded := (tag, payload) :: !decoded;
+               (* a decoded payload can never exceed the cap *)
+               if String.length payload > cap then begin
+                 error := Some "over-cap payload";
+                 drain := false
+               end
+           | Error e ->
+               error := Some (Wire.error_to_string e);
+               drain := false
+         done
+       done
+     with exn ->
+       (* the one absolute rule: typed errors, never exceptions *)
+       error := Some ("EXCEPTION " ^ Printexc.to_string exn));
+    let decoded = List.rev !decoded in
+    let no_exception =
+      match !error with
+      | Some e -> not (String.length e > 9 && String.sub e 0 9 = "EXCEPTION")
+      | None -> true
+    in
+    let is_prefix l1 l2 =
+      let rec go a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && go a' b'
+        | _ -> false
+      in
+      go l1 l2
+    in
+    no_exception
+    &&
+    match mutation with
+    | Wm_none -> !error = None && decoded = frames
+    | Wm_truncate _ ->
+        (* a truncated stream decodes a prefix and never errors: the
+           missing bytes are indistinguishable from not-yet-arrived *)
+        !error = None && is_prefix decoded frames
+    | Wm_flip _ ->
+        (* any outcome is legal except an exception or an over-cap
+           payload (both already folded into the checks above) *)
+        (match !error with Some "over-cap payload" -> false | _ -> true)
+    | Wm_forge_length _ ->
+        (* if decoding reached the forged header it must refuse with a
+           typed length error while holding only the bytes actually fed *)
+        header_offsets = []
+        || (match !error with
+           | Some e ->
+               (String.length e >= 9 && String.sub e 0 9 = "oversized")
+               || String.length e >= 8
+                  && String.sub e 0 8 = "negative"
+           | None -> true (* an earlier frame consumed the stream short *))
+           && Wire.buffered dec <= String.length stream
+  in
+  {
+    name = "wire-codec";
+    doc =
+      "Wire framing under truncation, bit flips, forged length prefixes and \
+       1-byte chunking: typed errors only, never an exception, never an \
+       allocation driven by a declared length";
+    serial = false;
+    max_cases = None;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* demo-bug                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,6 +687,7 @@ let all =
     sweep_resume;
     sweep_kill;
     metrics_jobs;
+    wire_codec;
     demo_bug;
   ]
 

@@ -24,6 +24,10 @@
        unkilled run;}
     {- [metrics-jobs] — {!Harness.Metrics} totals and sweep output
        byte-identical at [--jobs 1] vs [--jobs 2];}
+    {- [wire-codec] — the {!Harness.Wire} framing codec under
+       truncation, bit flips, forged length prefixes and byte-at-a-time
+       chunking: typed errors only, never an exception, and a forged
+       declared length can never drive an allocation;}
     {- [demo-bug] — a deliberately broken property (list sums stay
        below 100), armed only when [FUZZ_DEMO_BUG=1]: the CI probe that
        shrinking and replay actually work end-to-end.}} *)
