@@ -13,7 +13,14 @@
    dune exec bench/main.exe -- --isolation-overhead
                                                 -- only the E11 fork/pipe
                                                    overhead run (writes
-                                                   BENCH_isolation_overhead.json) *)
+                                                   BENCH_isolation_overhead.json)
+   dune exec bench/main.exe -- --game-steps     -- only the E13 game-step
+                                                   throughput run (writes
+                                                   BENCH_game_steps.json)
+   dune exec bench/main.exe -- --game-steps-check
+                                                -- E13 regression gate: fresh
+                                                   thm3 steps/s vs the
+                                                   committed record *)
 
 open Bechamel
 open Toolkit
@@ -791,6 +798,223 @@ let serve_throughput () =
   write_bench_record "BENCH_serve_throughput.json"
     (bench_record ~bench:"serve_throughput" ~jobs_axis:[ jobs ] ~results)
 
+(* ---------------- game-step throughput (E13) ---------------------- *)
+
+(* Steps/s and reveals/s of the adversary executors on the game hot
+   path ([~bulk:true]), at two instance sizes per theorem.  "Steps" are
+   presentation steps (the unit the paper's adversaries spend), and
+   "reveals" are host nodes entering the revealed region — the two
+   counters every executor already maintains, so the benchmark measures
+   the production code path, not an instrumented twin.
+
+   [meta.before] pins the measurements of the same configurations taken
+   on this container immediately before the incremental executor core
+   landed (batch ball-and-filter reveals, (int*int)-keyed hashtables).
+   The committed record asserts the headline claim of the rewrite:
+   thm3's per-reveal O(region) filtering is gone, so its step rate must
+   beat the old executor by >= 10x.
+
+   --game-steps        measure and write BENCH_game_steps.json
+   --game-steps-check  measure the thm3 rows only and compare against
+                       the committed BENCH_game_steps.json: exit 1 on a
+                       > 20% steps/s regression (the CI gate) *)
+
+let game_steps_before =
+  (* steps/s of the pre-incremental executor, same configs, same box *)
+  [
+    ("thm3 k=3 gadgets=32", 43_983.);
+    ("thm3 k=3 gadgets=128", 14_370.);
+    ("thm2 torus side=25", 39_633.);
+    ("thm2 torus side=51", 10_307.);
+    ("thm1 k=6 side=400", 285_691.);
+    ("thm1 k=9 side=2000", 254_917.);
+  ]
+
+let game_steps_configs () =
+  let greedy () = Portfolio.greedy () in
+  let thm3 gadgets () =
+    let r = Thm3_adversary.run ~bulk:true ~k:3 ~gadgets ~algorithm:(greedy ()) () in
+    (r.Thm3_adversary.presented, r.Thm3_adversary.revealed)
+  in
+  let thm2 side () =
+    let r =
+      Thm2_adversary.run ~bulk:true ~wrap:`Toroidal ~side ~algorithm:(greedy ()) ()
+    in
+    (r.Thm2_adversary.presented, r.Thm2_adversary.revealed)
+  in
+  let thm1 ~n_side ~k () =
+    let r = Thm1_adversary.run ~bulk:true ~n_side ~k ~algorithm:(greedy ()) () in
+    (r.Thm1_adversary.presented, r.Thm1_adversary.revealed)
+  in
+  [
+    ("thm3 k=3 gadgets=32", thm3 32);
+    ("thm3 k=3 gadgets=128", thm3 128);
+    ("thm2 torus side=25", thm2 25);
+    ("thm2 torus side=51", thm2 51);
+    ("thm1 k=6 side=400", thm1 ~n_side:400 ~k:6);
+    ("thm1 k=9 side=2000", thm1 ~n_side:2000 ~k:9);
+  ]
+
+(* Whole-game repetitions under a fixed time budget: every config plays
+   complete games (partial games would skew the step mix), the budget
+   amortizes per-game setup, and a warm-up game runs outside the
+   clock. *)
+let game_steps_measure ?(budget = 0.5) f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 and reveals = ref 0 and games = ref 0 in
+  while Unix.gettimeofday () -. t0 < budget do
+    let p, r = f () in
+    steps := !steps + p;
+    reveals := !reveals + r;
+    incr games
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ( float_of_int !steps /. dt,
+    float_of_int !reveals /. dt,
+    !games )
+
+let game_steps () =
+  Format.printf
+    "== E13: game-step throughput (bulk executors, whole games) ==@.@.";
+  Format.printf "%-22s %12s %12s %8s %10s@." "config" "steps/s" "reveals/s"
+    "games" "vs before";
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let steps_s, reveals_s, games = game_steps_measure f in
+        let before = List.assoc name game_steps_before in
+        let ratio = steps_s /. before in
+        Format.printf "%-22s %12.0f %12.0f %8d %9.1fx@." name steps_s
+          reveals_s games ratio;
+        (name, steps_s, reveals_s, games, before, ratio))
+      (game_steps_configs ())
+  in
+  (* The old executor paid O(revealed region) per reveal, so its deficit
+     grows with instance size: the large thm3 chain is where the
+     complexity-class claim is falsifiable (the small chain shows ~4x —
+     there is simply not enough region for O(region) to hurt). *)
+  let thm3_ratio =
+    let _, _, _, _, _, r =
+      List.find (fun (name, _, _, _, _, _) -> name = "thm3 k=3 gadgets=128") rows
+    in
+    r
+  in
+  if thm3_ratio < 10. then
+    failwith
+      (Printf.sprintf
+         "BENCH game_steps: thm3 (gadgets=128) steps/s is only %.1fx the \
+          pre-incremental executor (>= 10x required)"
+         thm3_ratio);
+  let results =
+    Obs.Json.Obj
+      [
+        ("unit", Obs.Json.String "whole games, presented steps and revealed nodes per second");
+        ("bulk", Obs.Json.Bool true);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (name, steps_s, reveals_s, games, before, ratio) ->
+                 Obs.Json.Obj
+                   [
+                     ("config", Obs.Json.String name);
+                     ("steps_per_s", Obs.Json.Float steps_s);
+                     ("reveals_per_s", Obs.Json.Float reveals_s);
+                     ("games", Obs.Json.Int games);
+                     ("before_steps_per_s", Obs.Json.Float before);
+                     ("speedup", Obs.Json.Float ratio);
+                   ])
+               rows) );
+      ]
+  in
+  let record =
+    match bench_record ~bench:"game_steps" ~jobs_axis:[ 1 ] ~results with
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "meta", Obs.Json.Obj meta ->
+                   ( "meta",
+                     Obs.Json.Obj
+                       (meta
+                       @ [
+                           ( "before",
+                             Obs.Json.Obj
+                               (List.map
+                                  (fun (name, s) ->
+                                    (name, Obs.Json.Float s))
+                                  game_steps_before) );
+                         ]) )
+               | _ -> (k, v))
+             fields)
+    | other -> other
+  in
+  write_bench_record "BENCH_game_steps.json" record
+
+(* The CI regression gate: measure the two thm3 configs fresh and fail
+   on a > 20% steps/s drop against the committed record.  Only thm3 is
+   re-measured — it is the config whose rate the incremental core
+   changed by an order of magnitude, so it is also the one a regression
+   in the frontier/packed layers shows up in first. *)
+let game_steps_check () =
+  let path = "BENCH_game_steps.json" in
+  let committed =
+    match
+      Obs.Json.of_string (In_channel.with_open_text path In_channel.input_all)
+    with
+    | json -> json
+    | exception Sys_error msg ->
+        failwith ("BENCH game_steps check: cannot read committed record: " ^ msg)
+  in
+  let committed_rate config =
+    let runs =
+      match
+        Option.bind (Obs.Json.member "results" committed)
+          (Obs.Json.member "runs")
+      with
+      | Some (Obs.Json.List runs) -> runs
+      | _ -> failwith "BENCH game_steps check: no results.runs in record"
+    in
+    match
+      List.find_map
+        (fun run ->
+          match Obs.Json.member "config" run with
+          | Some (Obs.Json.String name) when String.equal name config ->
+              Option.bind (Obs.Json.member "steps_per_s" run)
+                Obs.Json.to_float_opt
+          | _ -> None)
+        runs
+    with
+    | Some rate -> rate
+    | None ->
+        failwith ("BENCH game_steps check: no committed row for " ^ config)
+  in
+  Format.printf "== E13 regression gate (thm3 vs committed %s) ==@.@." path;
+  let failures =
+    List.filter_map
+      (fun (name, f) ->
+        if not (String.length name >= 4 && String.sub name 0 4 = "thm3") then
+          None
+        else begin
+          let fresh, _, _ = game_steps_measure f in
+          let committed = committed_rate name in
+          let ratio = fresh /. committed in
+          Format.printf "%-22s fresh=%.0f committed=%.0f (%.2fx)@." name fresh
+            committed ratio;
+          if ratio < 0.8 then Some name else None
+        end)
+      (game_steps_configs ())
+  in
+  match failures with
+  | [] -> Format.printf "@.within 20%% of the committed record@."
+  | names ->
+      failwith
+        (Printf.sprintf
+           "BENCH game_steps check: steps/s regressed > 20%% vs committed \
+            record on: %s"
+           (String.concat ", " names))
+
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
@@ -802,6 +1026,10 @@ let () =
     isolation_overhead ()
   else if Array.exists (String.equal "--serve-throughput") Sys.argv then
     serve_throughput ()
+  else if Array.exists (String.equal "--game-steps") Sys.argv then
+    game_steps ()
+  else if Array.exists (String.equal "--game-steps-check") Sys.argv then
+    game_steps_check ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();

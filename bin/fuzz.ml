@@ -164,7 +164,11 @@ let run_supervised ~config ~(exec : Obs_cli.exec) targets =
   Array.to_list results |> List.filter_map Fun.id
 
 let run seed cases targets (exec : Obs_cli.exec) corpus list replay trace metrics
-    =
+    bulk =
+  (* Before any worker domains or supervised children exist: both
+     inherit the flag (domains share the atomic, children fork after
+     this point). *)
+  FT.set_bulk bulk;
   if list then list_targets ()
   else
     match replay with
@@ -242,6 +246,6 @@ let cmd =
     (Cmd.info "fuzz" ~doc:"Differential fuzz harness over games, colorings and sweeps")
     Term.(
       const run $ seed $ cases $ targets $ Obs_cli.exec_term $ corpus $ list
-      $ replay $ Obs_cli.trace $ Obs_cli.metrics)
+      $ replay $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

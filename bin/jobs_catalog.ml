@@ -11,7 +11,12 @@
    --jobs/--isolate/--chaos settings were.
 
    A payload that does not parse, or an unknown kind, raises — which the
-   server maps to a typed "ERROR: ..." result, never a crash. *)
+   server maps to a typed "ERROR: ..." result, never a crash.
+
+   Cell constructors take ~bulk (the executor fast path; identical
+   result strings either way).  The socket handler always runs
+   non-bulk: server results stay byte-identical to historical runs by
+   construction, not just by the bulk-equivalence argument. *)
 
 open Online_local
 module Sweep = Harness.Sweep
@@ -28,9 +33,9 @@ let thm1_algorithm name t =
   | "ael" -> Portfolio.ael ~t ()
   | other -> failwith ("unknown algorithm: " ^ other)
 
-let thm1_run ~validate ~t ~k ~side ~algo () =
+let thm1_run ?(bulk = false) ~validate ~t ~k ~side ~algo () =
   let algorithm = thm1_algorithm algo t in
-  let r = Thm1_adversary.run ~validate ~n_side:side ~k ~algorithm () in
+  let r = Thm1_adversary.run ~bulk ~validate ~n_side:side ~k ~algorithm () in
   Format.asprintf
     "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@.  guaranteed by \
      theory: %b (needs k > 4T+4)@.  max fitting k at this side/T: %d"
@@ -38,10 +43,10 @@ let thm1_run ~validate ~t ~k ~side ~algo () =
     (Thm1_adversary.guaranteed ~t ~k)
     (Thm1_adversary.recommended_k ~n_side:side ~t)
 
-let thm1_cell ~validate ~t ~k ~side ~algo =
+let thm1_cell ~bulk ~validate ~t ~k ~side ~algo =
   {
     Sweep.key = Printf.sprintf "t=%d k=%d side=%d algo=%s" t k side algo;
-    run = thm1_run ~validate ~t ~k ~side ~algo;
+    run = thm1_run ~bulk ~validate ~t ~k ~side ~algo;
   }
 
 let thm1_of_key payload =
@@ -58,22 +63,23 @@ let thm2_wrap_of = function
 let thm2_algorithms =
   [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
 
-let thm2_run ~side ~wrap ~algo () =
+let thm2_run ?(bulk = false) ~side ~wrap ~algo () =
   let algorithm =
     match List.assoc_opt algo thm2_algorithms with
     | Some a -> a
     | None -> failwith ("unknown algorithm: " ^ algo)
   in
   let r =
-    Thm2_adversary.run ~wrap:(thm2_wrap_of wrap) ~side ~algorithm:(algorithm ()) ()
+    Thm2_adversary.run ~bulk ~wrap:(thm2_wrap_of wrap) ~side
+      ~algorithm:(algorithm ()) ()
   in
   Format.asprintf "thm2 %s side=%d vs %-12s %a" wrap side algo
     Thm2_adversary.pp_report r
 
-let thm2_cell ~side ~wrap ~algo =
+let thm2_cell ~bulk ~side ~wrap ~algo =
   {
     Sweep.key = Printf.sprintf "wrap=%s side=%d algo=%s" wrap side algo;
-    run = thm2_run ~side ~wrap ~algo;
+    run = thm2_run ~bulk ~side ~wrap ~algo;
   }
 
 let thm2_of_key payload =
@@ -85,20 +91,20 @@ let thm2_of_key payload =
 let thm3_algorithms =
   [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
 
-let thm3_run ~k ~gadgets ~algo () =
+let thm3_run ?(bulk = false) ~k ~gadgets ~algo () =
   let algorithm =
     match List.assoc_opt algo thm3_algorithms with
     | Some a -> a
     | None -> failwith ("unknown algorithm: " ^ algo)
   in
-  let r = Thm3_adversary.run ~k ~gadgets ~algorithm:(algorithm ()) () in
+  let r = Thm3_adversary.run ~bulk ~k ~gadgets ~algorithm:(algorithm ()) () in
   Format.asprintf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a" k gadgets
     (gadgets * k * k) algo Thm3_adversary.pp_report r
 
-let thm3_cell ~k ~gadgets ~algo =
+let thm3_cell ~bulk ~k ~gadgets ~algo =
   {
     Sweep.key = Printf.sprintf "k=%d gadgets=%d algo=%s" k gadgets algo;
-    run = thm3_run ~k ~gadgets ~algo;
+    run = thm3_run ~bulk ~k ~gadgets ~algo;
   }
 
 let thm3_of_key payload =

@@ -4,6 +4,8 @@
 
      --trace FILE   stream NDJSON trace events to FILE
      --metrics      print the merged metrics registry after the run
+     --bulk         executor fast path: skip per-step trace/metrics
+                    event construction (verdicts unchanged)
 
    and the same execution-backend flags, parsed and validated here so
    "--jobs 0" fails identically everywhere, naming the flag:
@@ -36,6 +38,17 @@ let metrics =
         ~doc:
           "Print the merged metrics registry on stdout after the run. \
            Totals are identical at every --jobs count.")
+
+let bulk =
+  Arg.(
+    value
+    & flag
+    & info [ "bulk" ]
+        ~doc:
+          "Campaign fast path: skip per-step trace/metrics event \
+           construction and the paranoid re-audit inside the game \
+           executors.  Results and verdicts are byte-identical with and \
+           without $(b,--bulk); only observability detail is elided.")
 
 (* ----------------------- execution-backend flags ----------------------- *)
 

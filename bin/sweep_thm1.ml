@@ -12,7 +12,7 @@
 
 open Cmdliner
 
-let run ts ks sides algos validate checkpoint resume exec trace metrics =
+let run ts ks sides algos validate checkpoint resume exec trace metrics bulk =
   let cells =
     List.concat_map
       (fun t ->
@@ -21,7 +21,7 @@ let run ts ks sides algos validate checkpoint resume exec trace metrics =
             List.concat_map
               (fun side ->
                 List.map
-                  (fun algo -> Jobs_catalog.thm1_cell ~validate ~t ~k ~side ~algo)
+                  (fun algo -> Jobs_catalog.thm1_cell ~bulk ~validate ~t ~k ~side ~algo)
                   (Harness.Sweep.string_axis ~flag:"--algo" algos))
               (Harness.Sweep.int_axis ~flag:"--side" sides))
           (Harness.Sweep.int_axis ~flag:"-k" ks))
@@ -67,6 +67,6 @@ let cmd =
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
     Term.(
       const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume
-      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
+      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,14 +5,14 @@
 
 open Cmdliner
 
-let run sides wraps checkpoint resume exec trace metrics =
+let run sides wraps checkpoint resume exec trace metrics bulk =
   let cells =
     List.concat_map
       (fun wrap ->
         List.concat_map
           (fun side ->
             List.map
-              (fun (algo, _) -> Jobs_catalog.thm2_cell ~side ~wrap ~algo)
+              (fun (algo, _) -> Jobs_catalog.thm2_cell ~bulk ~side ~wrap ~algo)
               Jobs_catalog.thm2_algorithms)
           (Harness.Sweep.int_axis ~flag:"--side" sides))
       (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
@@ -48,6 +48,6 @@ let cmd =
     (Cmd.info "sweep_thm2" ~doc:"Theorem 2 adversary sweep")
     Term.(
       const run $ sides $ wraps $ checkpoint $ resume $ Obs_cli.exec_term
-      $ Obs_cli.trace $ Obs_cli.metrics)
+      $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,14 +5,14 @@
 
 open Cmdliner
 
-let run ks gadget_counts checkpoint resume exec trace metrics =
+let run ks gadget_counts checkpoint resume exec trace metrics bulk =
   let cells =
     List.concat_map
       (fun k ->
         List.concat_map
           (fun gadgets ->
             List.map
-              (fun (algo, _) -> Jobs_catalog.thm3_cell ~k ~gadgets ~algo)
+              (fun (algo, _) -> Jobs_catalog.thm3_cell ~bulk ~k ~gadgets ~algo)
               Jobs_catalog.thm3_algorithms)
           (Harness.Sweep.int_axis ~flag:"--gadgets" gadget_counts))
       (Harness.Sweep.int_axis ~flag:"-k" ks)
@@ -47,6 +47,6 @@ let cmd =
     (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
     Term.(
       const run $ ks $ gadget_counts $ checkpoint $ resume $ Obs_cli.exec_term
-      $ Obs_cli.trace $ Obs_cli.metrics)
+      $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

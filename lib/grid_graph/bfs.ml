@@ -30,6 +30,95 @@ let ball g us t =
       if dist.(v) <= t then v :: acc else acc)
   |> List.rev
 
+module Frontier = struct
+  type t = {
+    g : Graph.t;
+    slack : int array;
+    (* [slack.(v) = s >= 0] means every node within distance [s] of [v]
+       has been revealed by some earlier [reveal]; [-1] means [v] itself
+       is unrevealed.  This is the pruning certificate: a bounded BFS
+       that reaches [v] with [rem] remaining steps can stop expanding
+       when [slack.(v) >= rem]. *)
+    mark : int array; (* epoch stamps: visited this traversal? *)
+    dist : int array; (* distance from the current center, per epoch *)
+    queue : int array; (* scratch FIFO; a bounded BFS enqueues each node at most once *)
+    mutable epoch : int;
+  }
+
+  let create g =
+    let n = Graph.n g in
+    {
+      g;
+      slack = Array.make n (-1);
+      mark = Array.make n 0;
+      dist = Array.make n 0;
+      queue = Array.make (max n 1) 0;
+      epoch = 0;
+    }
+
+  let revealed t v = t.slack.(v) >= 0
+
+  let ball t c r =
+    t.epoch <- t.epoch + 1;
+    let ep = t.epoch in
+    let q = t.queue in
+    let head = ref 0 and tail = ref 0 in
+    t.mark.(c) <- ep;
+    t.dist.(c) <- 0;
+    q.(!tail) <- c;
+    incr tail;
+    while !head < !tail do
+      let u = q.(!head) in
+      incr head;
+      let du = t.dist.(u) in
+      if du < r then
+        Array.iter
+          (fun v ->
+            if t.mark.(v) <> ep then begin
+              t.mark.(v) <- ep;
+              t.dist.(v) <- du + 1;
+              q.(!tail) <- v;
+              incr tail
+            end)
+          (Graph.neighbors t.g u)
+    done;
+    let out = Array.sub q 0 !tail in
+    Array.sort compare out;
+    Array.to_list out
+
+  let reveal t c r =
+    t.epoch <- t.epoch + 1;
+    let ep = t.epoch in
+    let q = t.queue in
+    let head = ref 0 and tail = ref 0 in
+    t.mark.(c) <- ep;
+    t.dist.(c) <- 0;
+    q.(!tail) <- c;
+    incr tail;
+    let fresh = ref [] in
+    while !head < !tail do
+      let u = q.(!head) in
+      incr head;
+      let rem = r - t.dist.(u) in
+      if t.slack.(u) < 0 then fresh := u :: !fresh;
+      if t.slack.(u) < rem then begin
+        t.slack.(u) <- rem;
+        if rem > 0 then
+          let du1 = t.dist.(u) + 1 in
+          Array.iter
+            (fun v ->
+              if t.mark.(v) <> ep then begin
+                t.mark.(v) <- ep;
+                t.dist.(v) <- du1;
+                q.(!tail) <- v;
+                incr tail
+              end)
+            (Graph.neighbors t.g u)
+      end
+    done;
+    List.sort compare !fresh
+end
+
 let eccentricity g v =
   let dist = distances_from g [ v ] in
   Array.fold_left

@@ -16,6 +16,47 @@ val ball : Graph.t -> Graph.node list -> int -> Graph.node list
     node of [us], in increasing node order.  [ball g us 0] is [us]
     itself (sorted, deduplicated). *)
 
+module Frontier : sig
+  (** Incremental revealed-view maintenance for the game executors.
+
+      A [Frontier.t] is persistent per-game BFS state over a fixed host
+      graph: epoch-marked scratch arrays plus a per-node {e slack}
+      certificate ([slack(v) = s] means [B(v, s)] is already fully
+      revealed).  Each {!reveal} extends the revealed region from the
+      previous frontier instead of re-running {!val:ball} from scratch,
+      so a game of [k] reveals costs O(sum of frontier sizes) instead of
+      O(k * (n + m)).  Allocation per call is limited to the returned
+      list; traversal state is reused across calls.
+
+      See [lib/online_local/README.md] ("Anatomy of a game step") for
+      how the executors use this. *)
+
+  type t
+
+  val create : Graph.t -> t
+  (** [create g] is an empty frontier over [g] (no node revealed).
+      O(n) allocation, done once per game. *)
+
+  val revealed : t -> Graph.node -> bool
+  (** Whether the node has been returned by some earlier {!reveal}.
+      O(1), allocation-free. *)
+
+  val ball : t -> Graph.node -> int -> Graph.node list
+  (** [ball t c r] is [B(c, r)] in increasing node order — byte-identical
+      to [Bfs.ball g [c] r] — via a {e bounded} BFS touching only
+      O(|B(c, r)|) nodes rather than the whole graph.  Does not change
+      the revealed region. *)
+
+  val reveal : t -> Graph.node -> int -> Graph.node list
+  (** [reveal t c r] marks [B(c, r)] revealed and returns the {e fresh}
+      nodes (those not revealed before this call) in increasing node
+      order — byte-identical to filtering [Bfs.ball g [c] r] against the
+      previously revealed set.  Slack pruning stops the traversal at any
+      node whose known-revealed radius covers the remaining budget, so
+      re-revealing an interior region costs O(1) and a typical step
+      costs O(frontier), not O(region). *)
+end
+
 val eccentricity : Graph.t -> Graph.node -> int
 (** Largest finite distance from the node; 0 on a single reachable node.
     @raise Invalid_argument if the graph is disconnected from the node. *)

@@ -6,12 +6,14 @@ type t = {
   mutable radius : int;  (* locality + oracle radius; fixed after [start] *)
   mutable instance : Algorithm.instance;  (* fixed after [start] *)
   region : Dyn_graph.t;
-  handle_of_host : (Graph.node, Graph.node) Hashtbl.t;
+  frontier : Bfs.Frontier.t;  (* incremental revealed-view state *)
+  handle_of_host : int array;  (* host node -> handle; -1 = unrevealed *)
   mutable host_of_handle : Graph.node array;  (* grown by doubling *)
   ids : Graph.node -> int;
   hints : Graph.node -> View.hint option;  (* by host node *)
   coloring : Colorings.Coloring.t;
-  presented_set : (Graph.node, unit) Hashtbl.t;
+  presented_set : Packed.Set.t;
+  bulk : bool;
   mutable steps : int;
   mutable max_view : int;
   mutable first_violation : Run_stats.violation option;
@@ -27,10 +29,10 @@ let record_handle t host_node =
     t.host_of_handle <- bigger
   end;
   t.host_of_handle.(handle) <- host_node;
-  Hashtbl.replace t.handle_of_host host_node handle;
+  t.handle_of_host.(host_node) <- handle;
   handle
 
-let start ?ids ?hints ?oracle ~host ~palette ~algorithm () =
+let start ?(bulk = false) ?ids ?hints ?oracle ~host ~palette ~algorithm () =
   let n = Graph.n host in
   let ids = match ids with Some f -> f | None -> fun v -> v + 1 in
   let hints = match hints with Some f -> f | None -> fun _ -> None in
@@ -42,12 +44,14 @@ let start ?ids ?hints ?oracle ~host ~palette ~algorithm () =
       radius = locality;
       instance = (fun _ -> assert false);
       region = Dyn_graph.create ();
-      handle_of_host = Hashtbl.create 256;
+      frontier = Bfs.Frontier.create host;
+      handle_of_host = Array.make (max n 1) (-1);
       host_of_handle = Array.make 16 (-1);
       ids;
       hints;
       coloring = Colorings.Coloring.create n;
-      presented_set = Hashtbl.create 256;
+      presented_set = Packed.Set.create (max n 1);
+      bulk;
       steps = 0;
       max_view = 0;
       first_violation = None;
@@ -59,18 +63,19 @@ let start ?ids ?hints ?oracle ~host ~palette ~algorithm () =
   t
 
 let reveal_ball t center =
-  (* Extend the region with the host ball; returns new handles in order. *)
-  let ball = Bfs.ball t.host [ center ] t.radius in
-  let fresh = List.filter (fun v -> not (Hashtbl.mem t.handle_of_host v)) ball in
+  (* Extend the region from the previous frontier; returns new handles in
+     order.  [Frontier.reveal] yields exactly the nodes of
+     [B(center, radius)] not yet revealed, ascending — byte-identical to
+     the batch [Bfs.ball]-then-filter it replaces, at O(frontier) cost. *)
+  let fresh = Bfs.Frontier.reveal t.frontier center t.radius in
   let fresh_handles = List.map (fun v -> record_handle t v) fresh in
   List.iter
     (fun v ->
-      let hv = Hashtbl.find t.handle_of_host v in
+      let hv = t.handle_of_host.(v) in
       Array.iter
         (fun w ->
-          match Hashtbl.find_opt t.handle_of_host w with
-          | Some hw -> Dyn_graph.add_edge t.region hv hw
-          | None -> ())
+          let hw = t.handle_of_host.(w) in
+          if hw >= 0 then Dyn_graph.add_edge t.region hv hw)
         (Graph.neighbors t.host v))
     fresh;
   fresh_handles
@@ -91,15 +96,15 @@ let make_view t ~target ~new_nodes =
   }
 
 let present t v =
-  if Hashtbl.mem t.presented_set v then
+  if Packed.Set.mem t.presented_set v then
     raise
       (Run_stats.Dishonest_transcript
          (Printf.sprintf "Fixed_host.present: node %d presented twice" v));
-  Hashtbl.replace t.presented_set v ();
+  Packed.Set.add t.presented_set v;
   t.steps <- t.steps + 1;
   let new_nodes = reveal_ball t v in
   t.max_view <- max t.max_view (Dyn_graph.n t.region);
-  if Obs.Trace.on () then begin
+  if (not t.bulk) && Obs.Trace.on () then begin
     Obs.Trace.emit
       (Obs.Trace.Reveal
          {
@@ -118,11 +123,11 @@ let present t v =
            max_view = t.max_view;
          })
   end;
-  if Obs.Metrics.on () then begin
+  if (not t.bulk) && Obs.Metrics.on () then begin
     Obs.Metrics.incr "fixed_host.presented";
     Obs.Metrics.add "fixed_host.revealed" (List.length new_nodes)
   end;
-  let target = Hashtbl.find t.handle_of_host v in
+  let target = t.handle_of_host.(v) in
   let color =
     match t.instance (make_view t ~target ~new_nodes) with
     | c -> c
@@ -156,7 +161,7 @@ let audit t =
           (fun (u, v) -> Run_stats.Monochromatic_edge (u, v))
           (Colorings.Coloring.find_monochromatic_edge t.host t.coloring)
   in
-  if Obs.Trace.on () then
+  if (not t.bulk) && Obs.Trace.on () then
     Obs.Trace.emit
       (Obs.Trace.Audit
          {
@@ -167,7 +172,7 @@ let audit t =
              | None -> ""
              | Some v -> Format.asprintf "%a" Run_stats.pp_violation v);
          });
-  if Obs.Metrics.on () then begin
+  if (not t.bulk) && Obs.Metrics.on () then begin
     Obs.Metrics.observe "fixed_host.run.presented" t.steps;
     Obs.Metrics.observe "fixed_host.run.max_view" t.max_view;
     Obs.Metrics.gauge_max "fixed_host.max_view" t.max_view
@@ -180,12 +185,12 @@ let audit t =
     max_view_size = t.max_view;
   }
 
-let run ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
-  let t = start ?ids ?hints ?oracle ~host ~palette ~algorithm () in
+let run ?bulk ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
+  let t = start ?bulk ?ids ?hints ?oracle ~host ~palette ~algorithm () in
   let rec go = function
     | [] -> ()
     | v :: rest ->
-        if Hashtbl.mem t.presented_set v then
+        if Packed.Set.mem t.presented_set v then
           (* A duplicated reveal order is an adversary bug: certify it
              rather than letting [present]'s invalid_arg abort the run. *)
           t.first_violation <- Some (Run_stats.Repeated_presentation v)

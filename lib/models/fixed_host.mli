@@ -9,12 +9,24 @@
 
     Per presented node [v] the executor reveals the host ball
     [B(v, T + oracle_radius)], extends the revealed region, and asks the
-    algorithm instance for the color of [v]. *)
+    algorithm instance for the color of [v].
+
+    {2 Cost model}
+
+    Revealing is incremental ({!Grid_graph.Bfs.Frontier}): each step
+    costs O(frontier) — the fresh nodes plus the already-revealed shell
+    the bounded BFS touches before slack pruning stops it — not
+    O(revealed region) and not O(host).  Handle lookup is a flat array
+    read, presented-twice detection a dense byte set: both O(1) and
+    allocation-free.  Per step the executor allocates only the fresh
+    handle list, the view closure record, and (unless [~bulk]) the
+    trace/metrics events.  See [lib/online_local/README.md]. *)
 
 type t
 (** A running execution (host, algorithm instance, revealed region). *)
 
 val start :
+  ?bulk:bool ->
   ?ids:(Grid_graph.Graph.node -> int) ->
   ?hints:(Grid_graph.Graph.node -> View.hint option) ->
   ?oracle:(to_host:(Grid_graph.Graph.node -> Grid_graph.Graph.node) -> Oracle.t) ->
@@ -23,7 +35,10 @@ val start :
   algorithm:Algorithm.t ->
   unit ->
   t
-(** Create an execution.  [ids] assigns the unique identifier of each
+(** Create an execution.  [bulk] (default [false]) skips per-step trace
+    and metrics event construction on the hot path — it never changes
+    colors, violations, or the audited outcome, only observability
+    output.  [ids] assigns the unique identifier of each
     host node (default: host node + 1); [hints] attaches per-host-node
     hints ({e fixed-frame} — this executor commits the embedding up
     front, so all hints share frame 0 and honestly reveal host
@@ -48,6 +63,7 @@ val to_host : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node
 (** Map a view handle to its host node. *)
 
 val run :
+  ?bulk:bool ->
   ?ids:(Grid_graph.Graph.node -> int) ->
   ?hints:(Grid_graph.Graph.node -> View.hint option) ->
   ?oracle:(to_host:(Grid_graph.Graph.node -> Grid_graph.Graph.node) -> Oracle.t) ->

@@ -22,7 +22,13 @@ type verdict = {
 type t = {
   name : string;
   description : string;
-  play : ?paranoid:bool -> ?limits:G.limits -> n:int -> Models.Algorithm.t -> verdict;
+  play :
+    ?bulk:bool ->
+    ?paranoid:bool ->
+    ?limits:G.limits ->
+    n:int ->
+    Models.Algorithm.t ->
+    verdict;
 }
 
 let outcome_label = function
@@ -120,14 +126,16 @@ let thm1 =
     name = "thm1-grid";
     description = "Lemma 3.6 + cycle closure on an n x n simple grid";
     play =
-      (fun ?(paranoid = false) ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?(paranoid = false) ?limits ~n algorithm ->
         let t = algorithm.Models.Algorithm.locality ~n:(n * n) in
         let k = max 1 (Thm1_adversary.recommended_k ~n_side:n ~t) in
         referee ?limits ~adversary:"thm1-grid" ~n
           ~guaranteed:(Thm1_adversary.guaranteed ~t ~k) algorithm
           (fun guarded ->
             let r =
-              Thm1_adversary.run ~validate:paranoid ~n_side:n ~k ~algorithm:guarded ()
+              Thm1_adversary.run ~bulk
+                ~validate:(paranoid && not bulk)
+                ~n_side:n ~k ~algorithm:guarded ()
             in
             (r.Thm1_adversary.result, Format.asprintf "%a" Thm1_adversary.pp_report r)));
   }
@@ -137,7 +145,7 @@ let thm2 wrap name =
     name;
     description = "two-row b-value attack on an n x n wrapped grid (n rounded to odd)";
     play =
-      (fun ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
         let side = if n mod 2 = 0 then n + 1 else n in
         let rounding =
           if side <> n then
@@ -148,7 +156,7 @@ let thm2 wrap name =
         let v =
           referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
             (fun guarded ->
-              let report = Thm2_adversary.run ~wrap ~side ~algorithm:guarded () in
+              let report = Thm2_adversary.run ~bulk ~wrap ~side ~algorithm:guarded () in
               r := Some report;
               ( report.Thm2_adversary.result,
                 rounding ^ Format.asprintf "%a" Thm2_adversary.pp_report report ))
@@ -169,13 +177,13 @@ let thm3 =
     name = "thm3-gadgets";
     description = "gadget seam attack on a chain of n gadgets (k = 3)";
     play =
-      (fun ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
         let gadgets = max 3 n in
         let r = ref None in
         let v =
           referee ?limits ~adversary:"thm3-gadgets" ~n:gadgets ~guaranteed:false
             algorithm (fun guarded ->
-              let report = Thm3_adversary.run ~k:3 ~gadgets ~algorithm:guarded () in
+              let report = Thm3_adversary.run ~bulk ~k:3 ~gadgets ~algorithm:guarded () in
               r := Some report;
               ( report.Thm3_adversary.result,
                 Format.asprintf "%a" Thm3_adversary.pp_report report ))
@@ -198,7 +206,7 @@ let upper ~with_oracle name description =
     name;
     description;
     play =
-      (fun ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
         let side = max 4 n in
         let grid = Topology.Grid2d.(create Simple ~rows:side ~cols:side) in
         let host = Topology.Grid2d.graph grid in
@@ -211,7 +219,7 @@ let upper ~with_oracle name description =
         referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
           (fun guarded ->
             let outcome =
-              Models.Fixed_host.run ?oracle ~hints ~host ~palette:3
+              Models.Fixed_host.run ~bulk ?oracle ~hints ~host ~palette:3
                 ~algorithm:guarded ~order ()
             in
             ( (match outcome.Models.Run_stats.violation with

@@ -41,6 +41,7 @@ type t = {
   name : string;
   description : string;
   play :
+    ?bulk:bool ->
     ?paranoid:bool ->
     ?limits:Harness.Guard.limits ->
     n:int ->
@@ -50,8 +51,17 @@ type t = {
           gadget count) — see {!val-games}.  [~paranoid:true] replays the
           Theorem 1 transcript through {!Virtual_grid.validate}; an audit
           failure surfaces as {!Adversary_fault} with a
-          [Dishonest_transcript] certificate.  [?limits] defaults to
-          {!Harness.Guard.default_limits}. *)
+          [Dishonest_transcript] certificate.  [~bulk:true] is the
+          campaign fast path: per-step trace/metrics event construction
+          is skipped in the executors and the paranoid re-audit is
+          forced off.  Bulk cannot change the verdict — it only elides
+          observability work whose inputs are already determined by the
+          transcript (asserted over the E7 fault matrix in the tests).
+          A game of [k] steps costs O(sum of per-step frontier sizes)
+          in the executor plus the algorithm's own work — see
+          [lib/online_local/README.md] for the per-step cost model and
+          [BENCH_game_steps.json] for measured rates.
+          [?limits] defaults to {!Harness.Guard.default_limits}. *)
 }
 
 val referee :

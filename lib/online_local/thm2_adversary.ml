@@ -6,6 +6,7 @@ type report = {
   s_west : int;
   reflected : bool;
   presented : int;
+  revealed : int;
   preconditions_met : bool;
 }
 
@@ -56,7 +57,7 @@ let row_cycle_b_rect coloring ~cols ~row ~east =
 
 let row_cycle_b coloring ~side ~row ~east = row_cycle_b_rect coloring ~cols:side ~row ~east
 
-let run_rect ~wrap ~rows ~cols ~algorithm () =
+let run_rect ?(bulk = false) ~wrap ~rows ~cols ~algorithm () =
   let n = rows * cols in
   let t = algorithm.Models.Algorithm.locality ~n in
   (* Odd columns make the row b-values odd; 4T+4 rows leave room for two
@@ -71,13 +72,19 @@ let run_rect ~wrap ~rows ~cols ~algorithm () =
   let band_lo = (2 * t) + 1 and band_hi = min ((4 * t) + 3) (rows - 1) in
   let row_nodes r = List.init cols (fun j -> (r * cols) + j) in
   let prefix = row_nodes row1 @ row_nodes row2 in
-  let in_prefix = Hashtbl.create (2 * cols) in
-  List.iter (fun v -> Hashtbl.replace in_prefix v ()) prefix;
+  (* Dense packed-int set — the executor core's representation — instead
+     of an [(int, unit)] hashtable for the prefix-complement scan. *)
+  let in_prefix = Grid_graph.Packed.Set.create n in
+  List.iter (fun v -> Grid_graph.Packed.Set.add in_prefix v) prefix;
   let rest =
-    List.filter (fun v -> not (Hashtbl.mem in_prefix v)) (List.init n (fun v -> v))
+    List.filter
+      (fun v -> not (Grid_graph.Packed.Set.mem in_prefix v))
+      (List.init n (fun v -> v))
   in
   let full_order = prefix @ rest in
-  let run_on host order = Models.Fixed_host.run ~host ~palette:3 ~algorithm ~order () in
+  let run_on host order =
+    Models.Fixed_host.run ~bulk ~host ~palette:3 ~algorithm ~order ()
+  in
   if not preconditions_met then
     (* The attack is only guaranteed above the threshold; still play the
        plain host so sweeps can chart the frontier. *)
@@ -99,6 +106,7 @@ let run_rect ~wrap ~rows ~cols ~algorithm () =
       s_west;
       reflected = false;
       presented = outcome.Models.Run_stats.presented;
+      revealed = outcome.Models.Run_stats.revealed;
       preconditions_met;
     }
   else begin
@@ -134,8 +142,10 @@ let run_rect ~wrap ~rows ~cols ~algorithm () =
       s_west;
       reflected = reflect;
       presented = outcome.Models.Run_stats.presented;
+      revealed = outcome.Models.Run_stats.revealed;
       preconditions_met;
     }
   end
 
-let run ~wrap ~side ~algorithm () = run_rect ~wrap ~rows:side ~cols:side ~algorithm ()
+let run ?bulk ~wrap ~side ~algorithm () =
+  run_rect ?bulk ~wrap ~rows:side ~cols:side ~algorithm ()

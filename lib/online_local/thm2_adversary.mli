@@ -25,6 +25,8 @@ type report = {
   s_west : int;  (** b-value of row 2 directed west (final coloring) *)
   reflected : bool;  (** whether the reflected variant was selected *)
   presented : int;
+  revealed : int;  (** nodes revealed in the final (replay) run — not
+      printed by {!pp_report}, whose output is pinned by goldens *)
   preconditions_met : bool;  (** odd side and 4T+4 <= side *)
 }
 
@@ -39,6 +41,7 @@ val variant_host :
     grid.  Exposed for the isomorphism tests. *)
 
 val run :
+  ?bulk:bool ->
   wrap:[ `Cylindrical | `Toroidal ] ->
   side:int ->
   algorithm:Models.Algorithm.t ->
@@ -46,7 +49,8 @@ val run :
   report
 (** Play the adversary on a [side x side] grid ([side] odd).  Probes the
     two rows on the plain host, selects the variant, replays in full,
-    and audits the outcome. *)
+    and audits the outcome.  [~bulk:true] is forwarded to the executor
+    (per-step observability skipped; report unchanged). *)
 
 val row_cycle_b : Colorings.Coloring.t -> side:int -> row:int -> east:bool -> int
 (** b-value of the directed cycle along one row of a [side x side]
@@ -59,6 +63,7 @@ val variant_host_rect :
 (** Rectangular generalization of {!variant_host}. *)
 
 val run_rect :
+  ?bulk:bool ->
   wrap:[ `Cylindrical | `Toroidal ] ->
   rows:int ->
   cols:int ->

@@ -4,6 +4,7 @@ type report = {
   last_class : Colorings.Colorful.classification option;
   seam_used : bool;
   presented : int;
+  revealed : int;
   preconditions_met : bool;
 }
 
@@ -23,7 +24,7 @@ let pp_report ppf r =
     (match r.last_class with None -> "-" | Some c -> class_name c)
     r.seam_used r.presented r.preconditions_met
 
-let run ~k ~gadgets ~algorithm () =
+let run ?(bulk = false) ~k ~gadgets ~algorithm () =
   if k < 3 then invalid_arg "thm3: k must be >= 3";
   if gadgets < 3 then invalid_arg "thm3: need at least 3 gadgets";
   let n = gadgets * k * k in
@@ -53,7 +54,7 @@ let run ~k ~gadgets ~algorithm () =
       let g, i, j = Topology.Gadget.coords chain v in
       Some (Models.View.Gadget_pos { frame = 0; gadget = g; row = i; col = j })
     in
-    Models.Fixed_host.run ~hints
+    Models.Fixed_host.run ~bulk ~hints
       ~host:(Topology.Gadget.graph chain)
       ~palette ~algorithm ~order ()
   in
@@ -69,6 +70,7 @@ let run ~k ~gadgets ~algorithm () =
       last_class = None;
       seam_used = false;
       presented = outcome.Models.Run_stats.presented;
+      revealed = outcome.Models.Run_stats.revealed;
       preconditions_met;
     }
   end
@@ -129,6 +131,7 @@ let run ~k ~gadgets ~algorithm () =
       last_class;
       seam_used;
       presented = outcome.Models.Run_stats.presented;
+      revealed = outcome.Models.Run_stats.revealed;
       preconditions_met;
     }
   end

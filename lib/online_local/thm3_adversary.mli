@@ -19,18 +19,23 @@ type report = {
           chosen host, i.e. post-transposition) *)
   seam_used : bool;
   presented : int;
+  revealed : int;  (** nodes revealed in the final run — not printed by
+      {!pp_report}, whose output is pinned by goldens *)
   preconditions_met : bool;  (** T-balls of the end gadgets clear of each other and of the seam *)
 }
 
 val pp_report : Format.formatter -> report -> unit
 
 val run :
+  ?bulk:bool ->
   k:int ->
   gadgets:int ->
   algorithm:Models.Algorithm.t ->
   unit ->
   report
 (** Play the adversary on a chain of [gadgets] gadgets of side [k]
-    (so [n = gadgets * k^2]) with palette [2k - 2].
+    (so [n = gadgets * k^2]) with palette [2k - 2].  [~bulk:true] is
+    forwarded to the executor (per-step observability skipped; report
+    unchanged).
     @raise Invalid_argument if [k < 3] (with [k = 2] the palette would
     have 2 colors and the instance is degenerate) or [gadgets < 3]. *)

@@ -1,8 +1,10 @@
 module V = Models.View
+module Coord = Grid_graph.Packed.Coord
+module Ptable = Grid_graph.Packed.Table
 
 type frame_state = {
   fid : int;
-  table : (int * int, int) Hashtbl.t;  (* frame coords -> handle *)
+  table : Ptable.t;  (* packed frame coords -> handle *)
   mutable alive : bool;
 }
 
@@ -12,35 +14,37 @@ type t = {
   palette : int;
   n_total : int;
   radius : int;
+  bulk : bool;  (* skip per-step trace/metrics event construction *)
   region : Grid_graph.Dyn_graph.t;
-  mutable coords : (int * int) array;  (* handle -> current frame coords *)
+  mutable coords : int array;  (* handle -> current packed frame coords *)
   mutable frame_ids : int array;  (* handle -> current frame id *)
   mutable revealed_step : int array;  (* handle -> step at which it appeared *)
+  mutable outputs : int array;  (* handle -> color; -1 = none *)
+  mutable presented : Bytes.t;  (* handle set *)
   frames : (int, frame_state) Hashtbl.t;
   mutable next_fid : int;
   instance : Models.Algorithm.instance Lazy.t ref;
-  outputs : (int, int) Hashtbl.t;  (* handle -> color *)
-  presented : (int, unit) Hashtbl.t;  (* handle set *)
   mutable targets : int list;  (* reverse presentation order *)
   mutable steps : int;
   mutable first_violation : Models.Run_stats.violation option;
 }
 
-let create ~palette ~n_total ~radius ~algorithm () =
+let create ?(bulk = false) ~palette ~n_total ~radius ~algorithm () =
   let t =
     {
       palette;
       n_total;
       radius;
+      bulk;
       region = Grid_graph.Dyn_graph.create ();
-      coords = Array.make 64 (0, 0);
+      coords = Array.make 64 0;
       frame_ids = Array.make 64 (-1);
       revealed_step = Array.make 64 (-1);
+      outputs = Array.make 64 (-1);
+      presented = Bytes.make 64 '\000';
       frames = Hashtbl.create 8;
       next_fid = 0;
       instance = ref (lazy (fun _ -> 0));
-      outputs = Hashtbl.create 1024;
-      presented = Hashtbl.create 1024;
       targets = [];
       steps = 0;
       first_violation = None;
@@ -52,7 +56,7 @@ let create ~palette ~n_total ~radius ~algorithm () =
   t
 
 let new_frame t =
-  let f = { fid = t.next_fid; table = Hashtbl.create 256; alive = true } in
+  let f = { fid = t.next_fid; table = Ptable.create ~capacity:256 (); alive = true } in
   t.next_fid <- t.next_fid + 1;
   Hashtbl.replace t.frames f.fid f;
   f
@@ -61,38 +65,50 @@ let grow t needed =
   let cap = Array.length t.coords in
   if needed > cap then begin
     let cap' = max needed (2 * cap) in
-    let coords = Array.make cap' (0, 0)
+    let coords = Array.make cap' 0
     and frame_ids = Array.make cap' (-1)
-    and revealed_step = Array.make cap' (-1) in
+    and revealed_step = Array.make cap' (-1)
+    and outputs = Array.make cap' (-1)
+    and presented = Bytes.make cap' '\000' in
     Array.blit t.coords 0 coords 0 cap;
     Array.blit t.frame_ids 0 frame_ids 0 cap;
     Array.blit t.revealed_step 0 revealed_step 0 cap;
+    Array.blit t.outputs 0 outputs 0 cap;
+    Bytes.blit t.presented 0 presented 0 cap;
     t.coords <- coords;
     t.frame_ids <- frame_ids;
-    t.revealed_step <- revealed_step
+    t.revealed_step <- revealed_step;
+    t.outputs <- outputs;
+    t.presented <- presented
   end
 
 let check_alive f op =
   if not f.alive then invalid_arg ("Virtual_grid: frame used after merge in " ^ op)
 
-let handle_at _t f ~row ~col = Hashtbl.find_opt f.table (row, col)
+let handle_at _t f ~row ~col =
+  if Coord.in_range row col then Ptable.find_opt f.table (Coord.pack row col)
+  else None
+
+let output_opt t h = let c = t.outputs.(h) in if c < 0 then None else Some c
 
 let color_at t f ~row ~col =
   match handle_at t f ~row ~col with
   | None -> None
-  | Some h -> Hashtbl.find_opt t.outputs h
+  | Some h -> output_opt t h
 
-let reveal_node t f (r, c) =
-  match Hashtbl.find_opt f.table (r, c) with
-  | Some h -> (h, false)
-  | None ->
-      let h = Grid_graph.Dyn_graph.add_node t.region in
-      grow t (h + 1);
-      t.coords.(h) <- (r, c);
-      t.frame_ids.(h) <- f.fid;
-      t.revealed_step.(h) <- t.steps;
-      Hashtbl.replace f.table (r, c) h;
-      (h, true)
+(* [k] is a packed coordinate already checked in range by the caller. *)
+let reveal_node t f k =
+  let h = Ptable.find_default f.table k ~default:(-1) in
+  if h >= 0 then (h, false)
+  else begin
+    let h = Grid_graph.Dyn_graph.add_node t.region in
+    grow t (h + 1);
+    t.coords.(h) <- k;
+    t.frame_ids.(h) <- f.fid;
+    t.revealed_step.(h) <- t.steps;
+    Ptable.set f.table k h;
+    (h, true)
+  end
 
 let neighbors4 (r, c) = [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
 
@@ -104,11 +120,11 @@ let make_view t ~target ~new_nodes =
     neighbors = (fun h -> Grid_graph.Dyn_graph.neighbors t.region h);
     mem_edge = (fun a b -> Grid_graph.Dyn_graph.mem_edge t.region a b);
     id = (fun h -> h + 1);
-    output = (fun h -> Hashtbl.find_opt t.outputs h);
+    output = (fun h -> output_opt t h);
     hint =
       (fun h ->
-        let row, col = t.coords.(h) in
-        Some (V.Grid_pos { frame = t.frame_ids.(h); row; col }));
+        let k = t.coords.(h) in
+        Some (V.Grid_pos { frame = t.frame_ids.(h); row = Coord.row k; col = Coord.col k }));
     target;
     new_nodes;
     step = t.steps;
@@ -116,39 +132,55 @@ let make_view t ~target ~new_nodes =
 
 let present t f ~row ~col =
   check_alive f "present";
-  (match Hashtbl.find_opt f.table (row, col) with
-  | Some h when Hashtbl.mem t.presented h ->
+  (* One range check per presentation covers the whole diamond plus the
+     one-step neighbor probes below; packing stays carry-free throughout. *)
+  if
+    not
+      (Coord.in_range (row - t.radius) (col - t.radius)
+      && Coord.in_range (row + t.radius) (col + t.radius))
+  then invalid_arg "Virtual_grid.present: coordinates outside packable range";
+  let base = Coord.pack row col in
+  (match Ptable.find_default f.table base ~default:(-1) with
+  | h when h >= 0 && Bytes.get t.presented h <> '\000' ->
       raise
         (Models.Run_stats.Dishonest_transcript
            "Virtual_grid.present: node already presented")
-  | Some _ | None -> ());
+  | _ -> ());
   t.steps <- t.steps + 1;
   (* Reveal the radius-R diamond around the node. *)
   let fresh = ref [] in
   for dr = -t.radius to t.radius do
     let budget = t.radius - abs dr in
+    let row_base = base + (dr * Coord.row_step) in
     for dc = -budget to budget do
-      let h, is_new = reveal_node t f (row + dr, col + dc) in
+      let h, is_new = reveal_node t f (row_base + dc) in
       if is_new then fresh := h :: !fresh
     done
   done;
   let new_nodes = List.sort compare !fresh in
-  (* Each fresh node connects to every already-revealed grid neighbor. *)
+  (* Each fresh node connects to every already-revealed grid neighbor.
+     Probe order north, south, west, east is observable through the
+     region's adjacency iteration order — do not reorder. *)
   List.iter
     (fun h ->
-      List.iter
-        (fun coord ->
-          match Hashtbl.find_opt f.table coord with
-          | Some h' -> Grid_graph.Dyn_graph.add_edge t.region h h'
-          | None -> ())
-        (neighbors4 t.coords.(h)))
+      let k = t.coords.(h) in
+      let probe k' =
+        let h' = Ptable.find_default f.table k' ~default:(-1) in
+        if h' >= 0 then Grid_graph.Dyn_graph.add_edge t.region h h'
+      in
+      probe (Coord.north k);
+      probe (Coord.south k);
+      probe (Coord.west k);
+      probe (Coord.east k))
     new_nodes;
   let target =
-    match Hashtbl.find_opt f.table (row, col) with Some h -> h | None -> assert false
+    match Ptable.find_default f.table base ~default:(-1) with
+    | -1 -> assert false
+    | h -> h
   in
-  Hashtbl.replace t.presented target ();
+  Bytes.set t.presented target '\001';
   t.targets <- target :: t.targets;
-  if Obs.Trace.on () then begin
+  if (not t.bulk) && Obs.Trace.on () then begin
     Obs.Trace.emit
       (Obs.Trace.Reveal
          {
@@ -169,7 +201,7 @@ let present t f ~row ~col =
            max_view = Grid_graph.Dyn_graph.n t.region;
          })
   end;
-  if Obs.Metrics.on () then begin
+  if (not t.bulk) && Obs.Metrics.on () then begin
     Obs.Metrics.incr "virtual_grid.presented";
     Obs.Metrics.add "virtual_grid.revealed" (List.length new_nodes);
     Obs.Metrics.gauge_max "virtual_grid.max_view" (Grid_graph.Dyn_graph.n t.region)
@@ -193,11 +225,11 @@ let present t f ~row ~col =
         Some (Models.Run_stats.Palette_overflow { node = target; color })
   end
   else begin
-    Hashtbl.replace t.outputs target color;
+    t.outputs.(target) <- color;
     if t.first_violation = None then
       List.iter
         (fun h ->
-          if Hashtbl.find_opt t.outputs h = Some color then
+          if t.outputs.(h) = color then
             t.first_violation <- Some (Models.Run_stats.Monochromatic_edge (target, h)))
         (Grid_graph.Dyn_graph.neighbors t.region target)
   end;
@@ -205,37 +237,43 @@ let present t f ~row ~col =
 
 let reflect t f =
   check_alive f "reflect";
-  let entries = Hashtbl.fold (fun coord h acc -> (coord, h) :: acc) f.table [] in
-  Hashtbl.reset f.table;
+  let entries = Ptable.fold f.table ~init:[] ~f:(fun acc k h -> (k, h) :: acc) in
+  Ptable.clear f.table;
   List.iter
-    (fun ((r, c), h) ->
-      let coord = (r, -c) in
-      Hashtbl.replace f.table coord h;
-      t.coords.(h) <- coord)
+    (fun (k, h) ->
+      let k' = Coord.pack (Coord.row k) (- Coord.col k) in
+      Ptable.set f.table k' h;
+      t.coords.(h) <- k')
     entries
 
 let merge t ~keep ~absorb ~reflect:refl ~dr ~dc =
   check_alive keep "merge";
   check_alive absorb "merge";
   if keep.fid = absorb.fid then invalid_arg "Virtual_grid.merge: same frame";
-  let map (r, c) = (r + dr, (if refl then -c else c) + dc) in
-  let entries = Hashtbl.fold (fun coord h acc -> (coord, h) :: acc) absorb.table [] in
+  let map k =
+    let r = Coord.row k + dr in
+    let c = (if refl then - Coord.col k else Coord.col k) + dc in
+    if not (Coord.in_range r c) then
+      invalid_arg "Virtual_grid.merge: placement outside packable range";
+    Coord.pack r c
+  in
+  let entries = Ptable.fold absorb.table ~init:[] ~f:(fun acc k h -> (k, h) :: acc) in
   (* The committed placement must not contradict any view already shown:
      no collisions and no adjacencies between the two revealed regions. *)
   List.iter
-    (fun (coord, _) ->
-      let m = map coord in
+    (fun (k, _) ->
+      let m = map k in
       List.iter
         (fun probe ->
-          if Hashtbl.mem keep.table probe then
+          if Ptable.mem keep.table probe then
             invalid_arg
               "Virtual_grid.merge: placement collides with or touches the kept region")
-        (m :: neighbors4 m))
+        [ m; Coord.north m; Coord.south m; Coord.west m; Coord.east m ])
     entries;
   List.iter
-    (fun (coord, h) ->
-      let m = map coord in
-      Hashtbl.replace keep.table m h;
+    (fun (k, h) ->
+      let m = map k in
+      Ptable.set keep.table m h;
       t.coords.(h) <- m;
       t.frame_ids.(h) <- keep.fid)
     entries;
@@ -250,13 +288,12 @@ let span _t f =
   check_alive f "span";
   let row_lo = ref max_int and row_hi = ref min_int in
   let col_lo = ref max_int and col_hi = ref min_int in
-  Hashtbl.iter
-    (fun (r, c) _ ->
+  Ptable.iter f.table ~f:(fun k _ ->
+      let r = Coord.row k and c = Coord.col k in
       row_lo := min !row_lo r;
       row_hi := max !row_hi r;
       col_lo := min !col_lo c;
-      col_hi := max !col_hi c)
-    f.table;
+      col_hi := max !col_hi c);
   ((!row_lo, !row_hi), (!col_lo, !col_hi))
 
 let violation t = t.first_violation
@@ -268,12 +305,12 @@ let scan_monochromatic t =
   let count = Grid_graph.Dyn_graph.n t.region in
   (try
      for h = 0 to count - 1 do
-       match Hashtbl.find_opt t.outputs h with
+       match output_opt t h with
        | None -> ()
        | Some c ->
            List.iter
              (fun h' ->
-               if h' > h && Hashtbl.find_opt t.outputs h' = Some c then begin
+               if h' > h && t.outputs.(h') = c then begin
                  found := Some (h, h');
                  raise Exit
                end)
@@ -288,7 +325,7 @@ let validate_placement t =
   let (_, (glo, ghi)) =
     Hashtbl.fold
       (fun _ f ((rl, rh), (cl, ch)) ->
-        if Hashtbl.length f.table = 0 then ((rl, rh), (cl, ch))
+        if Ptable.length f.table = 0 then ((rl, rh), (cl, ch))
         else
           let (rl', rh'), (cl', ch') = span t f in
           ((min rl rl', max rh rh'), (min cl cl', max ch ch')))
@@ -304,8 +341,8 @@ let validate_placement t =
       incr next)
     t.frames;
   let abs_coords h =
-    let r, c = t.coords.(h) in
-    (r, c + Hashtbl.find offset_of_fid t.frame_ids.(h))
+    let k = t.coords.(h) in
+    (Coord.row k, Coord.col k + Hashtbl.find offset_of_fid t.frame_ids.(h))
   in
   let by_coord = Hashtbl.create (count * 2 + 1) in
   for h = 0 to count - 1 do
@@ -366,8 +403,8 @@ let bipartition_oracle t =
       Array.of_list
         (List.map
            (fun h ->
-             let r, c = t.coords.(h) in
-             ((r + c) mod 2 + 2) mod 2)
+             let k = t.coords.(h) in
+             ((Coord.row k + Coord.col k) mod 2 + 2) mod 2)
            handles)
     in
     Models.Oracle.canonicalize raw handles

@@ -26,12 +26,25 @@
     Rows grow downward and columns rightward; coordinates may be
     negative (the virtual grid is unbounded — {!span} reports the
     bounding box so callers can check the construction fits the
-    advertised [sqrt n x sqrt n] host). *)
+    advertised [sqrt n x sqrt n] host).
+
+    {2 Cost model}
+
+    Frame coordinates are packed into single integers
+    ({!Grid_graph.Packed.Coord}) and each frame's coordinate table is an
+    open-addressing int map, so revealing a radius-R diamond costs
+    O(R{^2}) allocation-free probes with the four grid-neighbor lookups
+    done by integer arithmetic.  Outputs and the presented set are flat
+    arrays indexed by handle: O(1) reads, no boxing.  Coordinates must
+    stay within [|row|, |col| < 2{^29}] ([Invalid_argument] otherwise) —
+    vastly beyond any constructible instance.  See
+    [lib/online_local/README.md]. *)
 
 type t
 type frame
 
 val create :
+  ?bulk:bool ->
   palette:int ->
   n_total:int ->
   radius:int ->
@@ -40,7 +53,9 @@ val create :
   t
 (** [radius] is the ball radius revealed per presentation (the
     algorithm's locality, plus its oracle radius if any — the built-in
-    algorithms attacked here carry none). *)
+    algorithms attacked here carry none).  [bulk] (default [false])
+    skips per-step trace and metrics event construction; it cannot
+    change colors, violations, or honesty checks. *)
 
 val new_frame : t -> frame
 

@@ -24,6 +24,11 @@ type t = {
 
 let always_available () = Ok ()
 
+(* Campaign fast path for the game targets: set once at startup (before
+   any worker domains or forked children exist), read per case. *)
+let bulk_mode = Atomic.make false
+let set_bulk b = Atomic.set bulk_mode b
+
 (* ------------------------------------------------------------------ *)
 (* proper-vs-brute                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -170,7 +175,10 @@ let game_prop game c =
     | None -> c.algorithm
     | Some (_, inject) -> inject c.algorithm
   in
-  let v = game.Game.play ~limits:fuzz_limits ~n:c.n algorithm in
+  let v =
+    game.Game.play ~bulk:(Atomic.get bulk_mode) ~limits:fuzz_limits ~n:c.n
+      algorithm
+  in
   let flag_consistent =
     v.Game.defeated = (match v.Game.outcome with Game.Defeated -> true | _ -> false)
   in
@@ -652,6 +660,125 @@ let wire_codec =
   }
 
 (* ------------------------------------------------------------------ *)
+(* view-incremental                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential for the incremental executor core.  Three executions of
+   the same (host, algorithm, order) triple are compared step by step:
+
+   - the real {!Models.Fixed_host} executor (incremental
+     {!Grid_graph.Bfs.Frontier} reveals, flat handle map, packed
+     presented set), bulk off;
+   - the same executor with [~bulk:true];
+   - a reference replay of the pre-incremental reveal rule from first
+     principles: per presented node, a batch [Bfs.ball] over the whole
+     host filtered against the revealed-so-far set.
+
+   Per step the fresh host-node list (order included — handle
+   numbering is observable through greedy first-fit) and the answered
+   color must agree across all three; the whole-run [run] outcomes
+   (counters, violation shape, coloring) must agree bulk-on vs
+   bulk-off. *)
+
+let view_incremental =
+  let gen =
+    Gen.bind (Domain_gen.simple_grid ~rows:(2, 6) ~cols:(2, 6)) (fun grid ->
+        Gen.map2
+          (fun (alg_name, algorithm) order -> (grid, alg_name, algorithm, order))
+          Domain_gen.grid_algorithm
+          (Domain_gen.order (Grid2d.graph grid)))
+  in
+  let print (grid, alg_name, _, order) =
+    Printf.sprintf "grid %dx%d alg=%s order=[%s]" (Grid2d.rows grid)
+      (Grid2d.cols grid) alg_name
+      (String.concat ";" (List.map string_of_int order))
+  in
+  let prop (grid, _, algorithm, order) =
+    let host = Grid2d.graph grid in
+    let palette = 3 in
+    let radius = algorithm.Models.Algorithm.locality ~n:(Graph.n host) in
+    (* Per-step transcript of one real execution: (node, fresh host
+       nodes in handle order, answered color).  Stops where [run]
+       stops — on the first out-of-palette answer (an algorithm raise
+       surfaces as color -1). *)
+    let transcript ~bulk =
+      let t = Models.Fixed_host.start ~bulk ~host ~palette ~algorithm () in
+      let steps = ref [] in
+      let stop = ref false in
+      List.iter
+        (fun v ->
+          if not !stop then begin
+            let before =
+              List.length (Models.Fixed_host.revealed_host_nodes t)
+            in
+            let color = Models.Fixed_host.present t v in
+            let fresh =
+              List.filteri
+                (fun i _ -> i >= before)
+                (Models.Fixed_host.revealed_host_nodes t)
+            in
+            steps := (v, fresh, color) :: !steps;
+            if color < 0 || color >= palette then stop := true
+          end)
+        order;
+      List.rev !steps
+    in
+    let base = transcript ~bulk:false in
+    let bulk = transcript ~bulk:true in
+    (* Reference reveal bookkeeping, replayed over the real transcript's
+       steps: batch ball minus already-revealed, both in ascending host
+       order. *)
+    let revealed = Hashtbl.create 64 in
+    let reference_agrees =
+      List.for_all
+        (fun (v, fresh, _) ->
+          let expect =
+            List.filter
+              (fun u -> not (Hashtbl.mem revealed u))
+              (Grid_graph.Bfs.ball host [ v ] radius)
+          in
+          List.iter (fun u -> Hashtbl.replace revealed u ()) expect;
+          fresh = expect)
+        base
+    in
+    let outcome bulk =
+      Models.Fixed_host.run ~bulk ~host ~palette ~algorithm ~order ()
+    in
+    let o1 = outcome false and o2 = outcome true in
+    let stats (o : Models.Run_stats.outcome) =
+      (o.presented, o.revealed, o.max_view_size)
+    in
+    let violation_shape (o : Models.Run_stats.outcome) =
+      match o.violation with
+      | None -> "none"
+      | Some (Models.Run_stats.Monochromatic_edge (u, v)) ->
+          Printf.sprintf "mono:%d-%d" u v
+      | Some (Models.Run_stats.Palette_overflow { node; color }) ->
+          Printf.sprintf "overflow:%d:%d" node color
+      | Some (Models.Run_stats.Repeated_presentation v) ->
+          Printf.sprintf "repeat:%d" v
+      | Some (Models.Run_stats.Algorithm_failure { node; message; _ }) ->
+          Printf.sprintf "fail:%d:%s" node message
+    in
+    reference_agrees && base = bulk
+    && stats o1 = stats o2
+    && violation_shape o1 = violation_shape o2
+    && Coloring.to_array o1.Models.Run_stats.coloring
+       = Coloring.to_array o2.Models.Run_stats.coloring
+  in
+  {
+    name = "view-incremental";
+    doc =
+      "Fixed_host executor differential: incremental Frontier reveals vs a \
+       batch ball-and-filter reference, and bulk vs non-bulk, agree on every \
+       per-step fresh-node list, color, counter and violation";
+    serial = false;
+    max_cases = None;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* demo-bug                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -688,6 +815,7 @@ let all =
     sweep_kill;
     metrics_jobs;
     wire_codec;
+    view_incremental;
     demo_bug;
   ]
 
