@@ -367,6 +367,8 @@ let sweep_scaling () =
      guarded_untraced_control   identical second measurement of the above
      guarded_traced             guarded, sink streaming to /dev/null
      guarded_metrics            guarded, metrics registry enabled
+     guarded_flight             guarded, flight-recorder ring armed
+     guarded_stats              guarded, stats registry enabled
 
    A disabled hook is one atomic load per site, inseparable from
    measurement noise — so the tracing-disabled regression is measured as
@@ -383,19 +385,52 @@ let guarded_thm1 () =
   let algorithm = Harness.Guard.algorithm guard (Portfolio.greedy ()) in
   ignore (Thm1_adversary.run ~n_side:400 ~k:6 ~algorithm ())
 
+(* One timed measurement: [inner] runs of [f], seconds per run. *)
+let measure_inner ~inner f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to inner do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int inner
+
+(* Round-robin best-of-passes runner shared by the overhead benches:
+   each pass runs every subject once and keeps its per-subject minimum,
+   so clock drift and allocator state cancel instead of biasing one
+   side. *)
+let round_robin_best ~passes subjects =
+  List.iter (fun (_, pass) -> ignore (pass ())) subjects (* warm-up *);
+  let best = Hashtbl.create 8 in
+  for _ = 1 to passes do
+    List.iter
+      (fun (name, pass) ->
+        let t = pass () in
+        let prev = Option.value ~default:infinity (Hashtbl.find_opt best name) in
+        Hashtbl.replace best name (Float.min prev t))
+      subjects
+  done;
+  fun name -> Hashtbl.find best name
+
+(* The flight-recorder and stats subjects shared by E9 and E14: same
+   guarded thm1 game, observability in its campaign configuration. *)
+let flight_subject measure =
+  Harness.Flight.with_sink ~program:"bench" ~path:"/dev/null" (fun () ->
+      measure guarded_thm1)
+
+let stats_subject measure =
+  Harness.Stats.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.Stats.disable ();
+      Harness.Stats.reset ())
+    (fun () -> measure guarded_thm1)
+
 let trace_overhead () =
   let inner = 60 and passes = 8 in
   Format.printf
     "== E9: trace/metrics overhead (thm1 vs greedy, k=6, side=400; best of \
      %d passes x %d runs) ==@.@."
     passes inner;
-  let measure f =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to inner do
-      f ()
-    done;
-    (Unix.gettimeofday () -. t0) /. float_of_int inner
-  in
+  let measure f = measure_inner ~inner f in
   let subjects =
     [
       ("raw", fun () -> measure raw_thm1);
@@ -413,19 +448,11 @@ let trace_overhead () =
               Harness.Metrics.disable ();
               Harness.Metrics.reset ())
             (fun () -> measure guarded_thm1) );
+      ("guarded_flight", fun () -> flight_subject measure);
+      ("guarded_stats", fun () -> stats_subject measure);
     ]
   in
-  List.iter (fun (_, pass) -> ignore (pass ())) subjects (* warm-up *);
-  let best = Hashtbl.create 8 in
-  for _ = 1 to passes do
-    List.iter
-      (fun (name, pass) ->
-        let t = pass () in
-        let prev = Option.value ~default:infinity (Hashtbl.find_opt best name) in
-        Hashtbl.replace best name (Float.min prev t))
-      subjects
-  done;
-  let t name = Hashtbl.find best name in
+  let t = round_robin_best ~passes subjects in
   let pct a b = 100. *. (t a -. t b) /. t b in
   Format.printf "%-28s %12s@." "subject" "s/run";
   List.iter
@@ -434,8 +461,12 @@ let trace_overhead () =
   let disabled_pct = Float.max 0. (pct "guarded_untraced_control" "guarded_untraced") in
   let traced_pct = pct "guarded_traced" "guarded_untraced" in
   let metrics_pct = pct "guarded_metrics" "guarded_untraced" in
-  Format.printf "@.tracing disabled: %+.2f%%  traced: %+.2f%%  metrics: %+.2f%%@."
-    disabled_pct traced_pct metrics_pct;
+  let flight_pct = pct "guarded_flight" "guarded_untraced" in
+  let stats_pct = pct "guarded_stats" "guarded_untraced" in
+  Format.printf
+    "@.tracing disabled: %+.2f%%  traced: %+.2f%%  metrics: %+.2f%%  \
+     flight: %+.2f%%  stats: %+.2f%%@."
+    disabled_pct traced_pct metrics_pct flight_pct stats_pct;
   let results =
     Obs.Json.Obj
       [
@@ -453,6 +484,8 @@ let trace_overhead () =
               ("tracing_disabled", Obs.Json.Float disabled_pct);
               ("tracing_enabled", Obs.Json.Float traced_pct);
               ("metrics_enabled", Obs.Json.Float metrics_pct);
+              ("flight_enabled", Obs.Json.Float flight_pct);
+              ("stats_enabled", Obs.Json.Float stats_pct);
             ] );
       ]
   in
@@ -798,6 +831,133 @@ let serve_throughput () =
   write_bench_record "BENCH_serve_throughput.json"
     (bench_record ~bench:"serve_throughput" ~jobs_axis:[ jobs ] ~results)
 
+(* ------------- E14: stats/flight overhead and its gate ------------ *)
+
+(* The campaign-observability overhead contract on the E9 subject.  The
+   NDJSON sink pays string formatting and a write per event (~121% on
+   this game); the flight recorder encodes into an in-memory ring and
+   touches disk only on anomaly, so it must stay within 10% of the
+   untraced guarded game; the stats registry is two integer
+   accumulations per game and must stay within 5%.
+
+   --stats-overhead        measure and write BENCH_stats_overhead.json
+   --stats-overhead-check  assert the committed record honors the 10%
+                           flight budget, then re-measure flight vs
+                           baseline with a generous 35% bound (the CI
+                           gate; shared runners are noisy) *)
+
+let stats_overhead () =
+  let inner = 60 and passes = 8 in
+  Format.printf
+    "== E14: stats/flight overhead (thm1 vs greedy, k=6, side=400; best of \
+     %d passes x %d runs) ==@.@."
+    passes inner;
+  let measure f = measure_inner ~inner f in
+  let subjects =
+    [
+      ("baseline", fun () -> measure guarded_thm1);
+      ( "ndjson",
+        fun () ->
+          Harness.Trace.with_sink ~program:"bench" ~path:"/dev/null" (fun () ->
+              measure guarded_thm1) );
+      ("flight", fun () -> flight_subject measure);
+      ("stats", fun () -> stats_subject measure);
+    ]
+  in
+  let t = round_robin_best ~passes subjects in
+  let pct name = 100. *. (t name -. t "baseline") /. t "baseline" in
+  Format.printf "%-28s %12s %12s@." "subject" "s/run" "overhead";
+  List.iter
+    (fun (name, _) ->
+      Format.printf "%-28s %12.6f %+11.2f%%@." name (t name) (pct name))
+    subjects;
+  let flight_pct = pct "flight" and stats_pct = pct "stats" in
+  Format.printf "@.flight budget: %+.2f%% of <= 10%%  (ndjson for scale: %+.2f%%)@."
+    flight_pct (pct "ndjson");
+  let results =
+    Obs.Json.Obj
+      [
+        ("subject", Obs.Json.String "thm1 adversary vs greedy (k=6, side=400)");
+        ("inner_runs", Obs.Json.Int inner);
+        ("passes", Obs.Json.Int passes);
+        ( "seconds_per_run",
+          Obs.Json.Obj
+            (List.map (fun (name, _) -> (name, Obs.Json.Float (t name))) subjects)
+        );
+        ( "overhead_pct",
+          Obs.Json.Obj
+            [
+              ("ndjson", Obs.Json.Float (pct "ndjson"));
+              ("flight", Obs.Json.Float flight_pct);
+              ("stats", Obs.Json.Float stats_pct);
+            ] );
+        ("flight_budget_pct", Obs.Json.Float 10.);
+      ]
+  in
+  write_bench_record "BENCH_stats_overhead.json"
+    (bench_record ~bench:"stats_overhead" ~jobs_axis:[ 1 ] ~results);
+  if flight_pct > 10. then
+    failwith
+      (Printf.sprintf
+         "BENCH stats_overhead: flight recorder cost %+.2f%% exceeds the 10%% \
+          budget"
+         flight_pct)
+
+let stats_overhead_check () =
+  let path = "BENCH_stats_overhead.json" in
+  let committed =
+    match
+      Obs.Json.of_string (In_channel.with_open_text path In_channel.input_all)
+    with
+    | json -> json
+    | exception Sys_error msg ->
+        failwith ("BENCH stats_overhead check: cannot read committed record: " ^ msg)
+  in
+  let committed_pct name =
+    match
+      Option.bind
+        (Option.bind (Obs.Json.member "results" committed)
+           (Obs.Json.member "overhead_pct"))
+        (Obs.Json.member name)
+      |> Fun.flip Option.bind Obs.Json.to_float_opt
+    with
+    | Some pct -> pct
+    | None ->
+        failwith ("BENCH stats_overhead check: no committed overhead_pct." ^ name)
+  in
+  Format.printf "== E14 regression gate (vs committed %s) ==@.@." path;
+  let flight_committed = committed_pct "flight" in
+  Format.printf "committed: flight %+.2f%%  stats %+.2f%%  ndjson %+.2f%%@."
+    flight_committed (committed_pct "stats") (committed_pct "ndjson");
+  if flight_committed > 10. then
+    failwith
+      (Printf.sprintf
+         "BENCH stats_overhead check: committed flight overhead %+.2f%% \
+          exceeds the 10%% budget — regenerate with --stats-overhead on a \
+          quiet machine"
+         flight_committed);
+  (* Fresh spot-check with a generous bound: CI runners are shared and
+     noisy, so this is a smoke alarm, not the primary claim (which the
+     committed record carries). *)
+  let inner = 20 and passes = 4 in
+  let measure f = measure_inner ~inner f in
+  let subjects =
+    [
+      ("baseline", fun () -> measure guarded_thm1);
+      ("flight", fun () -> flight_subject measure);
+    ]
+  in
+  let t = round_robin_best ~passes subjects in
+  let fresh = 100. *. (t "flight" -. t "baseline") /. t "baseline" in
+  Format.printf "fresh flight overhead: %+.2f%% (bound 35%%)@." fresh;
+  if fresh > 35. then
+    failwith
+      (Printf.sprintf
+         "BENCH stats_overhead check: fresh flight overhead %+.2f%% exceeds \
+          the 35%% smoke bound"
+         fresh);
+  Format.printf "@.within budget@."
+
 (* ---------------- game-step throughput (E13) ---------------------- *)
 
 (* Steps/s and reveals/s of the adversary executors on the game hot
@@ -1030,6 +1190,10 @@ let () =
     game_steps ()
   else if Array.exists (String.equal "--game-steps-check") Sys.argv then
     game_steps_check ()
+  else if Array.exists (String.equal "--stats-overhead-check") Sys.argv then
+    stats_overhead_check ()
+  else if Array.exists (String.equal "--stats-overhead") Sys.argv then
+    stats_overhead ()
   else begin
     Format.printf "== Bechamel micro-benchmarks (one per experiment) ==@.@.";
     run_benchmarks ();

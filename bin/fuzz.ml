@@ -164,7 +164,7 @@ let run_supervised ~config ~(exec : Obs_cli.exec) targets =
   Array.to_list results |> List.filter_map Fun.id
 
 let run seed cases targets (exec : Obs_cli.exec) corpus list replay trace metrics
-    bulk =
+    stats flight bulk =
   (* Before any worker domains or supervised children exist: both
      inherit the flag (domains share the atomic, children fork after
      this point). *)
@@ -179,7 +179,8 @@ let run seed cases targets (exec : Obs_cli.exec) corpus list replay trace metric
             Format.eprintf "fuzz: %s@." msg;
             2
         | Ok targets ->
-            Obs_cli.with_observability ~program:"fuzz" ~trace ~metrics @@ fun () ->
+            Obs_cli.with_observability ~program:"fuzz" ~trace ~metrics ~stats ~flight
+            @@ fun () ->
             let config = { Runner.default_config with Runner.seed; cases } in
             Format.printf "fuzz seed=%d cases=%d targets=%d@." seed cases
               (List.length targets);
@@ -246,6 +247,7 @@ let cmd =
     (Cmd.info "fuzz" ~doc:"Differential fuzz harness over games, colorings and sweeps")
     Term.(
       const run $ seed $ cases $ targets $ Obs_cli.exec_term $ corpus $ list
-      $ replay $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
+      $ replay $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
+      $ Obs_cli.flight $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,9 +1,12 @@
-(* Shared flag plumbing for the sweep, repro, and fuzz binaries.
+(* Shared flag plumbing for the sweep, repro, play, serve and fuzz
+   binaries.
 
    Every binary in this directory exposes the same observability flags:
 
      --trace FILE   stream NDJSON trace events to FILE
      --metrics      print the merged metrics registry after the run
+     --stats FILE   write drained streaming stats (JSON) to FILE
+     --flight FILE  binary flight-recorder ring, flushed on anomaly
      --bulk         executor fast path: skip per-step trace/metrics
                     event construction (verdicts unchanged)
 
@@ -38,6 +41,28 @@ let metrics =
         ~doc:
           "Print the merged metrics registry on stdout after the run. \
            Totals are identical at every --jobs count.")
+
+let stats =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Stream per-game statistics (count/mean/variance/min/max and \
+           quantile sketches) and write the drained snapshot to $(docv) \
+           as JSON after the run.  The bytes are identical at every \
+           --jobs count and isolation mode.")
+
+let flight =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Flight recorder: retain trace events in an in-memory ring \
+           (binary encoding, see trace_report) and flush them to $(docv) \
+           only on anomaly — misbehavior, quarantine, watchdog kill, \
+           fault injection, or a failed audit.")
 
 let bulk =
   Arg.(
@@ -140,9 +165,22 @@ let exec_term =
   in
   Term.(const make $ jobs $ isolate $ retries $ kill_grace_ms $ cell_timeout_ms)
 
-let with_observability ~program ~trace:trace_path ~metrics:want_metrics f =
+let with_observability ~program ~trace:trace_path ~metrics:want_metrics
+    ?(stats = None) ?(flight = None) f =
   if want_metrics then Harness.Metrics.enable ();
-  let code = Harness.Trace.with_sink_opt ~program trace_path f in
+  if stats <> None then Harness.Stats.enable ();
+  let code =
+    Harness.Trace.with_sink_opt ~program trace_path @@ fun () ->
+    Harness.Flight.with_sink_opt ~program flight f
+  in
   if want_metrics then
     Format.printf "%a" Harness.Metrics.pp (Harness.Metrics.drain ());
+  (match stats with
+  | None -> ()
+  | Some path ->
+      let snap = Harness.Stats.drain () in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Obs.Json.to_string (Harness.Stats.snapshot_to_json snap));
+          Out_channel.output_char oc '\n'));
   code

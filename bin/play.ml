@@ -17,17 +17,22 @@ let algorithm_of name t =
   | "kp1" -> Portfolio.kp1 ~k:2 ~t ()
   | other -> failwith ("unknown algorithm: " ^ other)
 
-let run list_games game_name algo_name t n paranoid max_calls max_work deadline =
-  if list_games then
+let run list_games game_name algo_name t n paranoid max_calls max_work deadline
+    trace metrics stats flight =
+  if list_games then begin
     List.iter
       (fun g -> Format.printf "%-18s %s@." g.Game.name g.Game.description)
-      Game.games
+      Game.games;
+    0
+  end
   else
     match Game.find game_name with
     | None ->
         Format.printf "unknown game %s; try --list@." game_name;
-        exit 1
+        1
     | Some g ->
+        Obs_cli.with_observability ~program:"play" ~trace ~metrics ~stats ~flight
+        @@ fun () ->
         let d = Harness.Guard.default_limits in
         let limits =
           {
@@ -38,7 +43,8 @@ let run list_games game_name algo_name t n paranoid max_calls max_work deadline 
           }
         in
         let verdict = g.Game.play ~paranoid ~limits ~n (algorithm_of algo_name t) in
-        Format.printf "%a@." Game.pp_verdict verdict
+        Format.printf "%a@." Game.pp_verdict verdict;
+        0
 
 let list_games = Arg.(value & flag & info [ "list" ] ~doc:"List the games.")
 let game = Arg.(value & opt string "thm1-grid" & info [ "game" ] ~doc:"Game name.")
@@ -80,6 +86,7 @@ let cmd =
     (Cmd.info "play" ~doc:"Pit an algorithm against a lower-bound adversary")
     Term.(
       const run $ list_games $ game $ algo $ t $ n $ paranoid $ max_calls $ max_work
-      $ deadline)
+      $ deadline $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
+      $ Obs_cli.flight)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

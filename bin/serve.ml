@@ -20,8 +20,8 @@
 open Cmdliner
 
 let run socket queue_limit job_timeout_ms journal resume chaos (exec : Obs_cli.exec)
-    trace metrics =
-  Obs_cli.with_observability ~program:"serve" ~trace ~metrics @@ fun () ->
+    trace metrics stats flight =
+  Obs_cli.with_observability ~program:"serve" ~trace ~metrics ~stats ~flight @@ fun () ->
   let config =
     {
       Harness.Server.default_config with
@@ -116,6 +116,7 @@ let cmd =
     (Cmd.info "serve" ~doc:"Resilient job server over a Unix/TCP socket")
     Term.(
       const run $ socket $ queue_limit $ job_timeout_ms $ journal $ resume
-      $ chaos $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
+      $ chaos $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics
+      $ Obs_cli.stats $ Obs_cli.flight)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,7 @@
        "t=1 k=9 side=4000 algo=ael" "t=2 k=9 side=4000 algo=ael"
      dune exec bin/submit.exe -- --socket /tmp/jobs.sock --from jobs.txt
      dune exec bin/submit.exe -- --socket /tmp/jobs.sock --health
-     dune exec bin/submit.exe -- --socket /tmp/jobs.sock --stats
+     dune exec bin/submit.exe -- --socket /tmp/jobs.sock --server-stats
 
    A --from file holds one job per line, "kind<TAB>payload".  Retries
    (dropped connections, truncated frames, typed rejections) are
@@ -32,8 +32,9 @@ let read_specs_file path =
   go []
 
 let run socket kind payloads from deadline_ms window max_attempts health stats
-    trace metrics =
-  Obs_cli.with_observability ~program:"submit" ~trace ~metrics @@ fun () ->
+    trace metrics stats_out flight =
+  Obs_cli.with_observability ~program:"submit" ~trace ~metrics ~stats:stats_out ~flight
+  @@ fun () ->
   try
     if health then begin
       print_endline (Harness.Client.health ~socket ());
@@ -127,13 +128,18 @@ let health =
 
 let stats =
   Arg.(
-    value & flag & info [ "stats" ] ~doc:"Print the server's stats JSON and exit.")
+    value & flag
+    & info [ "server-stats" ]
+        ~doc:
+          "Print the server's stats JSON and exit.  (The shared --stats \
+           FILE flag writes this client's own streaming statistics.)")
 
 let cmd =
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit jobs to serve.exe and print their results")
     Term.(
       const run $ socket $ kind $ payloads $ from $ deadline_ms $ window
-      $ max_attempts $ health $ stats $ Obs_cli.trace $ Obs_cli.metrics)
+      $ max_attempts $ health $ stats $ Obs_cli.trace $ Obs_cli.metrics
+      $ Obs_cli.stats $ Obs_cli.flight)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,8 @@
 
 open Cmdliner
 
-let run ts ks sides algos validate checkpoint resume exec trace metrics bulk =
+let run ts ks sides algos validate checkpoint resume exec trace metrics stats
+    flight bulk =
   let cells =
     List.concat_map
       (fun t ->
@@ -27,7 +28,8 @@ let run ts ks sides algos validate checkpoint resume exec trace metrics bulk =
           (Harness.Sweep.int_axis ~flag:"-k" ks))
       (Harness.Sweep.int_axis ~flag:"-t" ts)
   in
-  Obs_cli.with_observability ~program:"sweep_thm1" ~trace ~metrics @@ fun () ->
+  Obs_cli.with_observability ~program:"sweep_thm1" ~trace ~metrics ~stats ~flight
+  @@ fun () ->
   match
     Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
       ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
@@ -67,6 +69,7 @@ let cmd =
     (Cmd.info "sweep_thm1" ~doc:"Theorem 1 adversary sweep")
     Term.(
       const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume
-      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
+      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
+      $ Obs_cli.flight $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

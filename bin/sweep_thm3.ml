@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run ks gadget_counts checkpoint resume exec trace metrics bulk =
+let run ks gadget_counts checkpoint resume exec trace metrics stats flight bulk =
   let cells =
     List.concat_map
       (fun k ->
@@ -17,7 +17,8 @@ let run ks gadget_counts checkpoint resume exec trace metrics bulk =
           (Harness.Sweep.int_axis ~flag:"--gadgets" gadget_counts))
       (Harness.Sweep.int_axis ~flag:"-k" ks)
   in
-  Obs_cli.with_observability ~program:"sweep_thm3" ~trace ~metrics @@ fun () ->
+  Obs_cli.with_observability ~program:"sweep_thm3" ~trace ~metrics ~stats ~flight
+  @@ fun () ->
   match
     Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
       ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
@@ -47,6 +48,7 @@ let cmd =
     (Cmd.info "sweep_thm3" ~doc:"Theorem 3 adversary sweep")
     Term.(
       const run $ ks $ gadget_counts $ checkpoint $ resume $ Obs_cli.exec_term
-      $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.bulk)
+      $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats $ Obs_cli.flight
+      $ Obs_cli.bulk)
 
 let () = exit (Cmd.eval' cmd)

@@ -47,7 +47,8 @@ let cell host_name ~size ~seeds =
   in
   { Harness.Sweep.key; run }
 
-let run host_name sides ns seeds checkpoint resume exec trace metrics =
+let run host_name sides ns seeds checkpoint resume exec trace metrics stats
+    flight =
   let seeds = List.init seeds (fun i -> i + 1) in
   (* grid/tri scale by side, ktree by node count. *)
   let sizes =
@@ -55,7 +56,8 @@ let run host_name sides ns seeds checkpoint resume exec trace metrics =
     else Harness.Sweep.int_axis ~flag:"--side" sides
   in
   let cells = List.map (fun size -> cell host_name ~size ~seeds) sizes in
-  Obs_cli.with_observability ~program:"sweep_thm4" ~trace ~metrics @@ fun () ->
+  Obs_cli.with_observability ~program:"sweep_thm4" ~trace ~metrics ~stats ~flight
+  @@ fun () ->
   match
     Harness.Sweep.run ~resume ?checkpoint ~jobs:exec.Obs_cli.jobs
       ~isolation:exec.Obs_cli.isolation ~supervisor:exec.Obs_cli.supervisor
@@ -88,6 +90,7 @@ let cmd =
     (Cmd.info "sweep_thm4" ~doc:"Theorem 4 locality scaling sweep")
     Term.(
       const run $ host $ sides $ ns $ seeds $ checkpoint $ resume
-      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics)
+      $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
+      $ Obs_cli.flight)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,8 +1,9 @@
-(* Render a per-theorem summary of an NDJSON trace (--trace FILE).
+(* Render a per-theorem summary of a trace: NDJSON (--trace FILE) or a
+   binary flight-recorder file (--flight FILE), sniffed by first byte.
 
-   The reader is strict: any malformed line, unknown event, or trace
-   written by a newer format version is a hard error — a trace that
-   parses here is a trace the whole toolchain agrees on.
+   The reader is strict: any malformed line or frame, unknown event, or
+   trace written by a newer format version is a hard error — a trace
+   that parses here is a trace the whole toolchain agrees on.
 
    Reconstruction: records carry a global emission index [i] and the
    emitting domain id [w].  Events with equal [w] are causally ordered,
@@ -86,7 +87,13 @@ let pp_buckets ppf buckets =
     buckets
 
 let report path =
-  let records = T.read_file path in
+  (* Same report for both trace containers: NDJSON (--trace) and the
+     flight recorder's binary frames (--flight), sniffed by first
+     byte.  The decoded record stream is identical by construction. *)
+  let records =
+    if Harness.Flight.is_flight_file path then Harness.Flight.read_file path
+    else T.read_file path
+  in
   let program, version =
     match records with
     | { T.ev = T.Trace_header { program; version }; _ } :: _ -> (program, version)
@@ -377,13 +384,16 @@ let path =
   Arg.(
     required
     & pos 0 (some file) None
-    & info [] ~docv:"TRACE" ~doc:"NDJSON trace file written by --trace.")
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "Trace file: NDJSON written by --trace, or a binary flight \
+           recording written by --flight (auto-detected).")
 
 let cmd =
   Cmd.v
     (Cmd.info "trace_report"
-       ~doc:"Summarize an NDJSON trace: outcomes, defeat-step histograms, \
-             budgets, worker load")
+       ~doc:"Summarize a trace (NDJSON or binary flight recording): \
+             outcomes, defeat-step histograms, budgets, worker load")
     Term.(const main $ path)
 
 let () = exit (Cmd.eval' cmd)

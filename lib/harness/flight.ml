@@ -1,0 +1,2 @@
+(* Re-export: see the note in trace.ml — one ring, two names. *)
+include Obs.Flight

@@ -128,6 +128,7 @@ type child = {
   cdec : Wire.decoder;
   started : float;
   mutable reply : (char * string) option;
+  mutable cstats : string option;  (* 'S' frame, pending the 'R' *)
   mutable bad : string option;
   mutable term_at : float option;
   mutable killed : bool;
@@ -154,6 +155,10 @@ type stats = {
 
 let child_main ~handler ~(job : job) w =
   Trace.detach_in_child ();
+  (* Drop the stats shards inherited from the parent image: what this
+     child drains into its 'S' frame must be this job's own
+     contribution, nothing more. *)
+  Stats.reset ();
   Sys.set_signal Sys.sigterm Sys.Signal_default;
   Sys.set_signal Sys.sigint Sys.Signal_default;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -162,7 +167,16 @@ let child_main ~handler ~(job : job) w =
     try write_all w frame 0 (Bytes.length frame) with Unix.Unix_error _ -> ()
   in
   (match handler ~kind:job.kind ~payload:job.payload with
-  | r -> reply 'R' r
+  | r ->
+      (* Stats travel in their own frame, before the result: the parent
+         stashes the snapshot and only counts it once the same
+         attempt's 'R' lands (a child dying in between is retried and
+         the stale snapshot dies with its child record). *)
+      (if Stats.on () then
+         match Stats.drain () with
+         | [] -> ()
+         | snap -> reply 'S' (Stats.to_string snap));
+      reply 'R' r
   | exception exn ->
       (* Contained in the child: no job, however pathological, takes the
          server down with it. *)
@@ -217,7 +231,7 @@ let run ?(config = default_config) ?journal ?(resume = false)
   let dcond = Condition.create () in
   let dstop = ref false in
   let drunning = ref 0 in
-  let dout : (string * string * string) list ref = ref [] in
+  let dout : (string * string * string * string) list ref = ref [] in
   let omutex = Mutex.create () in
   let pipe_r, pipe_w =
     match config.isolation with
@@ -310,9 +324,9 @@ let run ?(config = default_config) ?journal ?(resume = false)
   (* ------------------------- job completion ------------------------- *)
   let drain_req = Atomic.make false in
   let draining = ref false in
-  let complete (job : job) status result =
+  let complete ?(stats_delta = "") (job : job) status result =
     job.state <- Finished { status; result };
-    journal_done job result;
+    journal_done job (Sweep.join_delta result stats_delta);
     stats.completed <- stats.completed + 1;
     (match status with
     | "error" -> stats.errors <- stats.errors + 1
@@ -368,9 +382,10 @@ let run ?(config = default_config) ?journal ?(resume = false)
             pid;
             cjob = job;
             cfd = r;
-            cdec = Wire.decoder ~tags:"RE" ~bare:"H" ();
+            cdec = Wire.decoder ~tags:"RES" ~bare:"H" ();
             started = Unix.gettimeofday ();
             reply = None;
+            cstats = None;
             bad = None;
             term_at = None;
             killed = false;
@@ -415,6 +430,9 @@ let run ?(config = default_config) ?journal ?(resume = false)
         match Wire.decode ch.cdec with
         | Ok None -> ()
         | Ok (Some { Wire.tag = 'H'; _ }) -> again := true
+        | Ok (Some { Wire.tag = 'S'; payload }) ->
+            ch.cstats <- Some payload;
+            again := true
         | Ok (Some { Wire.tag; payload }) -> ch.reply <- Some (tag, payload)
         | Error e -> ch.bad <- Some (Wire.error_to_string e)
     done
@@ -425,7 +443,10 @@ let run ?(config = default_config) ?journal ?(resume = false)
     children := List.filter (fun c -> c != ch) !children;
     let job = ch.cjob in
     match ch.reply with
-    | Some ('R', r) -> complete job (status_of_result r) r
+    | Some ('R', r) ->
+        let stats_delta = Option.value ch.cstats ~default:"" in
+        if stats_delta <> "" then ignore (Stats.absorb_string stats_delta);
+        complete ~stats_delta job (status_of_result r) r
     | Some ('E', msg) -> complete job "error" ("ERROR: " ^ msg)
     | Some _ -> assert false
     | None ->
@@ -535,13 +556,17 @@ let run ?(config = default_config) ?journal ?(resume = false)
           if Trace.on () then
             Trace.emit (Trace.Job_start { id = job.id; attempt = 0 });
           if Metrics.on () then Metrics.incr "server.job_starts";
-          let status, result =
-            match handler ~kind:job.kind ~payload:job.payload with
-            | r -> (status_of_result r, r)
-            | exception exn -> ("error", "ERROR: " ^ Printexc.to_string exn)
+          let status, result, stats_delta =
+            (* [Stats.scoped] merges the job's contribution into this
+               domain's shard and hands back the delta for the journal
+               — the same per-job persistence the 'S' frame gives the
+               process backend. *)
+            match Stats.scoped (fun () -> handler ~kind:job.kind ~payload:job.payload) with
+            | r, delta -> (status_of_result r, r, delta)
+            | exception exn -> ("error", "ERROR: " ^ Printexc.to_string exn, "")
           in
           Mutex.protect omutex (fun () ->
-              dout := (job.id, status, result) :: !dout);
+              dout := (job.id, status, result, stats_delta) :: !dout);
           Mutex.protect dmutex (fun () -> decr drunning);
           (* wake the select loop *)
           (try ignore (Unix.write pipe_w (Bytes.of_string "x") 0 1)
@@ -561,9 +586,9 @@ let run ?(config = default_config) ?journal ?(resume = false)
           r)
     in
     List.iter
-      (fun (id, status, result) ->
+      (fun (id, status, result, stats_delta) ->
         match Hashtbl.find_opt jobs_tbl id with
-        | Some job -> complete job status result
+        | Some job -> complete ~stats_delta job status result
         | None -> ())
       (List.rev done_jobs)
   in
@@ -822,7 +847,11 @@ let run ?(config = default_config) ?journal ?(resume = false)
                       stats.recovered <- stats.recovered + 1;
                       metric "server.recovered";
                       (match Hashtbl.find_opt done_tbl id with
-                      | Some result ->
+                      | Some value ->
+                          (* strip the stats delta (absorbed into this
+                             process's registry) so clients are served
+                             the bare result *)
+                          let result = Sweep.replay_value value in
                           job.state <-
                             Finished
                               { status = status_of_result result; result }

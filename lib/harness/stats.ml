@@ -1,0 +1,2 @@
+(* Re-export: see the note in trace.ml — one registry, two names. *)
+include Obs.Stats

@@ -101,6 +101,10 @@ let heartbeat_byte = Bytes.of_string "H"
    trace sink, the parent's stdout — are not flushed a second time. *)
 let child_main ~config ~work ~idx w =
   Trace.detach_in_child ();
+  (* Inherited shards would make the child's stats drain re-count the
+     parent's whole history; from here on the child accumulates only its
+     own cell. *)
+  Stats.reset ();
   Sys.set_signal Sys.sigint Sys.Signal_default;
   if config.heartbeat_interval > 0 then begin
     Sys.set_signal Sys.sigalrm
@@ -122,6 +126,10 @@ let child_main ~config ~work ~idx w =
   let code =
     match work idx with
     | s ->
+        (if Stats.on () then
+           match Stats.drain () with
+           | [] -> ()
+           | snap -> reply 'S' (Stats.to_string snap));
         reply 'R' s;
         0
     | exception Sys.Break -> 130
@@ -136,9 +144,10 @@ let child_main ~config ~work ~idx w =
 
 (* ------------------------------ parent side ------------------------------ *)
 
-(* The reply protocol is Wire framing: framed 'R'/'E', bare 'H'
-   heartbeats.  One decoder per child stream. *)
-let reply_decoder () = Wire.decoder ~tags:"RE" ~bare:"H" ()
+(* The reply protocol is Wire framing: framed 'R'/'E' terminal replies
+   and an optional framed 'S' stats snapshot before a successful 'R',
+   bare 'H' heartbeats.  One decoder per child stream. *)
+let reply_decoder () = Wire.decoder ~tags:"RES" ~bare:"H" ()
 
 type slot = {
   pid : int;
@@ -148,6 +157,7 @@ type slot = {
   dec : Wire.decoder;
   start : float;
   mutable reply : (char * string) option;
+  mutable stats : string option;
   mutable bad : string option;
   mutable term_at : float option;
   mutable killed : bool;
@@ -156,6 +166,7 @@ type slot = {
 
 let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
     ~tasks ~key ?(inline = fun _ -> None) ~work
+    ?(on_stats = fun ~task:_ payload -> ignore (Stats.absorb_string payload))
     ?(complete = fun _ _ -> ()) ~consume () =
   validate_config config;
   if jobs < 1 then invalid_arg "Supervisor.run: jobs must be >= 1";
@@ -204,6 +215,7 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
             dec = reply_decoder ();
             start = Unix.gettimeofday ();
             reply = None;
+            stats = None;
             bad = None;
             term_at = None;
             killed = false;
@@ -245,6 +257,9 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
               Trace.emit
                 (Trace.Child_heartbeat { key = slot.skey; pid = slot.pid });
             if Metrics.on () then Metrics.incr "supervisor.heartbeats";
+            again := true
+        | Ok (Some { Wire.tag = 'S'; payload }) ->
+            slot.stats <- Some payload;
             again := true
         | Ok (Some { Wire.tag; payload }) -> slot.reply <- Some (tag, payload)
         | Error e -> slot.bad <- Some (Wire.error_to_string e)
@@ -292,7 +307,11 @@ let run ?(config = default_config) ?(should_stop = fun () -> false) ~jobs
            { key = slot.skey; pid = slot.pid; status = status_str; cpu_user; cpu_sys });
     active := List.filter (fun s -> s != slot) !active;
     match slot.reply with
-    | Some ('R', payload) -> deliver slot.idx (Done payload)
+    | Some ('R', payload) ->
+        (match slot.stats with
+        | Some snap -> on_stats ~task:slot.idx snap
+        | None -> ());
+        deliver slot.idx (Done payload)
     | Some ('E', payload) -> deliver slot.idx (Failed payload)
     | Some _ -> assert false
     | None ->

@@ -14,6 +14,8 @@
     {v
       parent (single domain: fork/select/waitpid loop)
         ├─ child[pid] ── pipe ──▶  'H'            heartbeat (SIGALRM-driven)
+        │                          'S' len bytes  stats snapshot (optional,
+        │                                         just before a success 'R')
         │                          'R' len bytes  result payload
         │                          'E' len bytes  contained exception text
         └─ child[pid] ...          (then Unix._exit — no buffer flushing)
@@ -58,9 +60,12 @@
     metrics, [supervisor.heartbeats] is timing-dependent and therefore
     {e not} jobs-count-invariant; the others are invariant on a run with
     no kills.  Children detach the trace sink first thing after the fork
-    ({!Obs.Trace.detach_in_child}), so game-level events from inside a
+    ({!Obs.Trace.detach_in_child}) and reset the inherited {!Obs.Stats}
+    shards ({!Obs.Stats.reset}), so game-level events from inside a
     cell are not traced under process isolation — the cost of the
-    stronger containment. *)
+    stronger containment — while stats survive the boundary: a child
+    drains its own registry into a framed ['S'] snapshot that the
+    parent re-absorbs (see [on_stats] below). *)
 
 type config = {
   retries : int;
@@ -138,6 +143,7 @@ val run :
   key:(int -> string) ->
   ?inline:(int -> string option) ->
   work:(int -> string) ->
+  ?on_stats:(task:int -> string -> unit) ->
   ?complete:(int -> outcome -> unit) ->
   consume:(int -> outcome -> unit) ->
   unit ->
@@ -154,6 +160,15 @@ val run :
        cells without paying a fork;}
     {- [work i] runs {e in the forked child} and its string return is
        the task's payload;}
+    {- [on_stats ~task payload] receives the child's encoded
+       {!Obs.Stats} drain (the ['S'] frame sent just before a
+       successful ['R']), exactly once per {!Done} task — a child that
+       dies after sending ['S'] is retried and only the surviving
+       attempt's snapshot is delivered.  Children {!Obs.Stats.reset}
+       after the fork, so the payload is the cell's own contribution.
+       Default: absorb into this process's registry with
+       {!Obs.Stats.absorb_string}, which keeps drained totals
+       byte-identical with the in-domain path;}
     {- [complete i outcome] fires in {e completion} order, as each task
        settles — the hook for prompt checkpointing;}
     {- [consume i outcome] fires in {e strict index order} (buffered

@@ -155,6 +155,29 @@ end
 
 let load = Journal.load_table
 
+(* A checkpoint record value is [output] or [output NUL stats-delta]:
+   the cell's printed result, optionally followed by the {!Stats}
+   snapshot the cell contributed ({!Stats.scoped} in-domain, the
+   supervisor's ['S'] frame under process isolation).  NUL never occurs
+   in cell output (results are printable text) or in the compact-JSON
+   delta, and pre-stats journals simply have no NUL — both layouts
+   parse under both vintages. *)
+let join_delta out delta = if delta = "" then out else out ^ "\x00" ^ delta
+
+let split_delta v =
+  match String.index_opt v '\x00' with
+  | None -> (v, "")
+  | Some i -> (String.sub v 0 i, String.sub v (i + 1) (String.length v - i - 1))
+
+(* Replaying a checkpointed cell restores its stats contribution, so a
+   killed-and-resumed sweep drains the same totals as an uninterrupted
+   one.  A malformed delta (hand-edited journal) degrades to replaying
+   the output without stats rather than failing the resume. *)
+let replay_value v =
+  let out, delta = split_delta v in
+  if delta <> "" && Stats.on () then ignore (Stats.absorb_string delta);
+  out
+
 type isolation = [ `In_domain | `Process ]
 
 let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
@@ -206,21 +229,26 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
     let c = cells_arr.(i) in
     match Hashtbl.find_opt completed c.key with
     | Some r ->
-        (* replayed verbatim: resumed output is byte-identical *)
+        (* replayed verbatim: resumed output is byte-identical, and the
+           checkpointed stats delta is re-absorbed *)
         if Trace.on () then begin
           Trace.emit (Trace.Cell_start { key = c.key });
           Trace.emit (Trace.Cell_finish { key = c.key; status = "replayed" })
         end;
         if Metrics.on () then Metrics.incr "sweep.cells_replayed";
-        r
+        replay_value r
     | None ->
         if Atomic.get sigint then raise Sys.Break;
         if Trace.on () then Trace.emit (Trace.Cell_start { key = c.key });
         if Metrics.on () then Metrics.incr "sweep.cells_run";
         let status = ref "ok" in
-        let r =
-          match c.run () with
-          | r -> r
+        let r, delta =
+          (* [Stats.scoped] captures exactly this cell's contribution
+             for the checkpoint; an erroring cell's scope is discarded,
+             matching the process-isolated path where a crashed child
+             sends no stats. *)
+          match Stats.scoped c.run with
+          | rd -> rd
           | exception (Interrupted as e) -> raise e
           | exception e when Guard.is_fatal e -> raise e
           | exception exn ->
@@ -228,9 +256,9 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
                  aborted sweep. *)
               status := "error";
               if Metrics.on () then Metrics.incr "sweep.cell_errors";
-              "ERROR: " ^ Printexc.to_string exn
+              ("ERROR: " ^ Printexc.to_string exn, "")
         in
-        append_ckpt c.key r;
+        append_ckpt c.key (join_delta r delta);
         if Trace.on () then
           Trace.emit (Trace.Cell_finish { key = c.key; status = !status });
         r
@@ -255,7 +283,7 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
                   (Trace.Cell_finish { key = c.key; status = "replayed" })
               end;
               if Metrics.on () then Metrics.incr "sweep.cells_replayed";
-              Some r
+              Some (replay_value r)
           | None ->
               if Trace.on () then Trace.emit (Trace.Cell_start { key = c.key });
               if Metrics.on () then Metrics.incr "sweep.cells_run";
@@ -270,6 +298,15 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
           | Supervisor.Failed msg -> "ERROR: " ^ msg
           | Supervisor.Quarantined q -> Supervisor.quarantine_to_string q
         in
+        (* Child stats arrive as the supervisor's ['S'] frame; stash
+           the delta so [complete] can checkpoint it next to the cell's
+           result, and absorb it so this process's drain matches the
+           in-domain path byte for byte. *)
+        let stats_of = Array.make (max n 1) "" in
+        let on_stats ~task payload =
+          stats_of.(task) <- payload;
+          ignore (Stats.absorb_string payload)
+        in
         let complete i outcome =
           if not replayed.(i) then begin
             let c = cells_arr.(i) in
@@ -283,7 +320,7 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
                   if Metrics.on () then Metrics.incr "sweep.cells_quarantined";
                   "quarantined"
             in
-            append_ckpt c.key (result_of outcome);
+            append_ckpt c.key (join_delta (result_of outcome) stats_of.(i));
             if Trace.on () then
               Trace.emit (Trace.Cell_finish { key = c.key; status })
           end
@@ -294,6 +331,7 @@ let run ?(resume = false) ?checkpoint ?(jobs = 1) ?(isolation = `In_domain)
           ~key:(fun i -> cells_arr.(i).key)
           ~inline
           ~work:(fun i -> (cells_arr.(i)).run ())
+          ~on_stats
           ~complete
           ~consume:(fun i o -> consume i (result_of o))
           ()

@@ -23,6 +23,14 @@
     {- {e deterministic replay} — [--resume] output is byte-identical
        whatever [jobs] was on the original or the resuming run (replayed
        results come from the checkpoint table, never from re-execution);}
+    {- {e stats persistence} — when {!Stats} is enabled, each record's
+       value carries the cell's own stats contribution after a [NUL]
+       byte ({!Stats.scoped} in-domain, the supervisor's ['S'] frame
+       under [`Process]); replaying a cell re-absorbs its delta, so a
+       killed-and-resumed sweep drains the same totals as an
+       uninterrupted one.  With stats disabled the journal bytes are
+       unchanged from the pre-stats format, and pre-stats journals
+       resume cleanly (they simply carry no deltas);}
     {- {e per-cell containment} — a cell raising a non-fatal exception
        records and prints ["ERROR: ..."] and only that cell degrades.}}
 
@@ -82,6 +90,23 @@ module Journal : sig
   (** {!load} folded into a table, later records superseding earlier
       ones — the replay semantics of [--resume]. *)
 end
+
+val join_delta : string -> string -> string
+(** [join_delta out delta] is the checkpoint record value carrying a
+    stats contribution: [out] when [delta] is empty, else
+    [out NUL delta].  [NUL] occurs in neither side (results are
+    printable text, the delta is compact JSON), so {!split_delta}
+    inverts it.  The {!Server} journals its ["d:"] records with the
+    same scheme. *)
+
+val split_delta : string -> string * string
+(** Inverse of {!join_delta}; a value with no [NUL] (any pre-stats
+    journal) splits as [(value, "")]. *)
+
+val replay_value : string -> string
+(** {!split_delta}, absorbing the delta into {!Stats} (when enabled)
+    and returning the output part — the one-stop replay helper for
+    journal records. *)
 
 type isolation = [ `In_domain | `Process ]
 (** Where cell thunks execute.

@@ -177,6 +177,11 @@ let audit t =
     Obs.Metrics.observe "fixed_host.run.max_view" t.max_view;
     Obs.Metrics.gauge_max "fixed_host.max_view" t.max_view
   end;
+  if Obs.Stats.on () then begin
+    Obs.Stats.observe "fixed_host.presented" t.steps;
+    Obs.Stats.observe "fixed_host.revealed" (Dyn_graph.n t.region);
+    Obs.Stats.observe "fixed_host.max_view" t.max_view
+  end;
   {
     Run_stats.coloring = t.coloring;
     violation;

@@ -400,7 +400,13 @@ type sink = { oc : out_channel; mutex : Mutex.t; mutable seq : int; t0 : float }
 
 let sink : sink option Atomic.t = Atomic.make None
 
-let on () = Atomic.get sink <> None
+(* Secondary in-process consumer (the flight recorder): events flow to
+   it after the NDJSON sink, and its presence alone turns [on] true so
+   instrumentation sites construct events for it. *)
+let hook : (event -> unit) option Atomic.t = Atomic.make None
+let set_hook h = Atomic.set hook h
+
+let on () = Atomic.get sink <> None || Atomic.get hook <> None
 
 let write s ev =
   (* Whole lines under the mutex: a parallel sweep's workers interleave
@@ -418,9 +424,13 @@ let write s ev =
       output_string s.oc (record_to_string r);
       output_char s.oc '\n')
 
-let emit ev = match Atomic.get sink with None -> () | Some s -> write s ev
+let emit ev =
+  (match Atomic.get sink with None -> () | Some s -> write s ev);
+  match Atomic.get hook with None -> () | Some f -> f ev
 
-let detach_in_child () = Atomic.set sink None
+let detach_in_child () =
+  Atomic.set sink None;
+  Atomic.set hook None
 
 let with_sink ?(program = Filename.basename Sys.executable_name) ~path f =
   let oc = open_out_bin path in

@@ -135,15 +135,21 @@ type record = { i : int; w : int; ts : float; ev : event }
 (** {2 Emission} *)
 
 val on : unit -> bool
-(** Whether a sink is installed — the cheap gate every instrumentation
-    site checks before constructing an event. *)
+(** Whether a sink {e or hook} is installed — the cheap gate every
+    instrumentation site checks before constructing an event. *)
 
 val emit : event -> unit
-(** Append one record to the installed sink (no-op without one).  Safe
-    from any domain. *)
+(** Append one record to the installed sink, then hand it to the
+    installed hook (no-op without either).  Safe from any domain. *)
+
+val set_hook : (event -> unit) option -> unit
+(** Install a secondary in-process event consumer, called after the
+    NDJSON sink.  This is how {!Flight} taps the event stream without
+    the sites knowing about it; one slot, last set wins. *)
 
 val detach_in_child : unit -> unit
-(** Drop the installed sink {e in this process} without closing it.
+(** Drop the installed sink and hook {e in this process} without
+    closing anything.
     Must be the first thing a forked child calls: the child inherits the
     parent's buffered [out_channel], and any emission (or buffer flush
     at exit) would corrupt the parent's NDJSON stream.  Children must

@@ -2,6 +2,7 @@ module G = Harness.Guard
 module M = Harness.Misbehavior
 module Tr = Harness.Trace
 module Mx = Harness.Metrics
+module St = Harness.Stats
 
 type outcome =
   | Defeated
@@ -110,6 +111,14 @@ let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm pla
        [Guard.tick], which is far too hot to meter. *)
     Mx.add "guard.color_calls" (G.color_calls guard);
     Mx.add "guard.work" (G.work guard)
+  end;
+  if St.on () then begin
+    (* Per-game distributions, once per verdict like the metric totals
+       above.  Only guard meters and sizes — deterministic values, per
+       the Stats jobs-invariance contract. *)
+    St.observe "game.color_calls" (G.color_calls guard);
+    St.observe "game.work" (G.work guard);
+    St.observe ("game.n." ^ adversary) n
   end;
   {
     adversary;

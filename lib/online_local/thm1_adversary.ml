@@ -170,6 +170,15 @@ let run ?(bulk = false) ?(endgame = true) ?(validate = false) ?(snapshot = false
       match Vg.frames vg with [] -> (0, 0) | frames -> total_span vg frames
     in
     if validate then Vg.validate vg;
+    if Obs.Stats.on () then begin
+      (* Per-run distributions for sweep campaigns (thm2/thm3 get the
+         equivalent from Fixed_host.audit).  Deterministic per cell, so
+         the drained totals honor the Stats jobs-invariance contract. *)
+      Obs.Stats.observe "thm1.presented" (Vg.presented_count vg);
+      Obs.Stats.observe "thm1.revealed" (Vg.revealed_count vg);
+      Obs.Stats.observe "thm1.span_width" width;
+      Obs.Stats.observe "thm1.span_height" height
+    end;
     let snapshot =
       match (snapshot, window) with
       | true, Some (frame, row_range, col_range) ->

@@ -380,6 +380,103 @@ let metrics_jobs =
   }
 
 (* ------------------------------------------------------------------ *)
+(* stats-merge                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The determinism contract of Obs.Stats, differentially: the exact
+   integer merge must be commutative and associative (so totals cannot
+   depend on the work partition), and a drained registry must be
+   byte-identical however the sweep distributed the cells. *)
+let stats_merge =
+  let gen =
+    Gen.list ~min_len:1 ~max_len:6
+      (Gen.list ~max_len:6 (Gen.int_range (-50) 1_100_000_000))
+  in
+  let print cells =
+    Printf.sprintf "cells=[%s]"
+      (String.concat ";"
+         (List.map
+            (fun vs -> "[" ^ String.concat "," (List.map string_of_int vs) ^ "]")
+            cells))
+  in
+  let with_stats f =
+    Harness.Stats.enable ();
+    Harness.Stats.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Harness.Stats.disable ();
+        Harness.Stats.reset ())
+      f
+  in
+  let run_once ~jobs cells_values =
+    with_stats @@ fun () ->
+    let cells =
+      List.mapi
+        (fun i vs ->
+          {
+            Harness.Sweep.key = Printf.sprintf "s-%d" i;
+            run =
+              (fun () ->
+                List.iter (fun v -> Harness.Stats.observe "fuzz.value" v) vs;
+                Harness.Stats.observe "fuzz.cell_len" (List.length vs);
+                Printf.sprintf "n=%d" (List.length vs));
+          })
+        cells_values
+    in
+    let out = render ~jobs cells in
+    let snap = Harness.Stats.drain () in
+    (out, Harness.Stats.to_string snap, Format.asprintf "%a" Harness.Stats.pp snap)
+  in
+  let prop cells_values =
+    (* Jobs-invariance of the drained registry, down to the bytes of
+       both the transport encoding and the rendered table. *)
+    let out1, str1, pp1 = run_once ~jobs:1 cells_values in
+    let out2, str2, pp2 = run_once ~jobs:2 cells_values in
+    let invariant =
+      String.equal out1 out2 && String.equal str1 str2 && String.equal pp1 pp2
+    in
+    (* Merge laws over the per-cell deltas captured by scoped. *)
+    let deltas =
+      with_stats @@ fun () ->
+      List.map
+        (fun vs ->
+          let (), d =
+            Harness.Stats.scoped (fun () ->
+                List.iter (fun v -> Harness.Stats.observe "fuzz.value" v) vs)
+          in
+          if d = "" then []
+          else match Harness.Stats.of_string d with Ok s -> s | Error _ -> [])
+        cells_values
+    in
+    let merge = Harness.Stats.merge in
+    let commutative =
+      match deltas with
+      | a :: b :: _ -> merge a b = merge b a
+      | _ -> true
+    in
+    let associative =
+      List.fold_left merge [] deltas = List.fold_right merge deltas []
+    in
+    invariant && commutative && associative
+  in
+  {
+    name = "stats-merge";
+    doc =
+      "Stats merge commutative/associative over per-cell deltas, and the \
+       drained registry byte-identical at --jobs 1 vs --jobs 2";
+    serial = true (* owns the process-global stats registry *);
+    max_cases = Some 40;
+    available =
+      (fun () ->
+        if Harness.Stats.on () then
+          Error
+            "stats registry already enabled (run without --stats to fuzz this \
+             target)"
+        else Ok ());
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* sweep-kill                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -814,6 +911,7 @@ let all =
     sweep_resume;
     sweep_kill;
     metrics_jobs;
+    stats_merge;
     wire_codec;
     view_incremental;
     demo_bug;
