@@ -20,7 +20,14 @@
    dune exec bench/main.exe -- --game-steps-check
                                                 -- E13 regression gate: fresh
                                                    thm3 steps/s vs the
-                                                   committed record *)
+                                                   committed record
+   dune exec bench/main.exe -- --canon-memo     -- only the E15 memoization
+                                                   run (writes
+                                                   BENCH_canon_memo.json)
+   dune exec bench/main.exe -- --canon-memo-check
+                                                -- E15 regression gate: the
+                                                   committed record claims
+                                                   >= 2x, fresh smoke >= 1.5x *)
 
 open Bechamel
 open Toolkit
@@ -1175,6 +1182,166 @@ let game_steps_check () =
             record on: %s"
            (String.concat ", " names))
 
+(* -------------- cross-cell memoization speedup (E15) --------------- *)
+
+(* The --memo speedup claim: on a dense t-axis thm1 sweep of
+   locality-independent algorithms, the game-level report cache
+   collapses the campaign to one live adversary run per (algorithm, k,
+   side) — every other cell replays the recorded report and re-formats
+   it with its own t.  Wall-clock of the identical sweep is measured
+   memo-off and memo-on, and byte-identity of the rendered output is
+   asserted: the contract is that --memo may only change wall-clock.
+
+   The memo-on sweep is measured twice: cold (the caches start empty,
+   so the sweep itself pays the live runs — this is the headline
+   number) and warm (a second sweep on the same domain, all hits).
+
+   --canon-memo        measure and write BENCH_canon_memo.json; fail
+                       unless the cold speedup reaches 2x
+   --canon-memo-check  assert the committed record claims >= 2x, then
+                       re-measure fresh with a generous 1.5x bound
+                       (the CI gate; shared runners are noisy) *)
+
+let canon_memo_grid = "thm1 t=1..12 k=12 side=16000 algo=greedy,stripes validate=true"
+
+let canon_memo_cells ~memo () =
+  List.concat_map
+    (fun t ->
+      List.map
+        (fun algo ->
+          Jobs_catalog.thm1_cell ~memo ~bulk:false ~validate:true ~t ~k:12
+            ~side:16_000 ~algo ())
+        [ "greedy"; "stripes" ])
+    (List.init 12 (fun i -> i + 1))
+
+let canon_memo_render ~memo () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let t0 = Unix.gettimeofday () in
+  Harness.Sweep.run ~jobs:1 ~ppf (canon_memo_cells ~memo ());
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, Buffer.contents buf)
+
+(* One measurement pass: memo-off (best of [passes]; the caches stay
+   untouched, memo-off never reads or writes them), then memo-on cold,
+   then memo-on warm.  Returns (off, cold, warm, hits, misses) after
+   asserting all three outputs byte-equal. *)
+let canon_memo_measure ~passes () =
+  ignore (canon_memo_render ~memo:false ());
+  let off_t, off_out =
+    List.fold_left
+      (fun (best_t, out) _ ->
+        let t, o = canon_memo_render ~memo:false () in
+        if t < best_t then (t, o) else (best_t, out))
+      (canon_memo_render ~memo:false ())
+      (List.init (passes - 1) Fun.id)
+  in
+  let metrics_were_on = Obs.Metrics.on () in
+  Obs.Metrics.enable ();
+  ignore (Obs.Metrics.drain ());
+  let cold_t, cold_out = canon_memo_render ~memo:true () in
+  let snap = Obs.Metrics.drain () in
+  if not metrics_were_on then Obs.Metrics.disable ();
+  let counter name =
+    match List.assoc_opt name snap.Obs.Metrics.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let warm_t, warm_out = canon_memo_render ~memo:true () in
+  List.iter
+    (fun (label, out) ->
+      if not (String.equal out off_out) then
+        failwith
+          (Printf.sprintf
+             "BENCH canon_memo: %s output differs from memo-off — the --memo \
+              byte-identity contract is broken"
+             label))
+    [ ("memo-on (cold)", cold_out); ("memo-on (warm)", warm_out) ];
+  (off_t, cold_t, warm_t, counter "canon.game.hit", counter "canon.game.miss")
+
+let canon_memo () =
+  let cells = List.length (canon_memo_cells ~memo:false ()) in
+  Format.printf "== E15: cross-cell memoization (%s; %d cells) ==@.@."
+    canon_memo_grid cells;
+  let off_t, cold_t, warm_t, hits, misses = canon_memo_measure ~passes:3 () in
+  let speedup = off_t /. cold_t in
+  Format.printf "%-16s %-12s %s@." "mode" "seconds" "speedup";
+  Format.printf "%-16s %-12.3f %.2fx@." "memo-off" off_t 1.0;
+  Format.printf "%-16s %-12.3f %.2fx@." "memo-on (cold)" cold_t speedup;
+  Format.printf "%-16s %-12.3f %.2fx@." "memo-on (warm)" warm_t (off_t /. warm_t);
+  Format.printf "game cache: %d hits, %d misses (live runs)@." hits misses;
+  let results =
+    Obs.Json.Obj
+      [
+        ("grid", Obs.Json.String canon_memo_grid);
+        ("cells", Obs.Json.Int cells);
+        ("identical_output", Obs.Json.Bool true);
+        ("game_hits", Obs.Json.Int hits);
+        ("game_misses", Obs.Json.Int misses);
+        ("speedup", Obs.Json.Float speedup);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (mode, t, s) ->
+                 Obs.Json.Obj
+                   [
+                     ("mode", Obs.Json.String mode);
+                     ("seconds", Obs.Json.Float t);
+                     ("speedup", Obs.Json.Float s);
+                   ])
+               [
+                 ("memo-off", off_t, 1.0);
+                 ("memo-on-cold", cold_t, speedup);
+                 ("memo-on-warm", warm_t, off_t /. warm_t);
+               ]) );
+      ]
+  in
+  write_bench_record "BENCH_canon_memo.json"
+    (bench_record ~bench:"canon_memo" ~jobs_axis:[ 1 ] ~results);
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "BENCH canon_memo: cold speedup %.2fx is below the 2x claim" speedup)
+
+let canon_memo_check () =
+  let path = "BENCH_canon_memo.json" in
+  let committed =
+    match
+      Obs.Json.of_string (In_channel.with_open_text path In_channel.input_all)
+    with
+    | json -> json
+    | exception Sys_error msg ->
+        failwith ("BENCH canon_memo check: cannot read committed record: " ^ msg)
+  in
+  let committed_speedup =
+    match
+      Option.bind (Obs.Json.member "results" committed)
+        (Obs.Json.member "speedup")
+      |> Fun.flip Option.bind Obs.Json.to_float_opt
+    with
+    | Some s -> s
+    | None -> failwith "BENCH canon_memo check: no committed results.speedup"
+  in
+  Format.printf "== E15 regression gate (vs committed %s) ==@.@." path;
+  Format.printf "committed cold speedup: %.2fx@." committed_speedup;
+  if committed_speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "BENCH canon_memo check: committed speedup %.2fx is below the 2x \
+          claim — regenerate with --canon-memo on a quiet machine"
+         committed_speedup);
+  let off_t, cold_t, _, _, misses = canon_memo_measure ~passes:2 () in
+  let fresh = off_t /. cold_t in
+  Format.printf "fresh cold speedup: %.2fx (bound 1.5x; %d live runs)@." fresh
+    misses;
+  if fresh < 1.5 then
+    failwith
+      (Printf.sprintf
+         "BENCH canon_memo check: fresh speedup %.2fx is below the 1.5x \
+          smoke bound"
+         fresh);
+  Format.printf "@.within budget@."
+
 let () =
   if Array.exists (String.equal "--sweep-scaling") Sys.argv then
     sweep_scaling ()
@@ -1190,6 +1357,10 @@ let () =
     game_steps ()
   else if Array.exists (String.equal "--game-steps-check") Sys.argv then
     game_steps_check ()
+  else if Array.exists (String.equal "--canon-memo-check") Sys.argv then
+    canon_memo_check ()
+  else if Array.exists (String.equal "--canon-memo") Sys.argv then
+    canon_memo ()
   else if Array.exists (String.equal "--stats-overhead-check") Sys.argv then
     stats_overhead_check ()
   else if Array.exists (String.equal "--stats-overhead") Sys.argv then

@@ -75,6 +75,21 @@ let bulk =
            executors.  Results and verdicts are byte-identical with and \
            without $(b,--bulk); only observability detail is elided.")
 
+let memo =
+  Arg.(
+    value
+    & flag
+    & info [ "memo" ]
+        ~doc:
+          "Cross-cell memoization: replay color calls and thm1 reports \
+           whose observable history already ran on this worker (see \
+           lib/canon/README.md).  Result bytes and --stats files are \
+           identical with and without $(b,--memo) at every --jobs count, \
+           isolation mode, and resume history; caches are per-process \
+           and never checkpointed.  Hit counters (canon.*) are \
+           telemetry: a --memo run's --metrics dump is not \
+           jobs-invariant, so don't byte-diff the two together.")
+
 (* ----------------------- execution-backend flags ----------------------- *)
 
 let int_at_least lo what =

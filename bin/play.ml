@@ -17,8 +17,8 @@ let algorithm_of name t =
   | "kp1" -> Portfolio.kp1 ~k:2 ~t ()
   | other -> failwith ("unknown algorithm: " ^ other)
 
-let run list_games game_name algo_name t n paranoid max_calls max_work deadline
-    trace metrics stats flight =
+let run list_games game_name algo_name t n paranoid memo max_calls max_work
+    deadline trace metrics stats flight =
   if list_games then begin
     List.iter
       (fun g -> Format.printf "%-18s %s@." g.Game.name g.Game.description)
@@ -42,7 +42,7 @@ let run list_games game_name algo_name t n paranoid max_calls max_work deadline
             deadline;
           }
         in
-        let verdict = g.Game.play ~paranoid ~limits ~n (algorithm_of algo_name t) in
+        let verdict = g.Game.play ~paranoid ~memo ~limits ~n (algorithm_of algo_name t) in
         Format.printf "%a@." Game.pp_verdict verdict;
         0
 
@@ -85,7 +85,8 @@ let cmd =
   Cmd.v
     (Cmd.info "play" ~doc:"Pit an algorithm against a lower-bound adversary")
     Term.(
-      const run $ list_games $ game $ algo $ t $ n $ paranoid $ max_calls $ max_work
+      const run $ list_games $ game $ algo $ t $ n $ paranoid $ Obs_cli.memo
+      $ max_calls $ max_work
       $ deadline $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
       $ Obs_cli.flight)
 

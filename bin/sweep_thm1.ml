@@ -13,7 +13,7 @@
 open Cmdliner
 
 let run ts ks sides algos validate checkpoint resume exec trace metrics stats
-    flight bulk =
+    flight bulk memo =
   let cells =
     List.concat_map
       (fun t ->
@@ -22,7 +22,9 @@ let run ts ks sides algos validate checkpoint resume exec trace metrics stats
             List.concat_map
               (fun side ->
                 List.map
-                  (fun algo -> Jobs_catalog.thm1_cell ~bulk ~validate ~t ~k ~side ~algo)
+                  (fun algo ->
+                    Jobs_catalog.thm1_cell ~memo ~bulk ~validate ~t ~k ~side
+                      ~algo ())
                   (Harness.Sweep.string_axis ~flag:"--algo" algos))
               (Harness.Sweep.int_axis ~flag:"--side" sides))
           (Harness.Sweep.int_axis ~flag:"-k" ks))
@@ -70,6 +72,6 @@ let cmd =
     Term.(
       const run $ ts $ ks $ sides $ algos $ validate $ checkpoint $ resume
       $ Obs_cli.exec_term $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats
-      $ Obs_cli.flight $ Obs_cli.bulk)
+      $ Obs_cli.flight $ Obs_cli.bulk $ Obs_cli.memo)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,14 +5,15 @@
 
 open Cmdliner
 
-let run sides wraps checkpoint resume exec trace metrics stats flight bulk =
+let run sides wraps checkpoint resume exec trace metrics stats flight bulk memo =
   let cells =
     List.concat_map
       (fun wrap ->
         List.concat_map
           (fun side ->
             List.map
-              (fun (algo, _) -> Jobs_catalog.thm2_cell ~bulk ~side ~wrap ~algo)
+              (fun (algo, _) ->
+                Jobs_catalog.thm2_cell ~memo ~bulk ~side ~wrap ~algo ())
               Jobs_catalog.thm2_algorithms)
           (Harness.Sweep.int_axis ~flag:"--side" sides))
       (Harness.Sweep.string_axis ~flag:"--wrap" wraps)
@@ -50,6 +51,6 @@ let cmd =
     Term.(
       const run $ sides $ wraps $ checkpoint $ resume $ Obs_cli.exec_term
       $ Obs_cli.trace $ Obs_cli.metrics $ Obs_cli.stats $ Obs_cli.flight
-      $ Obs_cli.bulk)
+      $ Obs_cli.bulk $ Obs_cli.memo)
 
 let () = exit (Cmd.eval' cmd)

@@ -146,6 +146,7 @@ let report path =
   let job_statuses = Hashtbl.create 4 in  (* "ok"/"error"/"quarantined" *)
   let drains = ref [] in  (* (queued, running), reverse order *)
   let chaos_kinds = Hashtbl.create 4 in
+  let canon_hits = Hashtbl.create 4 in  (* "step"/"game" memo hits *)
   List.iter
     (fun r ->
       let w = worker r.T.w in
@@ -235,7 +236,8 @@ let report path =
       | T.Job_start _ -> incr job_starts
       | T.Job_done { status; _ } -> count job_statuses status 1
       | T.Server_drain { queued; running } -> drains := (queued, running) :: !drains
-      | T.Chaos_injected { kind } -> count chaos_kinds kind 1)
+      | T.Chaos_injected { kind } -> count chaos_kinds kind 1
+      | T.Canon_hit { kind; _ } -> count canon_hits kind 1)
     records;
   let ppf = Format.std_formatter in
   Format.fprintf ppf "trace %s: program %s, format v%d@." path program version;
@@ -313,6 +315,12 @@ let report path =
           (fun (kind, n) -> Format.fprintf ppf "    %-16s %d@." kind n)
           (sorted_counts chaos_kinds)
       end);
+  if Hashtbl.length canon_hits > 0 then begin
+    Format.fprintf ppf "@.memo cache hits@.";
+    List.iter
+      (fun (kind, n) -> Format.fprintf ppf "  %-10s %d@." kind n)
+      (sorted_counts canon_hits)
+  end;
   if Hashtbl.length adversaries > 0 then begin
     Format.fprintf ppf "@.games by adversary@.";
     Hashtbl.fold (fun a st acc -> (a, st) :: acc) adversaries []

@@ -14,14 +14,21 @@
    server maps to a typed "ERROR: ..." result, never a crash.
 
    Cell constructors take ~bulk (the executor fast path; identical
-   result strings either way).  The socket handler always runs
-   non-bulk: server results stay byte-identical to historical runs by
-   construction, not just by the bulk-equivalence argument. *)
+   result strings either way) and ~memo (the Canon.Memo caches; also
+   identical result strings — hits replay recorded answers and Stats
+   observes).  The socket handler always runs non-bulk and memo-off:
+   server results stay byte-identical to historical runs by
+   construction, not just by the equivalence arguments. *)
 
 open Online_local
 module Sweep = Harness.Sweep
 
 let kinds = [ "thm1"; "thm2"; "thm3"; "fuzz" ]
+
+let memo_ctx ~memo algorithm =
+  if memo then
+    Some (Canon.Memo.create ~pure:algorithm.Models.Algorithm.pure ())
+  else None
 
 (* ------------------------------- thm1 -------------------------------- *)
 
@@ -33,9 +40,52 @@ let thm1_algorithm name t =
   | "ael" -> Portfolio.ael ~t ()
   | other -> failwith ("unknown algorithm: " ^ other)
 
-let thm1_run ?(bulk = false) ~validate ~t ~k ~side ~algo () =
+(* Game-level report cache for thm1 cells.  The adversary's report is a
+   pure function of (algorithm, executor radius, k, side, validate):
+   the cell's [t] only enters through the algorithm's locality, so a
+   t-axis sweep of a locality-independent algorithm replays one run per
+   (k, side) — the cell text re-formats the cached report with its own
+   t.  Sound for *any* deterministic algorithm, stateful or not: each
+   live run instantiates a fresh instance, so the whole-run result
+   (unlike a single skipped color call) carries no hidden state.
+   Per-domain, per-process, never checkpointed — exactly like the step
+   table (see lib/canon/README.md). *)
+let thm1_report_tbl : (string, Thm1_adversary.report) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let thm1_run ?(bulk = false) ?(memo = false) ~validate ~t ~k ~side ~algo () =
   let algorithm = thm1_algorithm algo t in
-  let r = Thm1_adversary.run ~bulk ~validate ~n_side:side ~k ~algorithm () in
+  let run_live ?memo:ctx () =
+    Thm1_adversary.run ~bulk ?memo:ctx ~validate ~n_side:side ~k ~algorithm ()
+  in
+  let r =
+    if not memo then run_live ()
+    else begin
+      let radius = algorithm.Models.Algorithm.locality ~n:(side * side) in
+      let gkey =
+        Printf.sprintf "thm1|%s|%d|%d|%d|%b" algorithm.Models.Algorithm.name
+          radius k side validate
+      in
+      let tbl = Domain.DLS.get thm1_report_tbl in
+      match Hashtbl.find_opt tbl gkey with
+      | Some r ->
+          Canon.Memo.note_hit ~kind:"game" ~key:gkey;
+          (* Replay the Stats observes the live run would have made, so
+             a --stats file is byte-identical to the memo-off run. *)
+          if Obs.Stats.on () then begin
+            Obs.Stats.observe "thm1.presented" r.Thm1_adversary.presented;
+            Obs.Stats.observe "thm1.revealed" r.Thm1_adversary.revealed;
+            Obs.Stats.observe "thm1.span_width" r.Thm1_adversary.width;
+            Obs.Stats.observe "thm1.span_height" r.Thm1_adversary.height
+          end;
+          r
+      | None ->
+          Canon.Memo.note_miss ~kind:"game";
+          let r = run_live ?memo:(memo_ctx ~memo algorithm) () in
+          Hashtbl.replace tbl gkey r;
+          r
+    end
+  in
   Format.asprintf
     "thm1 vs %s (T=%d) on %d^2 grid, b-target k=%d:@.  %a@.  guaranteed by \
      theory: %b (needs k > 4T+4)@.  max fitting k at this side/T: %d"
@@ -43,10 +93,10 @@ let thm1_run ?(bulk = false) ~validate ~t ~k ~side ~algo () =
     (Thm1_adversary.guaranteed ~t ~k)
     (Thm1_adversary.recommended_k ~n_side:side ~t)
 
-let thm1_cell ~bulk ~validate ~t ~k ~side ~algo =
+let thm1_cell ?(memo = false) ~bulk ~validate ~t ~k ~side ~algo () =
   {
     Sweep.key = Printf.sprintf "t=%d k=%d side=%d algo=%s" t k side algo;
-    run = thm1_run ~bulk ~validate ~t ~k ~side ~algo;
+    run = thm1_run ~bulk ~memo ~validate ~t ~k ~side ~algo;
   }
 
 let thm1_of_key payload =
@@ -63,23 +113,24 @@ let thm2_wrap_of = function
 let thm2_algorithms =
   [ ("greedy", Portfolio.greedy); ("ael(T=1)", fun () -> Portfolio.ael ~t:1 ()) ]
 
-let thm2_run ?(bulk = false) ~side ~wrap ~algo () =
+let thm2_run ?(bulk = false) ?(memo = false) ~side ~wrap ~algo () =
   let algorithm =
     match List.assoc_opt algo thm2_algorithms with
-    | Some a -> a
+    | Some a -> a ()
     | None -> failwith ("unknown algorithm: " ^ algo)
   in
   let r =
-    Thm2_adversary.run ~bulk ~wrap:(thm2_wrap_of wrap) ~side
-      ~algorithm:(algorithm ()) ()
+    Thm2_adversary.run ~bulk
+      ?memo:(memo_ctx ~memo algorithm)
+      ~wrap:(thm2_wrap_of wrap) ~side ~algorithm ()
   in
   Format.asprintf "thm2 %s side=%d vs %-12s %a" wrap side algo
     Thm2_adversary.pp_report r
 
-let thm2_cell ~bulk ~side ~wrap ~algo =
+let thm2_cell ?(memo = false) ~bulk ~side ~wrap ~algo () =
   {
     Sweep.key = Printf.sprintf "wrap=%s side=%d algo=%s" wrap side algo;
-    run = thm2_run ~bulk ~side ~wrap ~algo;
+    run = thm2_run ~bulk ~memo ~side ~wrap ~algo;
   }
 
 let thm2_of_key payload =
@@ -91,20 +142,24 @@ let thm2_of_key payload =
 let thm3_algorithms =
   [ ("greedy", Portfolio.greedy); ("gadget-rows", Portfolio.gadget_rows) ]
 
-let thm3_run ?(bulk = false) ~k ~gadgets ~algo () =
+let thm3_run ?(bulk = false) ?(memo = false) ~k ~gadgets ~algo () =
   let algorithm =
     match List.assoc_opt algo thm3_algorithms with
-    | Some a -> a
+    | Some a -> a ()
     | None -> failwith ("unknown algorithm: " ^ algo)
   in
-  let r = Thm3_adversary.run ~bulk ~k ~gadgets ~algorithm:(algorithm ()) () in
+  let r =
+    Thm3_adversary.run ~bulk
+      ?memo:(memo_ctx ~memo algorithm)
+      ~k ~gadgets ~algorithm ()
+  in
   Format.asprintf "thm3 k=%d gadgets=%d (n=%d) vs %-12s@.  %a" k gadgets
     (gadgets * k * k) algo Thm3_adversary.pp_report r
 
-let thm3_cell ~bulk ~k ~gadgets ~algo =
+let thm3_cell ?(memo = false) ~bulk ~k ~gadgets ~algo () =
   {
     Sweep.key = Printf.sprintf "k=%d gadgets=%d algo=%s" k gadgets algo;
-    run = thm3_run ~bulk ~k ~gadgets ~algo;
+    run = thm3_run ~bulk ~memo ~k ~gadgets ~algo;
   }
 
 let thm3_of_key payload =

@@ -11,6 +11,8 @@ let wrap ~tag algo transform =
   {
     algo with
     A.name = Printf.sprintf "%s(%s)" tag algo.A.name;
+    (* call-count-dependent faults are stateful: never memo-skip them *)
+    pure = false;
     instantiate =
       (fun ~n ~palette ~oracle ->
         transform ~palette (algo.A.instantiate ~n ~palette ~oracle));
@@ -66,6 +68,7 @@ let amnesia algo =
   {
     algo with
     A.name = Printf.sprintf "amnesia(%s)" algo.A.name;
+    pure = false;
     instantiate =
       (fun ~n ~palette ~oracle ->
         (* A fresh instance per color call: the unbounded global memory

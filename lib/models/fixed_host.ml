@@ -14,6 +14,7 @@ type t = {
   coloring : Colorings.Coloring.t;
   presented_set : Packed.Set.t;
   bulk : bool;
+  memo : Canon.Memo.ctx option;
   mutable steps : int;
   mutable max_view : int;
   mutable first_violation : Run_stats.violation option;
@@ -32,7 +33,34 @@ let record_handle t host_node =
   t.handle_of_host.(host_node) <- handle;
   handle
 
-let start ?(bulk = false) ?ids ?hints ?oracle ~host ~palette ~algorithm () =
+(* Everything that shapes views beyond the presentation order: the host
+   adjacency itself is hashed so two different hosts can never share a
+   memo chain (thm2's reflected band, thm3's seam chain, ...). *)
+let host_fingerprint host =
+  let b = Buffer.create 1024 in
+  let n = Graph.n host in
+  Buffer.add_string b (string_of_int n);
+  for v = 0 to n - 1 do
+    Buffer.add_char b ';';
+    Array.iter
+      (fun w ->
+        if v < w then begin
+          Buffer.add_string b (string_of_int w);
+          Buffer.add_char b ','
+        end)
+      (Graph.neighbors host v)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let hint_repr = function
+  | None -> "-"
+  | Some (View.Grid_pos { frame; row; col }) ->
+      Printf.sprintf "g%d:%d:%d" frame row col
+  | Some (View.Gadget_pos { frame; gadget; row; col }) ->
+      Printf.sprintf "G%d:%d:%d:%d" frame gadget row col
+  | Some (View.Layer_pos { layer }) -> Printf.sprintf "l%d" layer
+
+let start ?(bulk = false) ?memo ?ids ?hints ?oracle ~host ~palette ~algorithm () =
   let n = Graph.n host in
   let ids = match ids with Some f -> f | None -> fun v -> v + 1 in
   let hints = match hints with Some f -> f | None -> fun _ -> None in
@@ -52,6 +80,7 @@ let start ?(bulk = false) ?ids ?hints ?oracle ~host ~palette ~algorithm () =
       coloring = Colorings.Coloring.create n;
       presented_set = Packed.Set.create (max n 1);
       bulk;
+      memo;
       steps = 0;
       max_view = 0;
       first_violation = None;
@@ -60,6 +89,12 @@ let start ?(bulk = false) ?ids ?hints ?oracle ~host ~palette ~algorithm () =
   let oracle = Option.map (fun mk -> mk ~to_host:(to_host t)) oracle in
   t.radius <- locality + (match oracle with Some o -> o.Oracle.radius | None -> 0);
   t.instance <- algorithm.Algorithm.instantiate ~n ~palette ~oracle;
+  (match memo with
+  | Some ctx when Canon.Memo.pure ctx ->
+      Canon.Memo.begin_run ctx
+        (Printf.sprintf "fh|%s|%d|%d|%b|%s" algorithm.Algorithm.name palette
+           t.radius (oracle <> None) (host_fingerprint host))
+  | _ -> ());
   t
 
 let reveal_ball t center =
@@ -128,9 +163,50 @@ let present t v =
     Obs.Metrics.add "fixed_host.revealed" (List.length new_nodes)
   end;
   let target = t.handle_of_host.(v) in
+  (* Memo: fold the step's full observable delta (each fresh node's id
+     and hint enter the chain exactly once, when the node enters the
+     region), then replay a cached answer if this chain key was already
+     answered — pure algorithms only, exceptions never cached. *)
+  let memo_step =
+    match t.memo with
+    | Some ctx when Canon.Memo.pure ctx ->
+        let b = Buffer.create 64 in
+        Buffer.add_string b "p|";
+        Buffer.add_string b (string_of_int v);
+        List.iter
+          (fun h ->
+            let hv = to_host t h in
+            Buffer.add_char b '|';
+            Buffer.add_string b (string_of_int hv);
+            Buffer.add_char b ':';
+            Buffer.add_string b (string_of_int (t.ids hv));
+            Buffer.add_char b ':';
+            Buffer.add_string b (hint_repr (t.hints hv)))
+          new_nodes;
+        let suffix = Buffer.contents b in
+        Some (ctx, suffix, Canon.Memo.step_key ctx suffix)
+    | _ -> None
+  in
+  let cached =
+    match memo_step with
+    | Some (ctx, _, key) -> Canon.Memo.find ctx key
+    | None -> None
+  in
   let color =
-    match t.instance (make_view t ~target ~new_nodes) with
-    | c -> c
+    match
+      (match cached with
+      | Some c ->
+          (match memo_step with
+          | Some (ctx, _, _) -> Canon.Memo.charge ctx
+          | None -> ());
+          c
+      | None -> t.instance (make_view t ~target ~new_nodes))
+    with
+    | c ->
+        (match (memo_step, cached) with
+        | Some (ctx, _, key), None -> Canon.Memo.add ctx key c
+        | _ -> ());
+        c
     | exception ((Stack_overflow | Out_of_memory | Sys.Break) as e) -> raise e
     | exception exn ->
         let backtrace = Printexc.get_backtrace () in
@@ -141,6 +217,10 @@ let present t v =
                  { node = v; message = Printexc.to_string exn; backtrace });
         -1
   in
+  (match memo_step with
+  | Some (ctx, suffix, _) ->
+      Canon.Memo.fold ctx (suffix ^ "=" ^ string_of_int color)
+  | None -> ());
   (if t.first_violation = None then
      if color < 0 || color >= t.palette then
        t.first_violation <- Some (Run_stats.Palette_overflow { node = v; color })
@@ -190,8 +270,8 @@ let audit t =
     max_view_size = t.max_view;
   }
 
-let run ?bulk ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
-  let t = start ?bulk ?ids ?hints ?oracle ~host ~palette ~algorithm () in
+let run ?bulk ?memo ?ids ?hints ?oracle ~host ~palette ~algorithm ~order () =
+  let t = start ?bulk ?memo ?ids ?hints ?oracle ~host ~palette ~algorithm () in
   let rec go = function
     | [] -> ()
     | v :: rest ->

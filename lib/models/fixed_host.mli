@@ -27,6 +27,7 @@ type t
 
 val start :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   ?ids:(Grid_graph.Graph.node -> int) ->
   ?hints:(Grid_graph.Graph.node -> View.hint option) ->
   ?oracle:(to_host:(Grid_graph.Graph.node -> Grid_graph.Graph.node) -> Oracle.t) ->
@@ -37,7 +38,12 @@ val start :
   t
 (** Create an execution.  [bulk] (default [false]) skips per-step trace
     and metrics event construction on the hot path — it never changes
-    colors, violations, or the audited outcome, only observability
+    colors, violations, or the audited outcome, only observability.
+    [memo] enables the {!Canon.Memo} step cache: the host adjacency,
+    ids, hints and every answer are folded into the context's chain
+    digest, and calls of [pure] algorithms whose chain key was answered
+    in an earlier run replay the cached color (charging the guard via
+    the context), leaving output byte-identical to memo-off
     output.  [ids] assigns the unique identifier of each
     host node (default: host node + 1); [hints] attaches per-host-node
     hints ({e fixed-frame} — this executor commits the embedding up
@@ -64,6 +70,7 @@ val to_host : t -> Grid_graph.Graph.node -> Grid_graph.Graph.node
 
 val run :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   ?ids:(Grid_graph.Graph.node -> int) ->
   ?hints:(Grid_graph.Graph.node -> View.hint option) ->
   ?oracle:(to_host:(Grid_graph.Graph.node -> Grid_graph.Graph.node) -> Oracle.t) ->

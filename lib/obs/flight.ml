@@ -179,6 +179,10 @@ let encode_event buf ev =
   | Chaos_injected { kind } ->
       id 28;
       w_str buf kind
+  | Canon_hit { kind; key } ->
+      id 29;
+      w_str buf kind;
+      w_str buf key
 
 let encode_record buf (r : Trace.record) =
   Buffer.clear buf;
@@ -356,6 +360,9 @@ let decode_event cur : Trace.event =
       let queued = r_int cur in
       Server_drain { queued; running = r_int cur }
   | 28 -> Chaos_injected { kind = r_str cur }
+  | 29 ->
+      let kind = r_str cur in
+      Canon_hit { kind; key = r_str cur }
   | n -> fail cur (Printf.sprintf "unknown flight event id %d" n)
 
 let decode_record cur : Trace.record =

@@ -1,4 +1,4 @@
-let version = 3
+let version = 4
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -57,6 +57,7 @@ type event =
   | Job_done of { id : string; status : string }
   | Server_drain of { queued : int; running : int }
   | Chaos_injected of { kind : string }
+  | Canon_hit of { kind : string; key : string }
 
 type record = { i : int; w : int; ts : float; ev : event }
 
@@ -192,6 +193,8 @@ let event_fields = function
   | Server_drain { queued; running } ->
       ("server_drain", [ ("queued", Json.Int queued); ("running", Json.Int running) ])
   | Chaos_injected { kind } -> ("chaos_injected", [ ("kind", Json.String kind) ])
+  | Canon_hit { kind; key } ->
+      ("canon_hit", [ ("kind", Json.String kind); ("key", Json.String key) ])
 
 let record_to_json r =
   let tag, fields = event_fields r.ev in
@@ -369,6 +372,7 @@ let event_of_json j =
   | "server_drain" ->
       Server_drain { queued = req_int j "queued"; running = req_int j "running" }
   | "chaos_injected" -> Chaos_injected { kind = req_string j "kind" }
+  | "canon_hit" -> Canon_hit { kind = req_string j "kind"; key = req_string j "key" }
   | other -> decode_error ("trace record: unknown event " ^ other)
 
 let record_of_json j =

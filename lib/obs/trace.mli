@@ -31,8 +31,9 @@
     format version ({!version}) and the emitting program's name. *)
 
 val version : int
-(** Trace format version, [3] (v2 added the supervisor child-lifecycle
-    events; v3 the job-server events).  Readers must reject newer
+(** Trace format version, [4] (v2 added the supervisor child-lifecycle
+    events; v3 the job-server events; v4 the memo-cache [Canon_hit]
+    event).  Readers must reject newer
     versions rather than misparse them; v1/v2 traces parse fine under a
     v3 reader. *)
 
@@ -129,6 +130,11 @@ type event =
   | Chaos_injected of { kind : string }
       (** the [--chaos] harness fired one injection: ["drop_conn"],
           ["partial_frame"], ["truncate_frame"], or ["kill_child"] *)
+  | Canon_hit of { kind : string; key : string }
+      (** the canonical-view memo cache answered from cache: [kind] is
+          ["step"] (one skipped color call) or ["game"] (a whole cached
+          adversary report); [key] is the cache key (an MD5 chain digest
+          or resolved cell parameters) *)
 
 type record = { i : int; w : int; ts : float; ev : event }
 

@@ -26,11 +26,21 @@ type t = {
   play :
     ?bulk:bool ->
     ?paranoid:bool ->
+    ?memo:bool ->
     ?limits:G.limits ->
     n:int ->
     Models.Algorithm.t ->
     verdict;
 }
+
+(* One memo context per game: its chain digest is scoped to a single
+   run's observable history while the cache table behind it is
+   per-domain, so identical games replayed later on the same domain hit.
+   The guard charge hook is bound in [referee] once the guard exists. *)
+let memo_ctx ~memo algorithm =
+  if memo then
+    Some (Canon.Memo.create ~pure:algorithm.Models.Algorithm.pure ())
+  else None
 
 let outcome_label = function
   | Defeated -> "DEFEATED"
@@ -63,7 +73,7 @@ let of_violation = function
         (M.Dishonest_transcript
            { message = Printf.sprintf "node %d presented twice" v })
 
-let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm play =
+let referee ?(limits = G.default_limits) ?memo ~adversary ~n ~guaranteed algorithm play =
   if Tr.on () then
     Tr.emit
       (Tr.Game_start
@@ -77,6 +87,9 @@ let referee ?(limits = G.default_limits) ~adversary ~n ~guaranteed algorithm pla
          });
   let guard = G.create ~limits () in
   let guarded = G.algorithm guard algorithm in
+  (match memo with
+  | Some ctx -> Canon.Memo.set_charge ctx (fun () -> G.charge guard)
+  | None -> ());
   let result = G.capture guard (fun () -> play guarded) in
   let outcome, detail =
     (* A typed fault recorded on the guard wins over whatever the
@@ -135,14 +148,15 @@ let thm1 =
     name = "thm1-grid";
     description = "Lemma 3.6 + cycle closure on an n x n simple grid";
     play =
-      (fun ?(bulk = false) ?(paranoid = false) ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?(paranoid = false) ?(memo = false) ?limits ~n algorithm ->
         let t = algorithm.Models.Algorithm.locality ~n:(n * n) in
         let k = max 1 (Thm1_adversary.recommended_k ~n_side:n ~t) in
-        referee ?limits ~adversary:"thm1-grid" ~n
+        let ctx = memo_ctx ~memo algorithm in
+        referee ?limits ?memo:ctx ~adversary:"thm1-grid" ~n
           ~guaranteed:(Thm1_adversary.guaranteed ~t ~k) algorithm
           (fun guarded ->
             let r =
-              Thm1_adversary.run ~bulk
+              Thm1_adversary.run ~bulk ?memo:ctx
                 ~validate:(paranoid && not bulk)
                 ~n_side:n ~k ~algorithm:guarded ()
             in
@@ -154,18 +168,21 @@ let thm2 wrap name =
     name;
     description = "two-row b-value attack on an n x n wrapped grid (n rounded to odd)";
     play =
-      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?(memo = false) ?limits ~n algorithm ->
         let side = if n mod 2 = 0 then n + 1 else n in
         let rounding =
           if side <> n then
             Printf.sprintf "side rounded %d -> %d (odd side required); " n side
           else ""
         in
+        let ctx = memo_ctx ~memo algorithm in
         let r = ref None in
         let v =
-          referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
+          referee ?limits ?memo:ctx ~adversary:name ~n:side ~guaranteed:false algorithm
             (fun guarded ->
-              let report = Thm2_adversary.run ~bulk ~wrap ~side ~algorithm:guarded () in
+              let report =
+                Thm2_adversary.run ~bulk ?memo:ctx ~wrap ~side ~algorithm:guarded ()
+              in
               r := Some report;
               ( report.Thm2_adversary.result,
                 rounding ^ Format.asprintf "%a" Thm2_adversary.pp_report report ))
@@ -186,13 +203,16 @@ let thm3 =
     name = "thm3-gadgets";
     description = "gadget seam attack on a chain of n gadgets (k = 3)";
     play =
-      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?(memo = false) ?limits ~n algorithm ->
         let gadgets = max 3 n in
+        let ctx = memo_ctx ~memo algorithm in
         let r = ref None in
         let v =
-          referee ?limits ~adversary:"thm3-gadgets" ~n:gadgets ~guaranteed:false
+          referee ?limits ?memo:ctx ~adversary:"thm3-gadgets" ~n:gadgets ~guaranteed:false
             algorithm (fun guarded ->
-              let report = Thm3_adversary.run ~bulk ~k:3 ~gadgets ~algorithm:guarded () in
+              let report =
+                Thm3_adversary.run ~bulk ?memo:ctx ~k:3 ~gadgets ~algorithm:guarded ()
+              in
               r := Some report;
               ( report.Thm3_adversary.result,
                 Format.asprintf "%a" Thm3_adversary.pp_report report ))
@@ -215,7 +235,7 @@ let upper ~with_oracle name description =
     name;
     description;
     play =
-      (fun ?(bulk = false) ?paranoid:_ ?limits ~n algorithm ->
+      (fun ?(bulk = false) ?paranoid:_ ?(memo = false) ?limits ~n algorithm ->
         let side = max 4 n in
         let grid = Topology.Grid2d.(create Simple ~rows:side ~cols:side) in
         let host = Topology.Grid2d.graph grid in
@@ -225,10 +245,11 @@ let upper ~with_oracle name description =
         in
         let order = Models.Fixed_host.orders ~all:host (`Random 7) in
         let oracle = if with_oracle then Some (Oracles.grid_bipartition grid) else None in
-        referee ?limits ~adversary:name ~n:side ~guaranteed:false algorithm
+        let ctx = memo_ctx ~memo algorithm in
+        referee ?limits ?memo:ctx ~adversary:name ~n:side ~guaranteed:false algorithm
           (fun guarded ->
             let outcome =
-              Models.Fixed_host.run ~bulk ?oracle ~hints ~host ~palette:3
+              Models.Fixed_host.run ~bulk ?memo:ctx ?oracle ~hints ~host ~palette:3
                 ~algorithm:guarded ~order ()
             in
             ( (match outcome.Models.Run_stats.violation with

@@ -43,6 +43,7 @@ type t = {
   play :
     ?bulk:bool ->
     ?paranoid:bool ->
+    ?memo:bool ->
     ?limits:Harness.Guard.limits ->
     n:int ->
     Models.Algorithm.t ->
@@ -57,6 +58,12 @@ type t = {
           forced off.  Bulk cannot change the verdict — it only elides
           observability work whose inputs are already determined by the
           transcript (asserted over the E7 fault matrix in the tests).
+          [~memo:true] routes the executors through the
+          {!Canon.Memo} step cache: color calls of [pure] algorithms
+          whose observable history matches an earlier run on this
+          domain replay the cached answer, charging the guard so
+          verdicts, meters and reports stay byte-identical to
+          memo-off (asserted over the same fault matrix).
           A game of [k] steps costs O(sum of per-step frontier sizes)
           in the executor plus the algorithm's own work — see
           [lib/online_local/README.md] for the per-step cost model and
@@ -66,6 +73,7 @@ type t = {
 
 val referee :
   ?limits:Harness.Guard.limits ->
+  ?memo:Canon.Memo.ctx ->
   adversary:string ->
   n:int ->
   guaranteed:bool ->
@@ -83,7 +91,9 @@ val referee :
     type, not message text); then the violation decides — monochromatic
     edge is a genuine {!Defeated}, palette overflow and algorithm crashes
     are {!Algorithm_fault}, repeated presentation is {!Adversary_fault}.
-    Exposed so tests can build rigged games. *)
+    Exposed so tests can build rigged games.  [?memo] installs the
+    guard's {!Harness.Guard.charge} as the context's charge hook before
+    running [play], so memo-served calls meter like live ones. *)
 
 val outcome_label : outcome -> string
 

@@ -37,6 +37,7 @@ val pp_report : Format.formatter -> report -> unit
 
 val run :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   ?endgame:bool ->
   ?validate:bool ->
   ?snapshot:bool ->

@@ -42,6 +42,7 @@ val variant_host :
 
 val run :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   wrap:[ `Cylindrical | `Toroidal ] ->
   side:int ->
   algorithm:Models.Algorithm.t ->
@@ -64,6 +65,7 @@ val variant_host_rect :
 
 val run_rect :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   wrap:[ `Cylindrical | `Toroidal ] ->
   rows:int ->
   cols:int ->

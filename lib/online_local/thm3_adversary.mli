@@ -28,6 +28,7 @@ val pp_report : Format.formatter -> report -> unit
 
 val run :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   k:int ->
   gadgets:int ->
   algorithm:Models.Algorithm.t ->

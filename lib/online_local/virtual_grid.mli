@@ -45,6 +45,7 @@ type frame
 
 val create :
   ?bulk:bool ->
+  ?memo:Canon.Memo.ctx ->
   palette:int ->
   n_total:int ->
   radius:int ->
@@ -55,7 +56,13 @@ val create :
     algorithm's locality, plus its oracle radius if any — the built-in
     algorithms attacked here carry none).  [bulk] (default [false])
     skips per-step trace and metrics event construction; it cannot
-    change colors, violations, or honesty checks. *)
+    change colors, violations, or honesty checks.  [memo] enables the
+    step cache: every observable input (presentations, merges,
+    reflections) and every answer is folded into the context's chain
+    digest, and color calls whose chain key was already answered in an
+    earlier run replay the cached color — for [pure] algorithms only,
+    charging the guard through the context so memo-on output stays
+    byte-identical to memo-off. *)
 
 val new_frame : t -> frame
 
@@ -95,6 +102,13 @@ val violation : t -> Models.Run_stats.violation option
 
 val presented_count : t -> int
 val revealed_count : t -> int
+
+val snapshot_region : t -> Grid_graph.Graph.t
+(** An immutable copy of the revealed region graph (handles coincide).
+    O(region) — for tests and verifiers, not per-step use. *)
+
+val output : t -> Grid_graph.Graph.node -> int option
+(** The color answered for a revealed handle, if it was presented. *)
 
 val scan_monochromatic : t -> (Grid_graph.Graph.node * Grid_graph.Graph.node) option
 (** Exhaustive scan of the revealed region for a monochromatic edge among

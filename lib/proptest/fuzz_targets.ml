@@ -876,6 +876,110 @@ let view_incremental =
   }
 
 (* ------------------------------------------------------------------ *)
+(* canon-relabel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical labeling under attack from three sides: the key must be
+   invariant under random relabelings, [Canon.iso_equal] must agree
+   with a brute-force permutation search (both directions — distinct
+   keys for non-isomorphic pairs included), and a memo-on game sweep
+   must render byte-identically at --jobs 1 and --jobs 4 (hits depend
+   on domain packing; output must not). *)
+let canon_relabel =
+  let colored_graph =
+    Gen.bind (Gen.int_range 1 6) (fun n ->
+        let endpoint = Gen.int_range 0 (n - 1) in
+        Gen.map2
+          (fun pairs colors ->
+            ( n,
+              List.filter (fun (u, v) -> u <> v) pairs,
+              Array.of_list colors ))
+          (Gen.list ~max_len:(2 * n) (Gen.pair endpoint endpoint))
+          (Gen.list_size n (Gen.int_range 0 2)))
+  in
+  let gen =
+    Gen.bind colored_graph (fun ((n, _, _) as a) ->
+        Gen.map2
+          (fun b perm -> (a, b, Array.of_list perm))
+          colored_graph
+          (Gen.permutation (List.init n (fun i -> i))))
+  in
+  let print ((n, edges, colors), (n2, edges2, _), perm) =
+    Printf.sprintf "n=%d edges=[%s] colors=[%s] vs n=%d edges=[%s] perm=[%s]" n
+      (String.concat ";"
+         (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges))
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int colors)))
+      n2
+      (String.concat ";"
+         (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) edges2))
+      (String.concat ";" (Array.to_list (Array.map string_of_int perm)))
+  in
+  let mk (n, edges, colors) = Canon.make ~n ~edges ~colors in
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  let brute_iso a b =
+    a.Canon.n = b.Canon.n
+    && List.exists
+         (fun p ->
+           let t = Canon.transport (Array.of_list p) a in
+           t.Canon.colors = b.Canon.colors && t.Canon.adj = b.Canon.adj)
+         (perms (List.init a.Canon.n (fun i -> i)))
+  in
+  let memo_game_cells () =
+    List.map
+      (fun (key, algorithm) ->
+        {
+          Harness.Sweep.key;
+          run =
+            (fun () ->
+              Format.asprintf "%a" Game.pp_verdict
+                (Game.thm1.Game.play ~bulk:(Atomic.get bulk_mode) ~memo:true
+                   ~n:12 algorithm));
+        })
+      [
+        ("greedy", Online_local.Portfolio.greedy ());
+        ("stripes", Online_local.Portfolio.stripes3 ());
+        ("greedy-again", Online_local.Portfolio.greedy ());
+      ]
+  in
+  let prop ((a_raw, b_raw, perm) : (int * (int * int) list * int array)
+                                   * (int * (int * int) list * int array)
+                                   * int array) =
+    let a = mk a_raw in
+    let b = mk b_raw in
+    (* 1. relabeling (a fresh reveal order) never moves the key *)
+    let relabeled = Canon.transport perm a in
+    String.equal (Canon.key a) (Canon.key relabeled)
+    && Canon.transport (Canon.certificate a) a = Canon.canon a
+    (* 2. iso_equal = brute-force permutation search, both verdicts *)
+    && Canon.iso_equal a b = brute_iso a b
+    && String.equal (Canon.key a) (Canon.key b) = brute_iso a b
+    (* 3. memo-on sweeps render byte-identically at jobs 1 and 4 *)
+    && String.equal
+         (render ~jobs:1 (memo_game_cells ()))
+         (render ~jobs:4 (memo_game_cells ()))
+  in
+  {
+    name = "canon-relabel";
+    doc =
+      "Canonical labeling: key invariance under random relabelings, \
+       iso_equal vs brute-force isomorphism (distinct keys for \
+       non-isomorphic views), and memo-on sweep byte-identity at --jobs 1 \
+       vs 4";
+    serial = true (* spawns worker domains for the jobs comparison *);
+    max_cases = Some 60;
+    available = always_available;
+    packed = Packed { gen; print; prop };
+  }
+
+(* ------------------------------------------------------------------ *)
 (* demo-bug                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -914,6 +1018,7 @@ let all =
     stats_merge;
     wire_codec;
     view_incremental;
+    canon_relabel;
     demo_bug;
   ]
 

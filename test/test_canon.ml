@@ -1,0 +1,294 @@
+(* Canonical labeling: refinement fixpoints, individualization
+   tie-breaks, certificate round-trips, and agreement between the
+   Dyn_graph and packed-coordinate (Virtual_grid snapshot) views of the
+   same revealed region. *)
+
+open Canon
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let mk n edges colors = Canon.make ~n ~edges ~colors
+
+(* A fixed linear-congruential stream so shuffles are pinned. *)
+let lcg seed =
+  let s = ref seed in
+  fun bound ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod bound
+
+let random_perm rand n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let apply_perm p n edges colors =
+  let edges = List.map (fun (u, v) -> (p.(u), p.(v))) edges in
+  let colors' = Array.make n 0 in
+  Array.iteri (fun v c -> colors'.(p.(v)) <- c) colors;
+  (edges, colors')
+
+(* 1. Refinement reaches a fixpoint that separates degree classes. *)
+let test_refine_path () =
+  let g = mk 4 [ (0, 1); (1, 2); (2, 3) ] [| 0; 0; 0; 0 |] in
+  let classes = refine_classes g in
+  (* endpoints vs middles: exactly 2 classes on an even path *)
+  check_int "endpoint class" classes.(3) classes.(0);
+  check_int "middle class" classes.(2) classes.(1);
+  check_bool "separated" true (classes.(0) <> classes.(1))
+
+(* 2. Refinement fixpoint is stable: refining the refined classes as
+   colors changes nothing. *)
+let test_refine_fixpoint () =
+  let g = mk 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] [| 0; 0; 1; 0; 0 |] in
+  let c1 = refine_classes g in
+  let g2 = { g with colors = c1 } in
+  let c2 = refine_classes g2 in
+  Alcotest.(check (array int)) "fixpoint" c1 c2
+
+(* 3. Vertex colors seed the partition: a colored cycle refines further
+   than the uncolored one. *)
+let test_refine_seeded_by_colors () =
+  let unc = mk 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] (Array.make 6 0) in
+  let col = mk 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] [| 1; 0; 0; 0; 0; 0 |] in
+  let k g = 1 + Array.fold_left max 0 (refine_classes g) in
+  check_int "uncolored cycle is one class" 1 (k unc);
+  check_bool "colored cycle splits by distance" true (k col > 1)
+
+(* 4. Key invariance under relabeling: a pinned shuffle stream, many
+   rounds, several graph shapes. *)
+let test_key_invariant_under_relabeling () =
+  let rand = lcg 42 in
+  let shapes =
+    [
+      (4, [ (0, 1); (1, 2); (2, 3) ], [| 0; 1; 0; 2 |]);
+      (5, [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ], [| 0; 0; 1; 1; 2 |]);
+      (6, [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ], [| 3; 0; 0; 0; 1; 1 |]);
+      (7, [ (0, 1); (1, 2); (1, 3); (3, 4); (4, 5); (4, 6) ], Array.make 7 0);
+    ]
+  in
+  List.iter
+    (fun (n, edges, colors) ->
+      let k0 = key (mk n edges colors) in
+      for _ = 1 to 10 do
+        let p = random_perm rand n in
+        let edges', colors' = apply_perm p n edges colors in
+        check_string "relabel-invariant" k0 (key (mk n edges' colors'))
+      done)
+    shapes
+
+(* 5. Individualization tie-break: the uncolored 6-cycle never splits
+   under refinement alone (vertex-transitive), so the certificate comes
+   entirely from individualization — and is still relabel-invariant. *)
+let test_individualization_tiebreak () =
+  let cyc p = mk 6 (List.map (fun (u, v) -> (p.(u), p.(v)))
+                      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ])
+                 (Array.make 6 0) in
+  let idp = Array.init 6 (fun i -> i) in
+  let g = cyc idp in
+  check_int "refinement alone: one class" 0 (Array.fold_left max 0 (refine_classes g));
+  let k0 = key g in
+  let rot = Array.init 6 (fun i -> (i + 2) mod 6) in
+  check_string "rotation" k0 (key (cyc rot));
+  let refl = Array.init 6 (fun i -> (6 - i) mod 6) in
+  check_string "reflection" k0 (key (cyc refl))
+
+(* 6. Certificate round-trip: transport (certificate g) g = canon g,
+   and the canonical form is a fixpoint of canon. *)
+let test_certificate_roundtrip () =
+  let g = mk 7 [ (0, 1); (1, 2); (1, 3); (3, 4); (4, 5); (4, 6); (2, 5) ]
+            [| 0; 1; 0; 2; 0; 1; 0 |] in
+  let c = canon g in
+  check_bool "transport cert = canon" true (transport (certificate g) g = c);
+  check_bool "canon idempotent" true (canon c = c);
+  check_string "key of canon = key" (key g) (key c)
+
+(* 7. Colored vs uncolored keys differ. *)
+let test_colored_vs_uncolored () =
+  let edges = [ (0, 1); (1, 2) ] in
+  let a = mk 3 edges [| 0; 0; 0 |] in
+  let b = mk 3 edges [| 0; 1; 0 |] in
+  check_bool "colors are semantic" false (String.equal (key a) (key b))
+
+(* 8. Non-isomorphic graphs get distinct keys (same n, same m). *)
+let test_distinct_non_isomorphic () =
+  let path = mk 4 [ (0, 1); (1, 2); (2, 3) ] (Array.make 4 0) in
+  let star = mk 4 [ (0, 1); (0, 2); (0, 3) ] (Array.make 4 0) in
+  check_bool "path vs star" false (String.equal (key path) (key star));
+  (* 6 nodes, 6 edges: C6 vs two triangles *)
+  let c6 = mk 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] (Array.make 6 0) in
+  let tt = mk 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ] (Array.make 6 0) in
+  check_bool "C6 vs 2xC3" false (String.equal (key c6) (key tt))
+
+(* 9. Same colors, different color *placement* up to symmetry. *)
+let test_color_placement () =
+  (* On a path a-b-c-d, coloring {a,b} is not isomorphic to coloring
+     {a,c} even though both use one 1 and three 0s... wait, {a,b} vs
+     {d,c} IS isomorphic (reflection).  Adjacent-pair vs split-pair: *)
+  let edges = [ (0, 1); (1, 2); (2, 3) ] in
+  let adjacent = mk 4 edges [| 1; 1; 0; 0 |] in
+  let split = mk 4 edges [| 1; 0; 1; 0 |] in
+  let mirrored = mk 4 edges [| 0; 0; 1; 1 |] in
+  check_bool "adjacent vs split" false (String.equal (key adjacent) (key split));
+  check_string "reflection-equivalent" (key adjacent) (key mirrored)
+
+(* 10. iso_equal agrees with a brute-force isomorphism search on all
+   colored graphs over 4 nodes with <= 4 edges (pinned exhaustive
+   mini-universe). *)
+let test_iso_equal_vs_brute () =
+  let n = 4 in
+  let all_pairs =
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | e :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun t -> e :: t) s
+  in
+  let colorings = [ [| 0; 0; 0; 0 |]; [| 1; 0; 0; 0 |]; [| 0; 1; 0; 1 |] ] in
+  let graphs =
+    List.concat_map
+      (fun edges -> List.map (fun c -> mk n edges c) colorings)
+      (List.filter (fun s -> List.length s <= 4) (subsets all_pairs))
+  in
+  (* all 24 permutations of 0..3 *)
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  let perms4 = List.map Array.of_list (perms [ 0; 1; 2; 3 ]) in
+  let brute_iso a b =
+    List.exists
+      (fun p ->
+        Array.for_all2 ( = ) (transport p a).colors b.colors
+        && (transport p a).adj = b.adj)
+      perms4
+  in
+  let agree = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let want = brute_iso a b in
+          let got = iso_equal a b in
+          if want <> got then
+            Alcotest.failf "iso_equal disagrees with brute force (want %b)" want;
+          incr agree)
+        graphs)
+    graphs;
+  check_bool "checked pairs" true (!agree > 1000)
+
+(* 11. Dyn_graph and packed-coordinate (Virtual_grid) views of the same
+   revealed region canonicalize identically. *)
+let test_dyn_vs_virtual_grid () =
+  let open Grid_graph in
+  (* Build the revealed region of two adjacent presents at T=1 two
+     ways: via Virtual_grid's executor and via a hand-built Dyn_graph
+     with a different handle order. *)
+  let algorithm = Models.Algorithm.greedy_first_fit in
+  let vg =
+    Online_local.Virtual_grid.create ~palette:3 ~n_total:81 ~radius:1
+      ~algorithm ()
+  in
+  let f = Online_local.Virtual_grid.new_frame vg in
+  let c0 = Online_local.Virtual_grid.present vg f ~row:4 ~col:4 in
+  let c1 = Online_local.Virtual_grid.present vg f ~row:4 ~col:5 in
+  let snap = Online_local.Virtual_grid.snapshot_region vg in
+  let ga =
+    Canon.of_graph snap ~colors:(fun v ->
+        match Online_local.Virtual_grid.output vg v with
+        | Some c -> c + 1
+        | None -> 0)
+  in
+  (* Same region by hand: two radius-1 diamonds at (4,4)/(4,5).  Handles
+     come out of [Dyn_graph.add_node] sequentially, so the scramble is a
+     coordinate-index -> handle permutation applied to edges/colors. *)
+  let coords =
+    [ (4, 4); (3, 4); (5, 4); (4, 3); (4, 5); (3, 5); (5, 5); (4, 6) ]
+  in
+  let order = [ 3; 0; 7; 5; 1; 6; 2; 4 ] in
+  let handle = Array.make (List.length coords) 0 in
+  List.iteri (fun i j -> handle.(j) <- i) order;
+  let dg = Dyn_graph.create () in
+  List.iter (fun _ -> ignore (Dyn_graph.add_node dg)) coords;
+  List.iteri
+    (fun j (r, c) ->
+      List.iteri
+        (fun j' (r', c') ->
+          if j < j' && abs (r - r') + abs (c - c') = 1 then
+            Dyn_graph.add_edge dg handle.(j) handle.(j'))
+        coords)
+    coords;
+  let color_of_coord (r, c) =
+    if r = 4 && c = 4 then c0 + 1 else if r = 4 && c = 5 then c1 + 1 else 0
+  in
+  let colors_arr = Array.make (List.length coords) 0 in
+  List.iteri (fun j rc -> colors_arr.(handle.(j)) <- color_of_coord rc) coords;
+  let gb = Canon.of_dyn dg ~colors:(fun v -> colors_arr.(v)) in
+  check_string "dyn = packed" (key ga) (key gb)
+
+(* 12. Digest is a stable fingerprint of the key (pinned value guards
+   accidental format changes). *)
+let test_digest_pinned () =
+  let g = mk 3 [ (0, 1); (1, 2) ] [| 0; 1; 0 |] in
+  check_string "key format" "3;0,1,0;0-1,1-2" (key g);
+  check_string "digest" (Digest.to_hex (Digest.string (key g))) (digest g)
+
+(* 13. Empty and single-vertex graphs. *)
+let test_tiny () =
+  check_string "empty" "0;;" (key (mk 0 [] [||]));
+  check_string "single" "1;7;" (key (mk 1 [] [| 7 |]));
+  check_int "empty cert" 0 (Array.length (certificate (mk 0 [] [||])))
+
+(* 14. make rejects bad input, transport rejects non-permutations. *)
+let test_validation () =
+  (try
+     ignore (make ~n:2 ~edges:[ (0, 5) ] ~colors:[| 0; 0 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (make ~n:2 ~edges:[] ~colors:[| 0 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (transport [| 0; 0 |] (mk 2 [ (0, 1) ] [| 0; 0 |]));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "canon"
+    [
+      ( "refinement",
+        [
+          Alcotest.test_case "path classes" `Quick test_refine_path;
+          Alcotest.test_case "fixpoint" `Quick test_refine_fixpoint;
+          Alcotest.test_case "color-seeded" `Quick test_refine_seeded_by_colors;
+        ] );
+      ( "canonical key",
+        [
+          Alcotest.test_case "relabel-invariant" `Quick test_key_invariant_under_relabeling;
+          Alcotest.test_case "individualization tie-break" `Quick test_individualization_tiebreak;
+          Alcotest.test_case "certificate round-trip" `Quick test_certificate_roundtrip;
+          Alcotest.test_case "colored vs uncolored" `Quick test_colored_vs_uncolored;
+          Alcotest.test_case "non-isomorphic distinct" `Quick test_distinct_non_isomorphic;
+          Alcotest.test_case "color placement" `Quick test_color_placement;
+          Alcotest.test_case "brute-force agreement" `Quick test_iso_equal_vs_brute;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "dyn vs packed" `Quick test_dyn_vs_virtual_grid;
+          Alcotest.test_case "digest pinned" `Quick test_digest_pinned;
+          Alcotest.test_case "tiny graphs" `Quick test_tiny;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

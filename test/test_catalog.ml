@@ -1,0 +1,112 @@
+(* Goldens for the job-kind catalog: the payload encodings are wire
+   format (serve.exe clients pin them), and a catalog-dispatched job
+   must produce byte-identical output to the local sweep cell it
+   mirrors — that equality is the server determinism contract. *)
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* Pinned payloads: these strings travel over the socket.  Changing a
+   cell key format is a wire-protocol break, not a cosmetic edit. *)
+let test_pinned_keys () =
+  let c1 =
+    Jobs_catalog.thm1_cell ~bulk:false ~validate:false ~t:2 ~k:7 ~side:120
+      ~algo:"greedy" ()
+  in
+  check_string "thm1 key" "t=2 k=7 side=120 algo=greedy" c1.Harness.Sweep.key;
+  let c2 = Jobs_catalog.thm2_cell ~bulk:false ~side:9 ~wrap:"torus" ~algo:"greedy" () in
+  check_string "thm2 key" "wrap=torus side=9 algo=greedy" c2.Harness.Sweep.key;
+  let c3 = Jobs_catalog.thm3_cell ~bulk:false ~k:3 ~gadgets:4 ~algo:"greedy" () in
+  check_string "thm3 key" "k=3 gadgets=4 algo=greedy" c3.Harness.Sweep.key
+
+(* A job whose payload is a sweep cell's key produces the cell's exact
+   result string — for every kind, through the public handler. *)
+let test_catalog_matches_sweep_cells () =
+  let pairs =
+    [
+      ( "thm1",
+        Jobs_catalog.thm1_cell ~bulk:false ~validate:false ~t:1 ~k:5 ~side:60
+          ~algo:"greedy" () );
+      ( "thm1",
+        Jobs_catalog.thm1_cell ~bulk:false ~validate:false ~t:2 ~k:6 ~side:60
+          ~algo:"ael" () );
+      ("thm2", Jobs_catalog.thm2_cell ~bulk:false ~side:9 ~wrap:"torus" ~algo:"greedy" ());
+      ( "thm2",
+        Jobs_catalog.thm2_cell ~bulk:false ~side:7 ~wrap:"cylinder" ~algo:"greedy" () );
+      ("thm3", Jobs_catalog.thm3_cell ~bulk:false ~k:3 ~gadgets:4 ~algo:"gadget-rows" ());
+    ]
+  in
+  List.iter
+    (fun (kind, cell) ->
+      let local = cell.Harness.Sweep.run () in
+      let dispatched =
+        Jobs_catalog.handler ~kind ~payload:cell.Harness.Sweep.key
+      in
+      check_string (kind ^ " " ^ cell.Harness.Sweep.key) local dispatched)
+    pairs
+
+(* Bulk and memo are execution strategies, not semantics: every
+   combination yields the plain cell's bytes. *)
+let test_cell_variants_agree () =
+  let base ~bulk ~memo =
+    (Jobs_catalog.thm1_cell ~memo ~bulk ~validate:false ~t:1 ~k:5 ~side:60
+       ~algo:"stripes" ())
+      .Harness.Sweep.run ()
+  in
+  let plain = base ~bulk:false ~memo:false in
+  check_string "bulk" plain (base ~bulk:true ~memo:false);
+  check_string "memo" plain (base ~bulk:false ~memo:true);
+  check_string "memo warmed" plain (base ~bulk:false ~memo:true);
+  check_string "bulk+memo" plain (base ~bulk:true ~memo:true)
+
+(* Pinned result prefix: the report layout itself is part of what the
+   server replays to historical clients. *)
+let test_pinned_result_shape () =
+  let out = Jobs_catalog.handler ~kind:"thm1" ~payload:"t=1 k=5 side=60 algo=greedy" in
+  let has needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i =
+      i + nl <= hl && (String.sub out i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "header" true (has "thm1 vs greedy (T=1) on 60^2 grid, b-target k=5:");
+  check_bool "theory line" true (has "guaranteed by theory: false (needs k > 4T+4)")
+
+(* Fuzz jobs: the payload format and the one-line PASS report are both
+   pinned (the report must match bin/fuzz.exe's status line). *)
+let test_fuzz_payload () =
+  check_string "pinned pass line" "wire-codec: PASS (50 cases)"
+    (Jobs_catalog.handler ~kind:"fuzz" ~payload:"target=wire-codec seed=42 cases=50");
+  let raises f = match f () with exception _ -> true | _ -> false in
+  check_bool "unknown target" true
+    (raises (fun () ->
+         Jobs_catalog.handler ~kind:"fuzz" ~payload:"target=zeta seed=1 cases=1"))
+
+let test_bad_inputs_raise () =
+  let raises f = match f () with exception _ -> true | _ -> false in
+  check_bool "unknown kind" true
+    (raises (fun () -> Jobs_catalog.handler ~kind:"thm9" ~payload:"x"));
+  check_bool "bad payload" true
+    (raises (fun () -> Jobs_catalog.handler ~kind:"thm1" ~payload:"garbage"));
+  check_bool "unknown algo" true
+    (raises (fun () ->
+         Jobs_catalog.handler ~kind:"thm1" ~payload:"t=1 k=5 side=60 algo=zeta"));
+  check_bool "kinds listed" true (List.mem "thm1" Jobs_catalog.kinds)
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "goldens",
+        [
+          Alcotest.test_case "pinned cell keys" `Quick test_pinned_keys;
+          Alcotest.test_case "catalog = sweep cells" `Quick
+            test_catalog_matches_sweep_cells;
+          Alcotest.test_case "bulk/memo variants agree" `Quick
+            test_cell_variants_agree;
+          Alcotest.test_case "pinned result shape" `Quick
+            test_pinned_result_shape;
+          Alcotest.test_case "fuzz payload" `Quick test_fuzz_payload;
+          Alcotest.test_case "bad inputs raise" `Quick test_bad_inputs_raise;
+        ] );
+    ]

@@ -82,6 +82,7 @@ let test_instantiate_failure_poisons () =
     {
       A.name = "broken-instantiate";
       locality = (fun ~n:_ -> 1);
+      pure = false;
       instantiate = (fun ~n:_ ~palette:_ ~oracle:_ -> failwith "ctor boom");
     }
   in
@@ -131,6 +132,7 @@ let test_amnesia_reinstantiates () =
     {
       A.name = "counting";
       locality = (fun ~n:_ -> 1);
+      pure = false;
       instantiate =
         (fun ~n:_ ~palette:_ ~oracle:_ ->
           incr instantiations;

@@ -268,6 +268,96 @@ let test_inline_short_circuits () =
   check_bool "delivered in index order" true
     (List.rev !seen = [ (0, "inline-0"); (1, "inline-1"); (2, "inline-2") ])
 
+(* Memo cells under the process backend.  The Canon.Memo tables live in
+   Domain.DLS of whichever process runs the cell, so nothing about them
+   crosses the supervisor wire or the checkpoint file — which is what
+   makes memo-on output independent of isolation mode, worker count,
+   kills, and resume history. *)
+let memo_cells ~memo () =
+  List.concat_map
+    (fun t ->
+      List.map
+        (fun algo ->
+          Jobs_catalog.thm1_cell ~memo ~bulk:false ~validate:false ~t ~k:5
+            ~side:60 ~algo ())
+        [ "greedy"; "stripes" ])
+    [ 1; 2 ]
+
+(* No `In_domain jobs > 1 here: spawning even one domain latches
+   Unix.fork off for the rest of the process (see the header comment),
+   and the later proc-backend tests fork.  The multi-domain half of the
+   memo contract is covered by the canon-relabel fuzz target, which
+   renders the same memo cells at jobs 1 and jobs 4. *)
+let test_memo_isolation_modes () =
+  let baseline = render ~isolation:`In_domain (memo_cells ~memo:false ()) in
+  List.iter
+    (fun (label, jobs, isolation) ->
+      check_string label baseline
+        (render ~jobs ~isolation ~supervisor:fast (memo_cells ~memo:true ())))
+    [
+      ("memo in-domain jobs 1", 1, `In_domain);
+      ("memo proc jobs 1", 1, `Process);
+      ("memo proc jobs 2", 2, `Process);
+    ]
+
+let test_memo_kill_resume () =
+  (* A memo-on sweep whose worker gets SIGKILLed mid-cell, retried, then
+     cut off and resumed from the checkpoint: the final output must be
+     byte-identical to a clean memo-off run (the resumed process starts
+     with a cold cache — only wall-clock may differ), and the
+     checkpoint bytes themselves must be identical to a memo-off
+     checkpoint — the cache is never serialized into it. *)
+  let killer marker =
+    {
+      Sweep.key = "killer";
+      run =
+        (fun () ->
+          if not (Sys.file_exists marker) then begin
+            Out_channel.with_open_bin marker (fun _ -> ());
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+          end;
+          "survived")
+    }
+  in
+  let cells ~memo marker = memo_cells ~memo () @ [ killer marker ] in
+  (* The marker file gates the kill: it exists during every in-domain
+     render (killer returns immediately — killing there would take down
+     the test process) and is removed only just before the
+     process-isolated render, whose forked worker takes the SIGKILL. *)
+  with_temp_file (fun marker ->
+      let clean = render ~isolation:`In_domain (cells ~memo:false marker) in
+      with_temp_file (fun ckpt_off ->
+          with_temp_file (fun ckpt_on ->
+              ignore
+                (render ~checkpoint:ckpt_off ~isolation:`In_domain
+                   (cells ~memo:false marker));
+              (try Sys.remove marker with Sys_error _ -> ());
+              let killed =
+                render ~checkpoint:ckpt_on ~isolation:`Process
+                  ~supervisor:fast (cells ~memo:true marker)
+              in
+              check_string "memo-on survives the kill" clean killed;
+              let bytes path =
+                In_channel.with_open_bin path In_channel.input_all
+              in
+              check_string "checkpoint bytes carry no cache" (bytes ckpt_off)
+                (bytes ckpt_on);
+              (* Truncate the checkpoint to its first records and resume
+                 memo-on in the other isolation mode. *)
+              let contents = bytes ckpt_on in
+              let cut =
+                match String.index_from_opt contents
+                        (String.length contents / 2) '\n'
+                with
+                | Some i -> i + 1
+                | None -> String.length contents
+              in
+              Out_channel.with_open_bin ckpt_on (fun oc ->
+                  Out_channel.output_string oc (String.sub contents 0 cut));
+              check_string "memo-on resume replays byte-identically" clean
+                (render ~resume:true ~checkpoint:ckpt_on ~isolation:`In_domain
+                   (cells ~memo:true marker)))))
+
 let test_validation () =
   let rejects what f =
     match f () with
@@ -305,6 +395,10 @@ let () =
           Alcotest.test_case "proc = in-domain, all jobs" `Quick
             test_proc_matches_indomain;
           Alcotest.test_case "cross-mode resume" `Quick test_cross_mode_resume;
+          Alcotest.test_case "memo across isolation modes" `Quick
+            test_memo_isolation_modes;
+          Alcotest.test_case "memo kill + resume, cache not checkpointed"
+            `Quick test_memo_kill_resume;
         ] );
       ( "kill-tolerance",
         [

@@ -40,6 +40,7 @@ let test_locality_relation () =
     {
       Models.Algorithm.name = "loc-probe";
       locality = (fun ~n -> n);
+      pure = false;
       instantiate = (fun ~n:_ ~palette:_ ~oracle:_ _ -> 0);
     }
   in
