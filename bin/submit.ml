@@ -35,15 +35,19 @@ let run socket kind payloads from deadline_ms window max_attempts health stats
     trace metrics stats_out flight =
   Obs_cli.with_observability ~program:"submit" ~trace ~metrics ~stats:stats_out ~flight
   @@ fun () ->
+  (* exit 2: the server is unreachable — an operational state with its
+     own exit code, distinct from protocol/usage failures (exit 1) *)
+  let print_or_unreachable = function
+    | Ok json ->
+        print_endline json;
+        0
+    | Error (`Unreachable reason) ->
+        Format.eprintf "submit: cannot reach %s: %s@." socket reason;
+        2
+  in
   try
-    if health then begin
-      print_endline (Harness.Client.health ~socket ());
-      0
-    end
-    else if stats then begin
-      print_endline (Harness.Client.stats ~socket ());
-      0
-    end
+    if health then print_or_unreachable (Harness.Client.health ~socket ())
+    else if stats then print_or_unreachable (Harness.Client.stats ~socket ())
     else begin
       let specs =
         (match from with Some path -> read_specs_file path | None -> [])

@@ -147,6 +147,12 @@ let report path =
   let drains = ref [] in  (* (queued, running), reverse order *)
   let chaos_kinds = Hashtbl.create 4 in
   let canon_hits = Hashtbl.create 4 in  (* "step"/"game" memo hits *)
+  let journal_corruptions = ref [] in  (* (path, line, reason), reverse *)
+  let fleet_start = ref None in  (* (endpoints, jobs, shard_seed) *)
+  let endpoint_states = Hashtbl.create 4 in  (* "endpoint state" -> count *)
+  let failovers = ref 0 in
+  let rebalanced = ref 0 in
+  let fleet_verdicts = ref [] in  (* (verdict, results, failovers, dups) *)
   List.iter
     (fun r ->
       let w = worker r.T.w in
@@ -237,7 +243,17 @@ let report path =
       | T.Job_done { status; _ } -> count job_statuses status 1
       | T.Server_drain { queued; running } -> drains := (queued, running) :: !drains
       | T.Chaos_injected { kind } -> count chaos_kinds kind 1
-      | T.Canon_hit { kind; _ } -> count canon_hits kind 1)
+      | T.Canon_hit { kind; _ } -> count canon_hits kind 1
+      | T.Journal_corrupt { path; line; reason } ->
+          journal_corruptions := (path, line, reason) :: !journal_corruptions
+      | T.Fleet_start { endpoints; jobs; shard_seed } ->
+          fleet_start := Some (endpoints, jobs, shard_seed)
+      | T.Endpoint_state { endpoint; state } ->
+          count endpoint_states (endpoint ^ " " ^ state) 1
+      | T.Failover _ -> incr failovers
+      | T.Rebalance { moved; _ } -> rebalanced := !rebalanced + moved
+      | T.Fleet_verdict { verdict; results; failovers = f; duplicates } ->
+          fleet_verdicts := (verdict, results, f, duplicates) :: !fleet_verdicts)
     records;
   let ppf = Format.std_formatter in
   Format.fprintf ppf "trace %s: program %s, format v%d@." path program version;
@@ -315,6 +331,32 @@ let report path =
           (fun (kind, n) -> Format.fprintf ppf "    %-16s %d@." kind n)
           (sorted_counts chaos_kinds)
       end);
+  (match !fleet_start with
+  | None -> ()
+  | Some (endpoints, jobs, shard_seed) ->
+      Format.fprintf ppf "@.fleet dispatch@.";
+      Format.fprintf ppf "  endpoints          %d (jobs %d, shard seed %d)@."
+        endpoints jobs shard_seed;
+      List.iter
+        (fun (key, n) -> Format.fprintf ppf "  state %-20s %d@." key n)
+        (sorted_counts endpoint_states);
+      if !failovers > 0 then
+        Format.fprintf ppf "  failovers          %d@." !failovers;
+      if !rebalanced > 0 then
+        Format.fprintf ppf "  jobs rebalanced    %d@." !rebalanced;
+      List.iter
+        (fun (verdict, results, f, dups) ->
+          Format.fprintf ppf
+            "  verdict %s: %d results, %d failovers, %d duplicate deliveries@."
+            verdict results f dups)
+        (List.rev !fleet_verdicts));
+  if !journal_corruptions <> [] then begin
+    Format.fprintf ppf "@.journal corruption (records skipped on load)@.";
+    List.iter
+      (fun (path, line, reason) ->
+        Format.fprintf ppf "  %s:%d: %s@." path line reason)
+      (List.rev !journal_corruptions)
+  end;
   if Hashtbl.length canon_hits > 0 then begin
     Format.fprintf ppf "@.memo cache hits@.";
     List.iter
@@ -386,6 +428,37 @@ let main path =
       Format.eprintf "trace_report: %s@." msg;
       1
 
+(* Integrity-check a sweep/server journal: verify the v2 CRC trailers
+   and report — without replaying — exactly which records a resume
+   would skip.  Exit 0 on a clean journal, 1 when corruption is found. *)
+let fsck_main path =
+  match Harness.Sweep.Journal.fsck path with
+  | { Harness.Sweep.Journal.version; records; corrupt } ->
+      Format.printf "journal %s: format v%d, %d valid record%s@." path version
+        records
+        (if records = 1 then "" else "s");
+      if version < 2 then
+        Format.printf
+          "  (pre-v2 format: records carry no CRC trailer to verify)@.";
+      List.iter
+        (fun { Harness.Sweep.Journal.line; reason } ->
+          Format.printf "  line %d: CORRUPT — %s@." line reason)
+        corrupt;
+      if corrupt = [] then begin
+        Format.printf "  no corruption detected@.";
+        0
+      end
+      else begin
+        Format.printf "  %d corrupt record%s: a --resume reruns exactly \
+                       these keys@."
+          (List.length corrupt)
+          (if List.length corrupt = 1 then "" else "s");
+        1
+      end
+  | exception (Invalid_argument msg | Sys_error msg | Failure msg) ->
+      Format.eprintf "trace_report: journal-fsck: %s@." msg;
+      2
+
 open Cmdliner
 
 let path =
@@ -397,11 +470,53 @@ let path =
           "Trace file: NDJSON written by --trace, or a binary flight \
            recording written by --flight (auto-detected).")
 
-let cmd =
+let journal_path =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"JOURNAL"
+        ~doc:"Checkpoint/journal file written by --checkpoint or --journal.")
+
+let report_cmd =
   Cmd.v
-    (Cmd.info "trace_report"
+    (Cmd.info "report"
        ~doc:"Summarize a trace (NDJSON or binary flight recording): \
              outcomes, defeat-step histograms, budgets, worker load")
     Term.(const main $ path)
 
-let () = exit (Cmd.eval' cmd)
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "journal-fsck"
+       ~doc:"Verify a checkpoint/journal's per-record CRC32 trailers \
+             (format v2) and list the records a --resume would skip; \
+             exits 1 when corruption is found, 2 on an unreadable or \
+             newer-format journal")
+    Term.(const fsck_main $ journal_path)
+
+let cmd =
+  Cmd.group
+    ~default:Term.(const main $ path)
+    (Cmd.info "trace_report"
+       ~doc:"Summarize a trace, or integrity-check a journal \
+             (journal-fsck)")
+    [ report_cmd; fsck_cmd ]
+
+(* [trace_report TRACE] (no subcommand) must keep rendering the report:
+   Cmd.group only falls back to the default term when the first
+   positional is absent, so a bare trace path would otherwise be
+   rejected as an unknown command.  Route it to [report] explicitly. *)
+let argv =
+  let argv = Sys.argv in
+  if
+    Array.length argv > 1
+    &&
+    match argv.(1) with
+    | "report" | "journal-fsck" -> false
+    | s -> String.length s > 0 && s.[0] <> '-'
+  then
+    Array.append
+      [| argv.(0); "report" |]
+      (Array.sub argv 1 (Array.length argv - 1))
+  else argv
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -83,6 +83,55 @@ let split_tab s =
   | None -> (s, "")
   | Some t -> (String.sub s 0 t, String.sub s (t + 1) (String.length s - t - 1))
 
+(* every server→client tag: ack, result, reject, health, stats (usage),
+   error, and the depth-probe reply *)
+let reply_tags = "ARXHUED"
+
+(* ------------------------------ endpoint ------------------------------ *)
+
+(* A connected endpoint with its own decoder and read buffer — the
+   connection abstraction {!Fleet} multiplexes with [Unix.select]:
+   [fd] for readiness, then [pump] to turn one readable edge into
+   decoded frames. *)
+module Endpoint = struct
+  type t = {
+    spec : string;
+    fd : Unix.file_descr;
+    dec : Wire.decoder;
+    chunk : Bytes.t;
+  }
+
+  let spec t = t.spec
+  let fd t = t.fd
+
+  let connect ?(recv_timeout = 30.) spec =
+    match connect ~recv_timeout spec with
+    | fd -> { spec; fd; dec = Wire.decoder ~tags:reply_tags (); chunk = Bytes.create 4096 }
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Conn_lost (Unix.error_message e))
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+  let send t ~tag payload = send_frame t.fd ~tag payload
+
+  let rec drain t acc =
+    match Wire.decode t.dec with
+    | Ok (Some f) -> drain t (f :: acc)
+    | Ok None -> List.rev acc
+    | Error e -> raise (Conn_lost (Wire.error_to_string e))
+
+  let pump t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> raise (Conn_lost "eof")
+    | n ->
+        Wire.feed t.dec t.chunk 0 n;
+        drain t []
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Conn_lost "receive timeout")
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Conn_lost (Unix.error_message e))
+end
+
 (* ------------------------------ campaign ------------------------------ *)
 
 type jstatus = {
@@ -136,7 +185,7 @@ let run_campaign ?(backoff = Backoff.default) ?(window = 16) ?deadline
     | None -> (
         match connect ~recv_timeout socket with
         | fd ->
-            let c = (fd, Wire.decoder ~tags:"ARXHUE" ()) in
+            let c = (fd, Wire.decoder ~tags:reply_tags ()) in
             conn := Some c;
             c
         | exception (Unix.Unix_error (e, _, _)) ->
@@ -250,28 +299,29 @@ let run_campaign ?(backoff = Backoff.default) ?(window = 16) ?deadline
 
 (* ------------------------------ one-shots ----------------------------- *)
 
+(* Reachability failures (refused/missing socket, EOF, reset, timeout)
+   are a typed [`Unreachable] — a condition callers are expected to
+   branch on.  A server that answers with the wrong tag is still a
+   [Failure]: that is protocol corruption, not a health state. *)
 let one_shot ~recv_timeout ~socket ~request ~expect =
   with_sigpipe_ignored @@ fun () ->
   match connect ~recv_timeout socket with
   | exception Unix.Unix_error (e, _, _) ->
-      failwith
-        (Printf.sprintf "Client: cannot reach %s: %s" socket
-           (Unix.error_message e))
+      Error (`Unreachable (Unix.error_message e))
   | fd -> (
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       @@ fun () ->
       match
         send_frame fd ~tag:request "";
-        read_frame fd (Wire.decoder ~tags:"ARXHUE" ()) (Bytes.create 4096)
+        read_frame fd (Wire.decoder ~tags:reply_tags ()) (Bytes.create 4096)
       with
-      | { Wire.tag; payload } when tag = expect -> payload
+      | { Wire.tag; payload } when tag = expect -> Ok payload
       | { Wire.tag; payload } ->
           failwith
             (Printf.sprintf "Client: unexpected %C reply to %C: %s" tag request
                payload)
-      | exception Conn_lost reason ->
-          failwith (Printf.sprintf "Client: %s: %s" socket reason))
+      | exception Conn_lost reason -> Error (`Unreachable reason))
 
 let health ?(recv_timeout = 30.) ~socket () =
   one_shot ~recv_timeout ~socket ~request:'P' ~expect:'H'

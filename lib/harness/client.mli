@@ -48,11 +48,56 @@ val run_campaign :
     [max_attempts] (default 10_000) times in a row — the bound that
     turns a dead or wedged server into an error instead of a hang. *)
 
-val health : ?recv_timeout:float -> socket:string -> unit -> string
-(** One-shot ['P'] ping; returns the server's health JSON.
-    @raise Failure if the server cannot be reached or answers with
-    anything but ['H']. *)
+val health :
+  ?recv_timeout:float ->
+  socket:string ->
+  unit ->
+  (string, [ `Unreachable of string ]) result
+(** One-shot ['P'] ping; [Ok json] is the server's health JSON.
+    [Error (`Unreachable reason)] is every way the socket can fail to
+    answer — missing, refused, reset, EOF, or [recv_timeout] seconds of
+    silence — a state callers branch on (the fleet marks the endpoint
+    down; [submit.exe --health] exits 2 naming the socket).
+    @raise Failure only on protocol corruption: a reachable server that
+    answers with anything but ['H']. *)
 
-val stats : ?recv_timeout:float -> socket:string -> unit -> string
-(** One-shot ['T'] request; returns the server's stats JSON.
-    @raise Failure like {!health}. *)
+val stats :
+  ?recv_timeout:float ->
+  socket:string ->
+  unit ->
+  (string, [ `Unreachable of string ]) result
+(** One-shot ['T'] request; [Ok json] is the server's stats JSON.
+    Errors as {!health}. *)
+
+exception Conn_lost of string
+(** One connection attempt or established connection failed — EOF,
+    reset, refused, decode error, receive timeout.  The campaign loop
+    absorbs these (reconnect + resubmit); {!Endpoint} surfaces them to
+    the fleet's failover logic. *)
+
+(** A connected endpoint with its own frame decoder — the unit the
+    {!Fleet} router multiplexes with [Unix.select].  All functions
+    raise {!Conn_lost} on connection failure; none raise [Unix_error]. *)
+module Endpoint : sig
+  type t
+
+  val connect : ?recv_timeout:float -> string -> t
+  (** Connect to a socket spec (Unix path or [tcp:PORT]).  The receive
+      timeout (default 30 s) bounds how long a wedged server can stall
+      one {!pump}. *)
+
+  val spec : t -> string
+  val fd : t -> Unix.file_descr
+  (** For [Unix.select] readiness polling — do not read or close it
+      directly. *)
+
+  val send : t -> tag:char -> string -> unit
+  (** Send one framed request ({!Wire.encode}). *)
+
+  val pump : t -> Wire.frame list
+  (** One [Unix.read] (call only when [fd] selected readable, so it
+      does not block) followed by every frame that now decodes.  [[]]
+      means a frame is still incomplete — select again. *)
+
+  val close : t -> unit
+end

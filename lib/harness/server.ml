@@ -4,6 +4,7 @@ type chaos = {
   partial_frame : float;
   truncate_frame : float;
   kill_child : float;
+  corrupt_journal : float;
   max_chaos_delay : float;
 }
 
@@ -14,6 +15,7 @@ let default_chaos ~seed =
     partial_frame = 0.20;
     truncate_frame = 0.10;
     kill_child = 0.25;
+    corrupt_journal = 0.10;
     max_chaos_delay = 0.05;
   }
 
@@ -63,6 +65,7 @@ let validate_config c =
       prob "partial_frame" ch.partial_frame;
       prob "truncate_frame" ch.truncate_frame;
       prob "kill_child" ch.kill_child;
+      prob "corrupt_journal" ch.corrupt_journal;
       if ch.max_chaos_delay < 0. then
         invalid_arg "Server: chaos max_chaos_delay must be >= 0"
 
@@ -254,6 +257,75 @@ let run ?(config = default_config) ?journal ?(resume = false)
   let jnl =
     Option.map (fun path -> Sweep.Journal.open_out ~resume path) journal
   in
+  (* chaos: simulate the disk eating the record we just flushed — a
+     seeded bit-flip inside the last journal line, or a truncation of
+     its tail (repaired to stay newline-terminated so later appends
+     still land on their own lines).  Either way the record fails its
+     v2 CRC on the next load and is skipped with the typed warning;
+     the affected job simply reruns after restart, so chaos soaks
+     exercise the full corruption-recovery path end to end. *)
+  let chaos_corrupt_tail path =
+    match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let size = (Unix.fstat fd).Unix.st_size in
+            if size > 2 then begin
+              (* locate the start of the final newline-terminated record *)
+              let look = min size 512 in
+              let buf = Bytes.create look in
+              ignore (Unix.lseek fd (size - look) Unix.SEEK_SET);
+              let got = ref 0 in
+              (try
+                 while !got < look do
+                   match Unix.read fd buf !got (look - !got) with
+                   | 0 -> raise Exit
+                   | n -> got := !got + n
+                 done
+               with Exit | Unix.Unix_error _ -> ());
+              let record_start =
+                match Bytes.rindex_from_opt buf (!got - 2) '\n' with
+                | Some i -> size - !got + i + 1
+                | None -> size - !got
+              in
+              let span = size - 1 - record_start in
+              if span > 0 then
+                if draw () < 0.5 then begin
+                  (* torn tail: keep half the record, restore the newline *)
+                  let keep = max 1 (span / 2) in
+                  Unix.ftruncate fd (record_start + keep);
+                  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+                  ignore
+                    (Unix.write fd (Bytes.of_string "\n") 0 1)
+                end
+                else begin
+                  (* flip one bit somewhere in the record *)
+                  let off =
+                    record_start + int_of_float (draw () *. float_of_int span)
+                  in
+                  let off = min off (size - 2) in
+                  let b = Bytes.create 1 in
+                  ignore (Unix.lseek fd off Unix.SEEK_SET);
+                  if Unix.read fd b 0 1 = 1 then begin
+                    let bit = 1 lsl (int_of_float (draw () *. 8.) land 7) in
+                    Bytes.set b 0
+                      (Char.chr (Char.code (Bytes.get b 0) lxor bit));
+                    ignore (Unix.lseek fd off Unix.SEEK_SET);
+                    ignore (Unix.write fd b 0 1)
+                  end
+                end
+            end)
+  in
+  let chaos_after_append () =
+    match (config.chaos, journal) with
+    | Some c, Some path when c.corrupt_journal > 0. && draw () < c.corrupt_journal
+      ->
+        chaos_fire "corrupt_journal";
+        chaos_corrupt_tail path
+    | _ -> ()
+  in
   let journal_accept job =
     Option.iter
       (fun j ->
@@ -263,11 +335,16 @@ let run ?(config = default_config) ?journal ?(resume = false)
           | Some s -> string_of_int (int_of_float (s *. 1000.))
         in
         Sweep.Journal.append j ~key:("j:" ^ job.id)
-          (job.kind ^ "\t" ^ deadline_ms ^ "\t" ^ job.payload))
+          (job.kind ^ "\t" ^ deadline_ms ^ "\t" ^ job.payload);
+        chaos_after_append ())
       jnl
   in
   let journal_done job result =
-    Option.iter (fun j -> Sweep.Journal.append j ~key:("d:" ^ job.id) result) jnl
+    Option.iter
+      (fun j ->
+        Sweep.Journal.append j ~key:("d:" ^ job.id) result;
+        chaos_after_append ())
+      jnl
   in
   (* ---------------------------- connections -------------------------- *)
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
@@ -757,6 +834,20 @@ let run ?(config = default_config) ?journal ?(resume = false)
           send conn (Wire.encode ~tag:'H' (Obs.Json.to_string (health_json ())))
       | Ok (Some { Wire.tag = 'T'; _ }) ->
           send conn (Wire.encode ~tag:'U' (Obs.Json.to_string (stats_json ())))
+      | Ok (Some { Wire.tag = 'Q'; _ }) ->
+          (* depth probe: the fleet's rebalancer polls this on every
+             endpoint, so it is a fixed tab-separated line — no JSON
+             parse on the hot path *)
+          let running =
+            match config.isolation with
+            | `Process -> List.length !children
+            | `In_domain -> Mutex.protect dmutex (fun () -> !drunning)
+          in
+          send conn
+            (Wire.encode ~tag:'D'
+               (Printf.sprintf "%d\t%d\t%d\t%d" (queued_count ()) running
+                  stats.completed
+                  (if !draining then 1 else 0)))
       | Ok (Some { Wire.tag; _ }) ->
           send conn
             (Wire.encode ~tag:'E' (Printf.sprintf "unexpected request tag %C" tag));
@@ -935,7 +1026,7 @@ let run ?(config = default_config) ?journal ?(resume = false)
           {
             cid;
             fd;
-            dec = Wire.decoder ~max_payload:config.max_frame ~tags:"SPT" ();
+            dec = Wire.decoder ~max_payload:config.max_frame ~tags:"SPTQ" ();
             out = Buffer.create 256;
             deferred = [];
             close_after_out = false;

@@ -12,7 +12,9 @@
     {- ['S'] submit — payload [kind "\t" deadline_ms "\n" job-payload]
        ([deadline_ms] empty for the server default);}
     {- ['P'] health ping — empty payload;}
-    {- ['T'] stats — empty payload.}}
+    {- ['T'] stats — empty payload;}
+    {- ['Q'] depth probe — empty payload; the cheap polling frame the
+       {!Fleet} rebalancer uses.}}
 
     Server→client frames:
 
@@ -23,6 +25,9 @@
        [REJECTED (Overloaded)] backpressure answer, also sent while
        draining);}
     {- ['H'] health / ['U'] stats — one canonical JSON object;}
+    {- ['D'] depth — [queued "\t" running "\t" completed "\t" draining]
+       with [draining] 0 or 1, fixed-layout so probes need no JSON
+       parse;}
     {- ['E'] protocol error — a {!Wire.error} rendering; the connection
        closes after it.}}
 
@@ -81,13 +86,20 @@ type chaos = {
       (** [`Process] mode: probability a job's child is SIGKILLed at a
           random point of its run (charged no retry, like an
           interrupt, so chaos cannot quarantine a healthy job) *)
+  corrupt_journal : float;
+      (** probability each journal append is followed by simulated disk
+          damage to the last record — a seeded bit-flip, or a
+          truncation repaired to stay line-delimited.  The damaged
+          record fails its v2 CRC on the next load and is skipped with
+          the typed warning; the affected job reruns after restart.
+          No-op without a [?journal]. *)
   max_chaos_delay : float;
       (** upper bound, seconds, on injected delays and kill timing *)
 }
 
 val default_chaos : seed:int -> chaos
 (** Moderate rates: drop 10%, partial 20%, truncate 10%, kill 25%,
-    delays up to 50 ms. *)
+    corrupt-journal 10%, delays up to 50 ms. *)
 
 type config = {
   jobs : int;  (** max jobs executing concurrently *)

@@ -7,8 +7,20 @@ module Journal = struct
      pre-versioning loader already skipped as foreign (so v1 files replay
      under v0 code), and a file with no header is v0 (so old checkpoints
      replay here).  Bump [version] — and keep parsing the old
-     layouts — when the record format changes. *)
-  let version = 1
+     layouts — when the record format changes.
+
+     v2 adds a per-record integrity trailer: each record is
+     [escape(key) TAB escape(value) TAB @crc:len] where [crc] is the
+     8-hex-digit {!Wire.crc32} of everything before the last tab and
+     [len] its byte length.  Escaping removes raw tabs from key and
+     value, so the trailer is unambiguously the suffix after the last
+     tab.  Records whose trailer is missing, malformed, or fails the
+     length/CRC check are skipped with a typed, traced warning — a
+     resume then reruns exactly the affected cells instead of replaying
+     silently corrupted bytes.  The loader keys parsing off the most
+     recent header line, so v0/v1 files (and v0/v1 prefixes of resumed
+     files) replay unchanged. *)
+  let version = 2
   let header_prefix = "#sweep-checkpoint v"
   let header = Printf.sprintf "%s%d" header_prefix version
 
@@ -53,8 +65,36 @@ module Journal = struct
     done;
     Buffer.contents b
 
-  let load path =
-    let records = ref [] in
+  let trailer_of body =
+    Printf.sprintf "@%08x:%d" (Wire.crc32 body) (String.length body)
+
+  (* "@crc:len" with crc exactly 8 hex digits and len decimal. *)
+  let parse_trailer s =
+    let n = String.length s in
+    if n < 11 || s.[0] <> '@' || s.[9] <> ':' then None
+    else
+      let hex = String.sub s 1 8 in
+      let is_hex c =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+      in
+      if not (String.for_all is_hex hex) then None
+      else
+        match
+          ( int_of_string_opt ("0x" ^ hex),
+            int_of_string_opt (String.sub s 10 (n - 10)) )
+        with
+        | Some crc, Some len when len >= 0 -> Some (crc, len)
+        | _ -> None
+
+  type corruption = { line : int; reason : string }
+
+  (* The one scanner behind [load] and [fsck]: walks newline-delimited
+     records, tracks the version context set by the most recent header
+     line, verifies v2 trailers, and reports each good record /
+     corrupt record through the callbacks.  Returns the last header
+     version seen (0 for a headerless v0 file). *)
+  let scan path ~record ~corrupt =
+    let ver = ref 0 in
     if Sys.file_exists path then begin
       let contents =
         let ic = open_in_bin path in
@@ -63,11 +103,13 @@ module Journal = struct
           (fun () -> In_channel.input_all ic)
       in
       let n = String.length contents in
+      let lineno = ref 0 in
       let rec go start =
         if start < n then
           match String.index_from_opt contents start '\n' with
           | None -> ()  (* torn final record (killed mid-write): dropped *)
           | Some stop ->
+              incr lineno;
               let line = String.sub contents start (stop - start) in
               (match parse_header line with
               | Some v when v > version ->
@@ -76,22 +118,97 @@ module Journal = struct
                        "Sweep: checkpoint %s is format v%d, newer than this \
                         binary (v%d)"
                        path v version)
-              | Some _ -> ()  (* compatible header *)
+              | Some v -> ver := v
               | None -> ());
               (match String.index_opt line '\t' with
               | None -> ()  (* headerless = v0; other foreign lines: dropped *)
+              | Some _ when !ver >= 2 -> (
+                  (* escaping strips raw tabs from key and value, so the
+                     trailer is exactly the suffix after the last tab *)
+                  let cut = String.rindex line '\t' in
+                  let body = String.sub line 0 cut in
+                  let trailer =
+                    String.sub line (cut + 1) (String.length line - cut - 1)
+                  in
+                  match parse_trailer trailer with
+                  | None ->
+                      corrupt
+                        { line = !lineno; reason = "malformed record trailer" }
+                  | Some (crc, len) ->
+                      if len <> String.length body then
+                        corrupt
+                          {
+                            line = !lineno;
+                            reason =
+                              Printf.sprintf
+                                "length mismatch: trailer says %d bytes, \
+                                 record has %d"
+                                len (String.length body);
+                          }
+                      else
+                        let actual = Wire.crc32 body in
+                        if crc <> actual then
+                          corrupt
+                            {
+                              line = !lineno;
+                              reason =
+                                Printf.sprintf
+                                  "crc mismatch: trailer %08x, computed %08x"
+                                  crc actual;
+                            }
+                        else
+                          (match String.index_opt body '\t' with
+                          | None ->
+                              corrupt
+                                {
+                                  line = !lineno;
+                                  reason = "missing key/value separator";
+                                }
+                          | Some cut ->
+                              record
+                                (unescape (String.sub body 0 cut))
+                                (unescape
+                                   (String.sub body (cut + 1)
+                                      (String.length body - cut - 1)))))
               | Some cut ->
-                  records :=
-                    ( unescape (String.sub line 0 cut),
-                      unescape
-                        (String.sub line (cut + 1) (String.length line - cut - 1))
-                    )
-                    :: !records);
+                  record
+                    (unescape (String.sub line 0 cut))
+                    (unescape
+                       (String.sub line (cut + 1) (String.length line - cut - 1))));
               go (stop + 1)
       in
       go 0
     end;
+    !ver
+
+  let load path =
+    let records = ref [] in
+    let corrupt { line; reason } =
+      if Trace.on () then
+        Trace.emit (Trace.Journal_corrupt { path; line; reason });
+      if Metrics.on () then Metrics.incr "sweep.journal_corrupt_records";
+      Printf.eprintf "journal: %s:%d: corrupt record skipped (%s)\n%!" path
+        line reason
+    in
+    ignore
+      (scan path ~record:(fun k v -> records := (k, v) :: !records) ~corrupt);
     List.rev !records
+
+  type fsck_report = {
+    version : int;
+    records : int;
+    corrupt : corruption list;
+  }
+
+  let fsck path =
+    let n = ref 0 in
+    let cs = ref [] in
+    let version =
+      scan path
+        ~record:(fun _ _ -> incr n)
+        ~corrupt:(fun c -> cs := c :: !cs)
+    in
+    { version; records = !n; corrupt = List.rev !cs }
 
   let load_table path =
     let completed = Hashtbl.create 64 in
@@ -120,30 +237,60 @@ module Journal = struct
      torn-record semantics [load] already repairs. *)
   type t = { oc : out_channel; mutex : Mutex.t }
 
+  let first_line path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> In_channel.input_line ic)
+
   let open_out ?(resume = false) path =
-    let torn = resume && ends_without_newline path in
-    let flags =
-      Open_wronly :: Open_creat :: (if resume then [ Open_append ] else [ Open_trunc ])
+    let existing =
+      resume && Sys.file_exists path
+      && (try (Unix.stat path).Unix.st_size > 0 with Unix.Unix_error _ -> false)
     in
-    let oc = open_out_gen flags 0o644 path in
+    if not existing then begin
+      (* Fresh journal: the header is written to a tmp file and renamed
+         into place, so a kill during creation leaves either no journal
+         or a complete headered one — never a half-written header that
+         a later resume would misparse as a v0 record stream. *)
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc header;
+          output_char oc '\n';
+          flush oc);
+      Sys.rename tmp path
+    end;
+    let torn = existing && ends_without_newline path in
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
     (* A kill mid-write can leave a torn, newline-less final record;
        terminate it so the records appended below stay line-delimited.
-       [load] already skipped the torn record, so its key reruns and
-       its fresh record supersedes the torn one on any later load. *)
+       [load] already skipped the torn record (under v2 the repaired
+       line additionally fails its CRC), so its key reruns and its
+       fresh record supersedes the torn one on any later load. *)
     if torn then output_char oc '\n';
-    (* A fresh file (truncated, or resuming into nothing) gets the
-       version header; resuming into an existing file keeps whatever
-       header — or v0 absence of one — it already has. *)
-    if out_channel_length oc = 0 then begin
-      output_string oc header;
-      output_char oc '\n';
-      flush oc
+    (* Resuming into a pre-v2 file keeps its existing records as-is and
+       appends a v2 header line to switch the version context, so the
+       records appended below carry — and are verified against — CRC
+       trailers while the old prefix still replays under v0/v1 rules. *)
+    if existing then begin
+      (match first_line path with
+      | Some l when parse_header l = Some version -> ()
+      | _ ->
+          output_string oc header;
+          output_char oc '\n')
     end;
+    flush oc;
     { oc; mutex = Mutex.create () }
 
   let append t ~key value =
     Mutex.protect t.mutex (fun () ->
-        let record = escape key ^ "\t" ^ escape value ^ "\n" in
+        let body = escape key ^ "\t" ^ escape value in
+        let record = body ^ "\t" ^ trailer_of body ^ "\n" in
         output_string t.oc record;
         flush t.oc;
         if Trace.on () then

@@ -55,10 +55,21 @@ type cell = { key : string; run : unit -> string }
     of escaped [key TAB value] records under a [#sweep-checkpoint vN]
     header; appends are mutex-serialized, flushed whole, and traced as
     [Checkpoint_flush] events, so a kill can tear at most the final
-    record and {!Journal.load} drops exactly that torn tail. *)
+    record and {!Journal.load} drops exactly that torn tail.
+
+    Since v2 every appended record carries an integrity trailer
+    ([... TAB @crc32hex:length], checksummed with {!Wire.crc32}); a
+    record whose trailer is missing or fails verification — torn,
+    bit-flipped, hand-edited — is {e skipped} on load with a typed
+    warning ([Journal_corrupt] trace event, [sweep.journal_corrupt_records]
+    metric, one stderr line), so a resume reruns exactly the affected
+    cells instead of replaying corrupted bytes.  v0 (headerless) and v1
+    files replay unchanged; resuming into one appends a v2 header line
+    so new records are CRC-protected while the old prefix keeps its
+    original parsing rules. *)
 module Journal : sig
   val version : int
-  (** Journal format version, [1].  {!load} accepts this version and
+  (** Journal format version, [2].  {!load} accepts this version and
       older (a headerless file is v0) and rejects newer. *)
 
   val header : string
@@ -69,26 +80,48 @@ module Journal : sig
 
   val open_out : ?resume:bool -> string -> t
   (** Open [path] for appending.  Without [~resume] an existing file is
-      truncated (and a fresh header written); with [~resume:true]
-      records are appended after repairing a torn final record. *)
+      replaced by a fresh headered one — the header is written to a tmp
+      file and atomically renamed into place, so a kill during creation
+      can never leave a half-written header.  With [~resume:true]
+      records are appended after repairing a torn final record (and,
+      for a pre-v2 file, appending a v2 header line). *)
 
   val append : t -> key:string -> string -> unit
-  (** Append one record, escaped and flushed whole, under the journal's
-      mutex.  Safe from any domain. *)
+  (** Append one record — escaped, CRC-trailered, and flushed whole —
+      under the journal's mutex.  Safe from any domain. *)
 
   val close : t -> unit
 
   val load : string -> (string * string) list
-  (** All complete records in file order (a missing file is []).
-      Newline-terminated records only: a torn final record is dropped.
-      Duplicate keys are all returned — callers that want
-      last-record-wins semantics use {!load_table}.
+  (** All complete, integrity-checked records in file order (a missing
+      file is []).  Newline-terminated records only: a torn final
+      record is dropped, and a v2 record failing its CRC/length check
+      is skipped with the typed warning described above.  Duplicate
+      keys are all returned — callers that want last-record-wins
+      semantics use {!load_table}.
       @raise Invalid_argument on a journal written by a newer format
       version. *)
 
   val load_table : string -> (string, string) Hashtbl.t
   (** {!load} folded into a table, later records superseding earlier
       ones — the replay semantics of [--resume]. *)
+
+  type corruption = { line : int; reason : string }
+  (** One skipped record: 1-based line number in the journal file and a
+      human-readable reason (malformed trailer, length mismatch, crc
+      mismatch, missing separator). *)
+
+  type fsck_report = {
+    version : int;  (** last header version seen; 0 = headerless v0 *)
+    records : int;  (** records that parsed and verified *)
+    corrupt : corruption list;  (** skipped records, in file order *)
+  }
+
+  val fsck : string -> fsck_report
+  (** Integrity-check a journal without replaying it — the engine
+      behind [trace_report.exe journal-fsck].  Emits no warnings
+      itself; corruption is returned, not printed.
+      @raise Invalid_argument like {!load} on a newer-format journal. *)
 end
 
 val join_delta : string -> string -> string

@@ -28,6 +28,30 @@ let encode ~tag payload =
 
 let encode_bare tag = Bytes.make 1 tag
 
+(* IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320), table-driven.
+   Stays in [Wire] because it is the harness's shared integrity
+   primitive: journal v2 record trailers checksum with it, and any
+   future frame-level integrity layer would too. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc s =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_update 0 s
+
 type decoder = {
   tags : string;
   bare : string;

@@ -54,6 +54,16 @@ val encode : tag:char -> string -> bytes
 val encode_bare : char -> bytes
 (** The one-byte wire image of a bare tag. *)
 
+val crc32 : string -> int
+(** IEEE 802.3 CRC-32 (the zlib/PNG polynomial) of the whole string,
+    as a non-negative int in [0, 0xFFFFFFFF].  Pure OCaml,
+    table-driven; this is the integrity primitive behind the journal's
+    v2 per-record checksums. *)
+
+val crc32_update : int -> string -> int
+(** [crc32_update crc s] extends a running {!crc32} with [s]:
+    [crc32_update (crc32 a) b = crc32 (a ^ b)]. *)
+
 type decoder
 (** An incremental decoder over an internal buffer: {!feed} it raw
     bytes as they arrive, then {!decode} frames out of it.  Not

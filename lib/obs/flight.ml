@@ -183,6 +183,36 @@ let encode_event buf ev =
       id 29;
       w_str buf kind;
       w_str buf key
+  | Journal_corrupt { path; line; reason } ->
+      id 30;
+      w_str buf path;
+      w_int buf line;
+      w_str buf reason
+  | Fleet_start { endpoints; jobs; shard_seed } ->
+      id 31;
+      w_int buf endpoints;
+      w_int buf jobs;
+      w_int buf shard_seed
+  | Endpoint_state { endpoint; state } ->
+      id 32;
+      w_str buf endpoint;
+      w_str buf state
+  | Failover { id = jid; src; dst } ->
+      id 33;
+      w_str buf jid;
+      w_str buf src;
+      w_str buf dst
+  | Rebalance { moved; src; dst } ->
+      id 34;
+      w_int buf moved;
+      w_str buf src;
+      w_str buf dst
+  | Fleet_verdict { verdict; results; failovers; duplicates } ->
+      id 35;
+      w_str buf verdict;
+      w_int buf results;
+      w_int buf failovers;
+      w_int buf duplicates
 
 let encode_record buf (r : Trace.record) =
   Buffer.clear buf;
@@ -363,6 +393,30 @@ let decode_event cur : Trace.event =
   | 29 ->
       let kind = r_str cur in
       Canon_hit { kind; key = r_str cur }
+  | 30 ->
+      let path = r_str cur in
+      let line = r_int cur in
+      Journal_corrupt { path; line; reason = r_str cur }
+  | 31 ->
+      let endpoints = r_int cur in
+      let jobs = r_int cur in
+      Fleet_start { endpoints; jobs; shard_seed = r_int cur }
+  | 32 ->
+      let endpoint = r_str cur in
+      Endpoint_state { endpoint; state = r_str cur }
+  | 33 ->
+      let id = r_str cur in
+      let src = r_str cur in
+      Failover { id; src; dst = r_str cur }
+  | 34 ->
+      let moved = r_int cur in
+      let src = r_str cur in
+      Rebalance { moved; src; dst = r_str cur }
+  | 35 ->
+      let verdict = r_str cur in
+      let results = r_int cur in
+      let failovers = r_int cur in
+      Fleet_verdict { verdict; results; failovers; duplicates = r_int cur }
   | n -> fail cur (Printf.sprintf "unknown flight event id %d" n)
 
 let decode_record cur : Trace.record =

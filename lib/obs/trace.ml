@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -58,6 +58,17 @@ type event =
   | Server_drain of { queued : int; running : int }
   | Chaos_injected of { kind : string }
   | Canon_hit of { kind : string; key : string }
+  | Journal_corrupt of { path : string; line : int; reason : string }
+  | Fleet_start of { endpoints : int; jobs : int; shard_seed : int }
+  | Endpoint_state of { endpoint : string; state : string }
+  | Failover of { id : string; src : string; dst : string }
+  | Rebalance of { moved : int; src : string; dst : string }
+  | Fleet_verdict of {
+      verdict : string;
+      results : int;
+      failovers : int;
+      duplicates : int;
+    }
 
 type record = { i : int; w : int; ts : float; ev : event }
 
@@ -195,6 +206,45 @@ let event_fields = function
   | Chaos_injected { kind } -> ("chaos_injected", [ ("kind", Json.String kind) ])
   | Canon_hit { kind; key } ->
       ("canon_hit", [ ("kind", Json.String kind); ("key", Json.String key) ])
+  | Journal_corrupt { path; line; reason } ->
+      ( "journal_corrupt",
+        [
+          ("path", Json.String path);
+          ("line", Json.Int line);
+          ("reason", Json.String reason);
+        ] )
+  | Fleet_start { endpoints; jobs; shard_seed } ->
+      ( "fleet_start",
+        [
+          ("endpoints", Json.Int endpoints);
+          ("jobs", Json.Int jobs);
+          ("shard_seed", Json.Int shard_seed);
+        ] )
+  | Endpoint_state { endpoint; state } ->
+      ( "endpoint_state",
+        [ ("endpoint", Json.String endpoint); ("state", Json.String state) ] )
+  | Failover { id; src; dst } ->
+      ( "failover",
+        [
+          ("id", Json.String id);
+          ("src", Json.String src);
+          ("dst", Json.String dst);
+        ] )
+  | Rebalance { moved; src; dst } ->
+      ( "rebalance",
+        [
+          ("moved", Json.Int moved);
+          ("src", Json.String src);
+          ("dst", Json.String dst);
+        ] )
+  | Fleet_verdict { verdict; results; failovers; duplicates } ->
+      ( "fleet_verdict",
+        [
+          ("verdict", Json.String verdict);
+          ("results", Json.Int results);
+          ("failovers", Json.Int failovers);
+          ("duplicates", Json.Int duplicates);
+        ] )
 
 let record_to_json r =
   let tag, fields = event_fields r.ev in
@@ -373,6 +423,37 @@ let event_of_json j =
       Server_drain { queued = req_int j "queued"; running = req_int j "running" }
   | "chaos_injected" -> Chaos_injected { kind = req_string j "kind" }
   | "canon_hit" -> Canon_hit { kind = req_string j "kind"; key = req_string j "key" }
+  | "journal_corrupt" ->
+      Journal_corrupt
+        {
+          path = req_string j "path";
+          line = req_int j "line";
+          reason = req_string j "reason";
+        }
+  | "fleet_start" ->
+      Fleet_start
+        {
+          endpoints = req_int j "endpoints";
+          jobs = req_int j "jobs";
+          shard_seed = req_int j "shard_seed";
+        }
+  | "endpoint_state" ->
+      Endpoint_state
+        { endpoint = req_string j "endpoint"; state = req_string j "state" }
+  | "failover" ->
+      Failover
+        { id = req_string j "id"; src = req_string j "src"; dst = req_string j "dst" }
+  | "rebalance" ->
+      Rebalance
+        { moved = req_int j "moved"; src = req_string j "src"; dst = req_string j "dst" }
+  | "fleet_verdict" ->
+      Fleet_verdict
+        {
+          verdict = req_string j "verdict";
+          results = req_int j "results";
+          failovers = req_int j "failovers";
+          duplicates = req_int j "duplicates";
+        }
   | other -> decode_error ("trace record: unknown event " ^ other)
 
 let record_of_json j =

@@ -31,11 +31,11 @@
     format version ({!version}) and the emitting program's name. *)
 
 val version : int
-(** Trace format version, [4] (v2 added the supervisor child-lifecycle
+(** Trace format version, [5] (v2 added the supervisor child-lifecycle
     events; v3 the job-server events; v4 the memo-cache [Canon_hit]
-    event).  Readers must reject newer
-    versions rather than misparse them; v1/v2 traces parse fine under a
-    v3 reader. *)
+    event; v5 the fleet-dispatch events and [Journal_corrupt]).
+    Readers must reject newer versions rather than misparse them;
+    older traces parse fine under a newer reader. *)
 
 type event =
   | Trace_header of { version : int; program : string }
@@ -135,6 +135,31 @@ type event =
           ["step"] (one skipped color call) or ["game"] (a whole cached
           adversary report); [key] is the cache key (an MD5 chain digest
           or resolved cell parameters) *)
+  | Journal_corrupt of { path : string; line : int; reason : string }
+      (** a checkpoint/journal record failed its v2 CRC/length check and
+          was skipped on load ([line] is 1-based); the affected cell or
+          job reruns instead of replaying corrupted bytes *)
+  | Fleet_start of { endpoints : int; jobs : int; shard_seed : int }
+      (** a fleet campaign opened against [endpoints] servers *)
+  | Endpoint_state of { endpoint : string; state : string }
+      (** an endpoint changed state: ["up"], ["unreachable"],
+          ["draining"], ["breaker_open"], or ["down"] *)
+  | Failover of { id : string; src : string; dst : string }
+      (** job [id] was resubmitted from a failed endpoint [src] to [dst]
+          under its content-derived id (the dedup layer makes the retry
+          exactly-once) *)
+  | Rebalance of { moved : int; src : string; dst : string }
+      (** [moved] not-yet-submitted jobs migrated from a deep queue to a
+          shallow one, guided by depth probes *)
+  | Fleet_verdict of {
+      verdict : string;
+      results : int;
+      failovers : int;
+      duplicates : int;
+    }
+      (** campaign end: [verdict] is ["FULL"] (every endpoint healthy
+          throughout) or ["DEGRADED reason"]; [duplicates] counts
+          redundant result deliveries that were deduplicated *)
 
 type record = { i : int; w : int; ts : float; ev : event }
 

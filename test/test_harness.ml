@@ -453,8 +453,11 @@ let test_sweep_break_mid_cell_not_recorded () =
          Alcotest.fail "expected Interrupted"
        with Harness.Sweep.Interrupted -> ());
       let saved = In_channel.with_open_text path In_channel.input_all in
+      let body = "first\tdone first" in
       check_string "only the completed cell is checkpointed"
-        "#sweep-checkpoint v1\nfirst\tdone first\n" saved)
+        (Printf.sprintf "#sweep-checkpoint v2\n%s\t@%08x:%d\n" body
+           (Harness.Wire.crc32 body) (String.length body))
+        saved)
 
 let test_sweep_torn_record_reruns () =
   with_temp_checkpoint (fun path ->
@@ -669,6 +672,70 @@ let test_pool_ordered_delivery () =
     (List.init 20 (fun i -> (i, i * i)))
     (List.rev !seen)
 
+(* ----------------------------- backoff ----------------------------- *)
+
+(* Property coverage for the one retry schedule everything shares
+   (supervisor, client, fleet breakers): the delay for (config, key,
+   attempt) is a pure function of its arguments — byte-equal across
+   domains — and always lands in [envelope, 2*envelope) where envelope
+   is the capped exponential term.  That bound is what makes the cap a
+   real ceiling: no jitter draw can push a delay past 2*max. *)
+
+let backoff_case_gen =
+  Proptest.Gen.(
+    map3
+      (fun (base_ms, span_ms) seed (key_n, attempt) ->
+        let base = float_of_int base_ms /. 1000. in
+        let cap = base +. (float_of_int span_ms /. 1000.) in
+        ( { Harness.Backoff.base; max = cap; seed },
+          Printf.sprintf "cell t=%d" key_n,
+          attempt ))
+      (pair (int_range 1 100) (int_range 0 2000))
+      (int_range 0 1_000_000)
+      (pair (int_range 0 50) (int_range 1 60)))
+
+let print_backoff_case ({ Harness.Backoff.base; max; seed }, key, attempt) =
+  Printf.sprintf "base=%g max=%g seed=%d key=%S attempt=%d" base max seed key
+    attempt
+
+let backoff_envelope (cfg : Harness.Backoff.config) attempt =
+  Float.min (cfg.Harness.Backoff.base *. (2. ** float_of_int (attempt - 1)))
+    cfg.Harness.Backoff.max
+
+let backoff_proptest name prop =
+  Alcotest.test_case name `Quick (fun () ->
+      Proptest.Runner.check_exn
+        ~config:{ Proptest.Runner.default_config with seed = 0xBAC0FF; cases = 200 }
+        ~name ~print:print_backoff_case backoff_case_gen prop)
+
+let prop_backoff_bounded_by_cap =
+  backoff_proptest "delay within [envelope, 2*envelope)"
+    (fun (cfg, key, attempt) ->
+      let d = Harness.Backoff.delay cfg ~key ~attempt in
+      let env = backoff_envelope cfg attempt in
+      d >= env && d < 2. *. env +. 1e-12)
+
+let prop_backoff_deterministic_across_domains =
+  backoff_proptest "fixed seed replays across domains"
+    (fun (cfg, key, attempt) ->
+      let here = Harness.Backoff.delay cfg ~key ~attempt in
+      let spawned =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () -> Harness.Backoff.delay cfg ~key ~attempt))
+        |> List.map Domain.join
+      in
+      List.for_all (fun d -> Float.equal d here) spawned)
+
+let prop_backoff_envelope_monotone =
+  backoff_proptest "envelope monotone in attempt up to the cap"
+    (fun (cfg, key, attempt) ->
+      (* jitter aside, the exponential term never decreases with the
+         attempt number and never exceeds the cap *)
+      ignore key;
+      let e1 = backoff_envelope cfg attempt in
+      let e2 = backoff_envelope cfg (attempt + 1) in
+      e2 >= e1 && e2 <= cfg.Harness.Backoff.max)
+
 let () =
   Alcotest.run "harness"
     [
@@ -742,5 +809,11 @@ let () =
             test_parallel_interrupted_cell_propagates;
           Alcotest.test_case "guarded games deterministic" `Slow
             test_parallel_guarded_games_deterministic;
+        ] );
+      ( "backoff",
+        [
+          prop_backoff_bounded_by_cap;
+          prop_backoff_deterministic_across_domains;
+          prop_backoff_envelope_monotone;
         ] );
     ]

@@ -121,7 +121,11 @@ let test_dedup_duplicate_specs () =
   let specs = [ ("rev", "same"); ("rev", "same"); ("rev", "same") ] in
   let c = campaign ~socket specs in
   List.iter (fun got -> check_string "deduped result" "emas" got) c.Client.results;
-  let stats = Client.stats ~socket () in
+  let stats =
+    match Client.stats ~socket () with
+    | Ok json -> json
+    | Error (`Unreachable reason) -> Alcotest.failf "stats unreachable: %s" reason
+  in
   check_bool "server accepted exactly one job" true
     (let needle = "\"accepted\":1" in
      let rec find i =
@@ -134,7 +138,15 @@ let test_health_and_stats () =
   with_server ~config:(fast_config 1 `In_domain) @@ fun ~socket ~pid:_ ->
   let retry_oneshot f =
     (* the forked server may still be binding; retry briefly *)
-    let rec go n = try f () with Failure _ when n > 0 -> Unix.sleepf 0.02; go (n - 1) in
+    let rec go n =
+      match f () with
+      | Ok v -> v
+      | Error (`Unreachable _) when n > 0 ->
+          Unix.sleepf 0.02;
+          go (n - 1)
+      | Error (`Unreachable reason) ->
+          Alcotest.failf "server still unreachable: %s" reason
+    in
     go 100
   in
   let health = retry_oneshot (fun () -> Client.health ~socket ()) in
@@ -142,6 +154,18 @@ let test_health_and_stats () =
     (String.length health > 0 && health.[0] = '{');
   let stats = retry_oneshot (fun () -> Client.stats ~socket ()) in
   check_bool "stats is json" true (String.length stats > 0 && stats.[0] = '{')
+
+let test_health_unreachable_is_typed () =
+  (* no server behind this path: the one-shots answer with a typed
+     [`Unreachable], never a bare exception *)
+  let socket = temp_path ".sock" in
+  (match Client.health ~socket () with
+  | Ok json -> Alcotest.failf "health of a missing socket answered: %s" json
+  | Error (`Unreachable reason) ->
+      check_bool "unreachable reason is non-empty" true (String.length reason > 0));
+  match Client.stats ~socket () with
+  | Ok json -> Alcotest.failf "stats of a missing socket answered: %s" json
+  | Error (`Unreachable _) -> ()
 
 (* --------------------------- backpressure ---------------------------- *)
 
@@ -313,6 +337,8 @@ let () =
           Alcotest.test_case "duplicate specs dedup" `Quick
             test_dedup_duplicate_specs;
           Alcotest.test_case "health and stats" `Quick test_health_and_stats;
+          Alcotest.test_case "unreachable one-shots are typed" `Quick
+            test_health_unreachable_is_typed;
         ] );
       ( "backpressure",
         [

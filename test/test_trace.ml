@@ -114,6 +114,12 @@ let all_events =
     T.Audit { executor = "fixed_host"; ok = false; detail = "monochromatic edge 0 -- 1" };
     T.Fault_injected { tag = "wrong-color"; call = 4 };
     T.Misbehavior { label = "raised"; detail = "raised: Failure" };
+    T.Journal_corrupt { path = "j.journal"; line = 7; reason = "torn record" };
+    T.Fleet_start { endpoints = 2; jobs = 8; shard_seed = 0 };
+    T.Endpoint_state { endpoint = "/tmp/a.sock"; state = "up" };
+    T.Failover { id = "deadbeef"; src = "/tmp/a.sock"; dst = "tcp:7002" };
+    T.Rebalance { moved = 3; src = "/tmp/a.sock"; dst = "tcp:7002" };
+    T.Fleet_verdict { verdict = "FULL"; results = 5; failovers = 0; duplicates = 0 };
   ]
 
 let test_event_codec_roundtrip () =
@@ -303,18 +309,88 @@ let render ?resume ?checkpoint cells =
   Harness.Sweep.run ?resume ?checkpoint ~ppf cells;
   Buffer.contents buf
 
-let test_checkpoint_v1_header_written () =
+let test_checkpoint_v2_header_written () =
   with_temp_file ".ckpt" (fun path ->
       let log = ref [] in
       let full = render ~checkpoint:path (cells_of log) in
       let lines = In_channel.with_open_text path In_channel.input_lines in
-      check_string "header first" "#sweep-checkpoint v1" (List.hd lines);
+      check_string "header first" "#sweep-checkpoint v2" (List.hd lines);
       check_int "header + one record per cell" 3 (List.length lines);
+      (* Every v2 record carries its CRC trailer. *)
+      List.iter
+        (fun line ->
+          check_bool "record has a crc trailer" true
+            (match String.rindex_opt line '\t' with
+            | None -> false
+            | Some t ->
+                String.length line > t + 1 && line.[t + 1] = '@'))
+        (List.tl lines);
       (* And the file resumes: nothing reruns, output is identical. *)
       log := [];
       let resumed = render ~resume:true ~checkpoint:path (cells_of log) in
       check_string "byte-identical resume" full resumed;
       check_int "nothing reran" 0 (List.length !log))
+
+let test_checkpoint_v1_still_replays () =
+  (* A v1 journal (header, no CRC trailers) keeps replaying unchanged. *)
+  with_temp_file ".ckpt" (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            "#sweep-checkpoint v1\na\tresult a\nb\tresult b\n");
+      let log = ref [] in
+      let out = render ~resume:true ~checkpoint:path (cells_of log) in
+      check_int "nothing reran" 0 (List.length !log);
+      check_string "replayed v1 results" "result a\nresult b\n" out)
+
+let corrupt_last_record path =
+  (* flip one bit in the middle of the final record *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let last_line_start = String.rindex_from contents (String.length contents - 2) '\n' + 1 in
+  let off = last_line_start + 3 in
+  let b = Bytes.of_string contents in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b)
+
+let test_checkpoint_corrupt_record_skipped_and_rerun () =
+  with_temp_file ".ckpt" (fun ckpt ->
+      with_temp_file ".trace" (fun trace ->
+          let log = ref [] in
+          let full = render ~checkpoint:ckpt (cells_of log) in
+          corrupt_last_record ckpt;
+          (* fsck sees exactly the damaged record *)
+          let report = Harness.Sweep.Journal.fsck ckpt in
+          check_int "fsck version" 2 report.Harness.Sweep.Journal.version;
+          check_int "one corrupt record" 1
+            (List.length report.Harness.Sweep.Journal.corrupt);
+          (* resume: the bit-flipped record is skipped with a typed,
+             traced warning and exactly that cell reruns *)
+          log := [];
+          let resumed =
+            T.with_sink ~program:"test" ~path:trace (fun () ->
+                render ~resume:true ~checkpoint:ckpt (cells_of log))
+          in
+          check_string "byte-identical despite corruption" full resumed;
+          Alcotest.(check (list string)) "exactly the torn cell reran" [ "b" ] !log;
+          let corrupt_events =
+            List.filter
+              (fun r ->
+                match r.T.ev with T.Journal_corrupt _ -> true | _ -> false)
+              (T.read_file trace)
+          in
+          check_int "typed warning traced" 1 (List.length corrupt_events);
+          (* the journal is append-only: the damaged line stays (fsck
+             keeps flagging it) but the rerun appended a good record
+             that supersedes it — a second resume replays everything *)
+          let report = Harness.Sweep.Journal.fsck ckpt in
+          check_int "fsck still flags the torn line" 1
+            (List.length report.Harness.Sweep.Journal.corrupt);
+          check_int "both cells have valid records" 2
+            report.Harness.Sweep.Journal.records;
+          log := [];
+          let again = render ~resume:true ~checkpoint:ckpt (cells_of log) in
+          check_string "second resume byte-identical" full again;
+          check_int "nothing reran" 0 (List.length !log)))
 
 let test_checkpoint_v0_headerless_still_replays () =
   (* A checkpoint written before versioning has no header line; it must
@@ -330,13 +406,13 @@ let test_checkpoint_v0_headerless_still_replays () =
 let test_checkpoint_newer_version_rejected () =
   with_temp_file ".ckpt" (fun path ->
       Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc "#sweep-checkpoint v2\na\tresult a\n");
+          Out_channel.output_string oc "#sweep-checkpoint v3\na\tresult a\n");
       let log = ref [] in
       match render ~resume:true ~checkpoint:path (cells_of log) with
       | exception Invalid_argument msg ->
           check_bool "names the version" true
-            (Option.is_some (String.index_opt msg '2'))
-      | _ -> Alcotest.fail "accepted a v2 checkpoint")
+            (Option.is_some (String.index_opt msg '3'))
+      | _ -> Alcotest.fail "accepted a v3 checkpoint")
 
 let test_traced_sweep_marks_replays () =
   with_temp_file ".ckpt" (fun ckpt ->
@@ -398,10 +474,14 @@ let () =
         ] );
       ( "checkpoint",
         [
-          Alcotest.test_case "v1 header" `Quick test_checkpoint_v1_header_written;
+          Alcotest.test_case "v2 header with crc trailers" `Quick
+            test_checkpoint_v2_header_written;
+          Alcotest.test_case "v1 replays" `Quick test_checkpoint_v1_still_replays;
           Alcotest.test_case "v0 replays" `Quick
             test_checkpoint_v0_headerless_still_replays;
           Alcotest.test_case "newer rejected" `Quick
             test_checkpoint_newer_version_rejected;
+          Alcotest.test_case "corrupt record skipped, rerun, fsck" `Quick
+            test_checkpoint_corrupt_record_skipped_and_rerun;
         ] );
     ]
